@@ -1,0 +1,100 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- cut-selection heuristic: loop-depth-first (paper §4.3) vs pure greedy
+  coverage — the loop heuristic should give longer dynamic paths;
+- unroll-by-one enhancement (§5): on vs off — unrolling amortizes the
+  forced self-dependence cuts over two iterations;
+- the idempotence register constraint (§4.4): its isolated cost, measured
+  as idempotent-allocation vs normal allocation of identical region-marked
+  code.
+"""
+
+import pytest
+
+from repro.codegen import allocate_program, select_module
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig, construct_module_regions
+from repro.core.cuts import HEURISTIC_COVERAGE, HEURISTIC_LOOP
+from repro.experiments.common import geomean
+from repro.frontend import compile_source
+from repro.sim import Simulator
+from repro.sim.path_trace import trace_paths
+from repro.workloads import get_workload
+
+ABLATION_WORKLOADS = ["mcf", "gobmk", "dealii", "canneal"]
+
+
+def _paths_with_config(name, config):
+    source = get_workload(name).source
+    result = compile_minic(source, idempotent=True, config=config)
+    return trace_paths(result.program).average
+
+
+def test_ablation_cut_heuristic(benchmark):
+    """Loop-aware cut placement vs pure coverage greedy (Fig. 4 §4.3)."""
+
+    def run():
+        out = {}
+        for heuristic in (HEURISTIC_LOOP, HEURISTIC_COVERAGE):
+            config = ConstructionConfig(heuristic=heuristic)
+            out[heuristic] = geomean(
+                [_paths_with_config(n, config) for n in ABLATION_WORKLOADS]
+            )
+        return out
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\navg dynamic path length: loop-heuristic={averages[HEURISTIC_LOOP]:.1f} "
+          f"coverage-greedy={averages[HEURISTIC_COVERAGE]:.1f}")
+    benchmark.extra_info.update({k: round(v, 2) for k, v in averages.items()})
+    # The loop heuristic must not be catastrophically worse; the paper
+    # reports it generally improves dynamic path lengths.
+    assert averages[HEURISTIC_LOOP] > averages[HEURISTIC_COVERAGE] * 0.5
+
+
+def test_ablation_unroll(benchmark):
+    """Unroll-by-one on vs off for self-dependent loop fixups (§5)."""
+
+    def run():
+        out = {}
+        for unroll in (True, False):
+            config = ConstructionConfig(unroll_self_dep=unroll)
+            out[unroll] = geomean(
+                [_paths_with_config(n, config) for n in ABLATION_WORKLOADS]
+            )
+        return out
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\navg dynamic path length: unroll-on={averages[True]:.1f} "
+          f"unroll-off={averages[False]:.1f}")
+    benchmark.extra_info["unroll_on"] = round(averages[True], 2)
+    benchmark.extra_info["unroll_off"] = round(averages[False], 2)
+    # Unrolling halves the density of forced cuts: paths should not shrink.
+    assert averages[True] >= averages[False] * 0.9
+
+
+def test_ablation_register_constraint(benchmark):
+    """Isolated cost of §4.4: same region-marked IR, allocator constraint
+    on vs off. (Constraint-off binaries are NOT recovery-safe; this only
+    quantifies where Fig. 10's overhead comes from.)"""
+
+    def run():
+        cycles = {}
+        for constrained in (True, False):
+            total = 0
+            for name in ABLATION_WORKLOADS:
+                module = compile_source(get_workload(name).source)
+                construct_module_regions(module)
+                program = select_module(module)
+                allocate_program(program, idempotent=constrained)
+                sim = Simulator(program)
+                sim.run("main")
+                total += sim.cycles
+            cycles[constrained] = total
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    cost = cycles[True] / cycles[False] - 1.0
+    print(f"\nregister-constraint cost: {cost:+.1%} "
+          f"(constrained={cycles[True]} unconstrained={cycles[False]})")
+    benchmark.extra_info["constraint_cost"] = round(cost, 4)
+    assert cost >= -0.02  # the constraint can only cost, modulo noise

@@ -1,0 +1,69 @@
+"""Compiler throughput benches: per-phase timing of the pipeline itself.
+
+Not a paper figure — engineering benchmarks for the implementation, using
+pytest-benchmark's statistics properly (multiple rounds on deterministic
+inputs).
+"""
+
+import pytest
+
+from repro.codegen import allocate_program, select_module
+from repro.core import construct_module_regions
+from repro.frontend import compile_source, parse_source
+from repro.transforms import optimize_module
+from repro.workloads import get_workload
+
+SOURCE = get_workload("hmmer").source
+
+
+def test_bench_frontend_parse(benchmark):
+    program = benchmark(parse_source, SOURCE)
+    assert program.functions
+
+
+def test_bench_frontend_full(benchmark):
+    module = benchmark(compile_source, SOURCE)
+    assert module.defined_functions
+
+
+def test_bench_ssa_pipeline(benchmark):
+    def pipeline():
+        module = compile_source(SOURCE)
+        optimize_module(module)
+        return module
+
+    module = benchmark(pipeline)
+    assert module.defined_functions
+
+
+def test_bench_region_construction(benchmark):
+    def construct():
+        module = compile_source(SOURCE)
+        return construct_module_regions(module)
+
+    results = benchmark(construct)
+    assert any(r.region_count > 0 for r in results.values())
+
+
+def test_bench_codegen_original(benchmark):
+    def codegen():
+        module = compile_source(SOURCE)
+        optimize_module(module)
+        program = select_module(module)
+        allocate_program(program, idempotent=False)
+        return program
+
+    program = benchmark(codegen)
+    assert program.functions
+
+
+def test_bench_codegen_idempotent(benchmark):
+    def codegen():
+        module = compile_source(SOURCE)
+        construct_module_regions(module)
+        program = select_module(module)
+        allocate_program(program, idempotent=True)
+        return program
+
+    program = benchmark(codegen)
+    assert program.functions

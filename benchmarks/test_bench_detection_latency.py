@@ -1,0 +1,78 @@
+"""Characterization: detection latency tolerance vs region size (§6.2).
+
+"Longer path lengths allow execution to proceed speculatively for longer
+amounts of time while potential execution failures remain undetected."
+
+With detection latency L, recovery fails whenever a region boundary
+retires between the fault and its detection — `rp` then points past the
+corruption. This bench sweeps L for binaries built with different
+``max_region_size`` bounds and measures recovery rates: the larger the
+regions, the longer the latency the system survives.
+"""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig
+from repro.experiments.common import format_table
+from repro.sim import Simulator
+from repro.sim.faults import fault_campaign
+
+KERNEL = """
+int hist[16];
+int main() {
+  int seed = 17;
+  int acc = 0;
+  for (int i = 0; i < 120; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int b = (seed >> 8) % 16;
+    if (b < 0) b = b + 16;
+    hist[b] = hist[b] + 1;
+    acc = (acc * 31 + hist[b]) % 1000003;
+  }
+  return acc;
+}
+"""
+
+LATENCIES = [0, 5, 20, 80]
+BOUNDS = [6, 24, None]
+
+
+def test_detection_latency_tolerance(benchmark):
+    def run():
+        table = {}
+        for bound in BOUNDS:
+            config = ConstructionConfig(max_region_size=bound)
+            build = compile_minic(KERNEL, idempotent=True, config=config)
+            sim = Simulator(build.program)
+            reference = sim.run("main")
+            rates = []
+            for latency in LATENCIES:
+                campaign = fault_campaign(
+                    build.program, reference, [], trials=30,
+                    detection_latency=latency,
+                )
+                rates.append(campaign.recovery_rate)
+            table[bound] = rates
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["unbounded" if bound is None else str(bound)]
+        + [f"{rate:.0%}" for rate in rates]
+        for bound, rates in table.items()
+    ]
+    print("\nrecovery rate by detection latency (instructions):")
+    print(format_table(["max_region_size"] + [str(l) for l in LATENCIES], rows))
+    for bound, rates in table.items():
+        label = "unbounded" if bound is None else str(bound)
+        benchmark.extra_info[f"rates_{label}"] = [round(r, 2) for r in rates]
+
+    # Zero-latency detection always recovers, for every region size.
+    for rates in table.values():
+        assert rates[0] == 1.0
+    # At the longest latency, bigger regions must tolerate at least as
+    # much as the tightest bound (the paper's tradeoff direction).
+    tight = table[BOUNDS[0]][-1]
+    unbounded = table[None][-1]
+    assert unbounded >= tight

@@ -1,0 +1,25 @@
+"""Figure 10 bench: runtime overhead of the idempotent binaries.
+
+Paper: execution-time overheads of 11.2% (SPEC INT), 5.4% (SPEC FP),
+2.7% (PARSEC), 7.7% overall — "typical overheads in the range of 2-12%".
+"""
+
+from repro.experiments import fig10_overheads
+
+
+def test_fig10_overheads(benchmark, workload_names):
+    result = benchmark.pedantic(
+        fig10_overheads.run, args=(workload_names,), rounds=1, iterations=1
+    )
+    print("\n" + fig10_overheads.format_report(result))
+
+    summary = result.suite_summary()
+    for metric, per_suite in summary.items():
+        for suite, overhead in per_suite.items():
+            benchmark.extra_info[f"{metric}_{suite}"] = round(overhead, 4)
+
+    overall = summary["cycles"].get("all", 0.0)
+    # Low-single-digit to low-double-digit percent, never multiples.
+    assert -0.05 < overall < 0.30
+    # Instruction overhead is strictly positive (boundaries + spills).
+    assert summary["instructions"]["all"] > 0.0

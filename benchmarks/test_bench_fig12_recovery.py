@@ -1,0 +1,32 @@
+"""Figure 12 bench: recovery-scheme overheads relative to the DMR baseline.
+
+Paper geomeans: INSTRUCTION-TMR +30.5%, CHECKPOINT-AND-LOG +24.0%,
+IDEMPOTENCE +8.2% — idempotent processing wins by over 15%.
+"""
+
+from repro.experiments import fig12_recovery
+from repro.recovery.schemes import (
+    SCHEME_CHECKPOINT_LOG,
+    SCHEME_IDEMPOTENCE,
+    SCHEME_TMR,
+)
+
+
+def test_fig12_recovery(benchmark, workload_names):
+    result = benchmark.pedantic(
+        fig12_recovery.run, args=(workload_names,), rounds=1, iterations=1
+    )
+    print("\n" + fig12_recovery.format_report(result))
+
+    summary = result.suite_summary()
+    tmr = summary[SCHEME_TMR]["all"]
+    log = summary[SCHEME_CHECKPOINT_LOG]["all"]
+    idem = summary[SCHEME_IDEMPOTENCE]["all"]
+    benchmark.extra_info["tmr_overhead"] = round(tmr, 4)
+    benchmark.extra_info["checkpoint_log_overhead"] = round(log, 4)
+    benchmark.extra_info["idempotence_overhead"] = round(idem, 4)
+
+    # The paper's ordering: idempotence beats both alternatives.
+    assert idem < tmr
+    assert idem < log
+    assert tmr > 0.10  # TMR redundancy is expensive

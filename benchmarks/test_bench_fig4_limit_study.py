@@ -1,0 +1,32 @@
+"""Figure 4 bench: the dynamic limit study.
+
+Regenerates the paper's Fig. 4 series (average idempotent path lengths in
+three clobber categories) and checks the headline shape: artificial
+clobbers shrink paths by roughly an order of magnitude, and removing call
+boundaries lengthens them further.
+"""
+
+from repro.experiments import fig4_limit_study
+from repro.sim.limit_study import (
+    CATEGORY_ARTIFICIAL,
+    CATEGORY_SEMANTIC,
+    CATEGORY_SEMANTIC_CALLS,
+)
+
+
+def test_fig4_limit_study(benchmark, workload_names):
+    result = benchmark.pedantic(
+        fig4_limit_study.run, args=(workload_names,), rounds=1, iterations=1
+    )
+    report = fig4_limit_study.format_report(result)
+    print("\n" + report)
+
+    gm = result.geomeans()
+    benchmark.extra_info["geomean_semantic_inter"] = gm[CATEGORY_SEMANTIC]
+    benchmark.extra_info["geomean_semantic_calls"] = gm[CATEGORY_SEMANTIC_CALLS]
+    benchmark.extra_info["geomean_artificial"] = gm[CATEGORY_ARTIFICIAL]
+
+    # Shape checks (paper: 1300 / 110 / 10.8 => ~120x inter, ~10x intra).
+    assert gm[CATEGORY_ARTIFICIAL] < gm[CATEGORY_SEMANTIC_CALLS]
+    assert gm[CATEGORY_SEMANTIC_CALLS] / gm[CATEGORY_ARTIFICIAL] > 2.0
+    assert gm[CATEGORY_SEMANTIC] >= gm[CATEGORY_SEMANTIC_CALLS] * 0.9

@@ -1,0 +1,23 @@
+"""Figure 8 bench: time-weighted CDF of dynamic idempotent path lengths."""
+
+from repro.experiments import fig8_path_cdf
+
+
+def test_fig8_path_cdf(benchmark, workload_names):
+    result = benchmark.pedantic(
+        fig8_path_cdf.run, args=(workload_names,), rounds=1, iterations=1
+    )
+    print("\n" + fig8_path_cdf.format_report(result))
+
+    short_fractions = [
+        result.time_fraction_at_or_below(name, 10) for name in result.stats
+    ]
+    benchmark.extra_info["workloads"] = len(short_fractions)
+    benchmark.extra_info["median_fraction_at_10"] = sorted(short_fractions)[
+        len(short_fractions) // 2
+    ]
+
+    # Paper: "most applications spend less than 20% of their execution
+    # time executing paths of length 10 instructions or less."
+    most = sum(1 for f in short_fractions if f < 0.2)
+    assert most >= len(short_fractions) / 2

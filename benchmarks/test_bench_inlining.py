@@ -1,0 +1,70 @@
+"""Inlining ablation: toward the inter-procedural limit (paper §3).
+
+Figure 4 shows another order of magnitude of idempotent path length
+beyond the intra-procedural limit, and the paper suggests "very
+aggressive inlining" as one way to get there without an inter-procedural
+analysis. This bench inlines small callees before region construction and
+measures how much of that headroom the intra-procedural algorithm then
+captures.
+"""
+
+import pytest
+
+from repro.compiler import compile_ir_module
+from repro.experiments.common import format_table, geomean
+from repro.frontend import compile_source
+from repro.sim import Simulator
+from repro.sim.path_trace import trace_paths
+from repro.transforms import inline_small_functions
+from repro.workloads import get_workload
+
+# Call-dense workloads where boundaries at calls dominate path lengths.
+INLINE_WORKLOADS = ["bzip2", "mcf", "canneal", "blackscholes"]
+
+
+def _build(name, inline):
+    module = compile_source(get_workload(name).source)
+    inlined = (
+        inline_small_functions(module, max_instructions=60) if inline else 0
+    )
+    build = compile_ir_module(module, idempotent=True)
+    return build, inlined
+
+
+def test_inlining_grows_paths(benchmark):
+    def run():
+        rows = []
+        for name in INLINE_WORKLOADS:
+            plain, _ = _build(name, inline=False)
+            inlined, count = _build(name, inline=True)
+            sim_plain = Simulator(plain.program)
+            sim_inlined = Simulator(inlined.program)
+            assert sim_plain.run("main") == sim_inlined.run("main")
+            rows.append(
+                (
+                    name,
+                    count,
+                    trace_paths(plain.program).average,
+                    trace_paths(inlined.program).average,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["workload", "sites inlined", "paths (plain)", "paths (inlined)"],
+            [list(r) for r in rows],
+        )
+    )
+    plain_gm = geomean([r[2] for r in rows])
+    inlined_gm = geomean([r[3] for r in rows])
+    print(f"geomean paths: plain={plain_gm:.1f} inlined={inlined_gm:.1f} "
+          f"({inlined_gm / plain_gm:.2f}x)")
+    benchmark.extra_info["plain_geomean"] = round(plain_gm, 2)
+    benchmark.extra_info["inlined_geomean"] = round(inlined_gm, 2)
+
+    # Something must actually inline, and paths must grow overall.
+    assert any(r[1] > 0 for r in rows)
+    assert inlined_gm > plain_gm

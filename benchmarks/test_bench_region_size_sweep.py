@@ -1,0 +1,74 @@
+"""Characterization sweep: region size vs runtime overhead (§6.2).
+
+The paper's future-work discussion: "optimal path length depends on a
+variety of factors ... longer path lengths better tolerate long detection
+latencies, [while] minimizing the recovery re-execution cost favors
+shorter path lengths." This bench sweeps the ``max_region_size`` knob and
+prints the resulting (average path length, execution-time overhead)
+frontier — the tradeoff curve the paper says to explore.
+"""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig
+from repro.experiments.common import format_table, geomean
+from repro.sim import Simulator
+from repro.sim.path_trace import trace_paths
+from repro.workloads import get_workload
+
+SWEEP_WORKLOADS = ["mcf", "gobmk", "dealii", "blackscholes"]
+BOUNDS = [4, 8, 16, 32, None]
+
+
+def _measure(name, bound):
+    source = get_workload(name).source
+    config = ConstructionConfig(max_region_size=bound)
+    idem = compile_minic(source, idempotent=True, config=config)
+    orig = compile_minic(source, idempotent=False)
+    sim_i = Simulator(idem.program)
+    sim_o = Simulator(orig.program)
+    assert sim_i.run("main") == sim_o.run("main")
+    paths = trace_paths(idem.program).average
+    overhead = sim_i.cycles / sim_o.cycles - 1.0
+    return paths, overhead
+
+
+def test_region_size_sweep(benchmark):
+    def run():
+        rows = []
+        for bound in BOUNDS:
+            paths = []
+            overheads = []
+            for name in SWEEP_WORKLOADS:
+                p, o = _measure(name, bound)
+                paths.append(p)
+                overheads.append(1.0 + o)
+            rows.append(
+                (
+                    "unbounded" if bound is None else str(bound),
+                    geomean(paths),
+                    geomean(overheads) - 1.0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["max_region_size", "avg path (geomean)", "exec-time overhead"],
+            [[label, p, f"{o:+.1%}"] for label, p, o in rows],
+        )
+    )
+    for label, p, o in rows:
+        benchmark.extra_info[f"paths_{label}"] = round(p, 2)
+        benchmark.extra_info[f"overhead_{label}"] = round(o, 4)
+
+    # Tighter bounds give shorter paths; the frontier is monotone in paths.
+    path_values = [p for _, p, _ in rows]
+    assert path_values == sorted(path_values)
+    # Unbounded should be the cheapest (or tied within noise).
+    overhead_unbounded = rows[-1][2]
+    overhead_tightest = rows[0][2]
+    assert overhead_unbounded <= overhead_tightest + 0.02

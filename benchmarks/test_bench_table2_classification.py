@@ -1,0 +1,27 @@
+"""Table 2 bench: antidependence classification before/after SSA.
+
+Quantifies Table 2's storage split on the workload suite: artificial
+(pseudoregister) antidependences are compiler artifacts that SSA
+conversion removes completely; semantic (memory) antidependences remain
+for the region construction to cut.
+"""
+
+from repro.experiments import table2_classification
+
+
+def test_table2_classification(benchmark, workload_names):
+    result = benchmark.pedantic(
+        table2_classification.run, args=(workload_names,), rounds=1, iterations=1
+    )
+    print("\n" + table2_classification.format_report(result))
+
+    art_before = sum(c["before"]["artificial"] for c in result.counts.values())
+    art_after = sum(c["after"]["artificial"] for c in result.counts.values())
+    sem_after = sum(c["after"]["semantic"] for c in result.counts.values())
+    benchmark.extra_info["artificial_before_ssa"] = art_before
+    benchmark.extra_info["artificial_after_ssa"] = art_after
+    benchmark.extra_info["semantic_after_ssa"] = sem_after
+
+    assert art_before > 0
+    assert art_after == 0
+    assert sem_after > 0

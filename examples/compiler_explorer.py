@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compiler explorer: inspect the pipeline on your own MiniC code.
+
+Reads MiniC source from a file (or uses a built-in demo), then prints
+every interesting intermediate: unoptimized IR, SSA form, antidependence
+report, region-marked IR, machine code, allocation statistics, and a
+side-by-side run of the original vs idempotent binaries.
+
+Run:  python examples/compiler_explorer.py [source.c] [--entry main]
+"""
+
+import argparse
+import sys
+
+from repro.analysis import AntiDepAnalysis, summarize_antideps
+from repro.compiler import compile_minic
+from repro.core import construct_module_regions
+from repro.codegen import format_machine_function
+from repro.frontend import compile_source
+from repro.ir import format_module
+from repro.sim import Simulator
+from repro.transforms import optimize_module
+
+DEMO = """
+int hist[8];
+
+int classify(int x) {
+  int b = x % 8;
+  if (b < 0) b = b + 8;
+  hist[b] = hist[b] + 1;     // in-place update: semantic clobber
+  return b;
+}
+
+int main() {
+  int seed = 1;
+  int acc = 0;
+  for (int i = 0; i < 25; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    acc = acc + classify(seed >> 8);
+  }
+  print_int(acc);
+  return acc;
+}
+"""
+
+
+def banner(title):
+    print(f"\n{'-' * 72}\n{title}\n{'-' * 72}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", nargs="?", help="MiniC source file")
+    parser.add_argument("--entry", default="main", help="function to execute")
+    args = parser.parse_args()
+
+    source = open(args.source).read() if args.source else DEMO
+    if not args.source:
+        print("(no source given; using the built-in demo program)")
+
+    banner("unoptimized IR (clang -O0 shape)")
+    module = compile_source(source)
+    print(format_module(module))
+
+    banner("after SSA conversion + redundancy elimination")
+    optimize_module(module)
+    print(format_module(module))
+
+    banner("antidependence report (per function)")
+    for func in module.defined_functions:
+        summary = summarize_antideps(AntiDepAnalysis(func))
+        print(f"  @{func.name}: {summary}")
+
+    banner("region-marked IR (boundaries = region cuts)")
+    module = compile_source(source)
+    results = construct_module_regions(module)
+    print(format_module(module))
+    for name, result in results.items():
+        print(f"  @{name}: {result.region_count} regions, "
+              f"{result.total_boundaries} boundaries, "
+              f"loop report: {result.loop_report}")
+
+    banner("machine code (idempotent binary)")
+    build = compile_minic(source, idempotent=True)
+    for mfunc in build.program.functions.values():
+        print(format_machine_function(mfunc))
+        stats = build.alloc_stats[mfunc.name]
+        print(f"  ; vregs={stats.vregs} spilled={stats.spilled} "
+              f"extended={stats.extended}\n")
+
+    banner("execution: original vs idempotent")
+    for idem in (False, True):
+        result = compile_minic(source, idempotent=idem)
+        sim = Simulator(result.program)
+        value = sim.run(args.entry)
+        label = "idempotent" if idem else "original  "
+        print(f"  {label}: result={value} output={sim.output} "
+              f"instructions={sim.instructions} cycles={sim.cycles}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fault-injection demo: idempotence-based recovery in action (paper §6.3).
+
+Injects transient faults (corrupted ALU results and wrong branch
+decisions) into a checksum kernel and shows that:
+
+- the *idempotent* binary recovers every fault by discarding unverified
+  stores and re-executing from the restart pointer ``rp``;
+- the *original* binary, given the identical recovery mechanism, computes
+  wrong answers or crashes for some injections — regions that can be
+  freely re-executed are what make the recovery sound.
+
+Run:  python examples/fault_recovery.py
+"""
+
+from repro.compiler import compile_minic
+from repro.sim import Simulator
+from repro.sim.faults import FAULT_CONTROL, FAULT_VALUE, FaultPlan, fault_campaign, run_with_fault
+
+KERNEL = """
+int hist[16];
+
+// Mutates persistent state in place: re-executing a *whole call* after
+// some of its stores committed double-counts — only properly placed
+// idempotent regions make re-execution safe.
+int bump(int x) {
+  int b = x % 16;
+  if (b < 0) b = b + 16;
+  hist[b] = hist[b] + x;
+  return hist[b];
+}
+
+int main() {
+  int seed = 9;
+  int acc = 0;
+  for (int i = 0; i < 60; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    acc = (acc + bump(seed >> 8)) % 1000003;
+  }
+  print_int(acc);
+  return acc;
+}
+"""
+
+
+def main():
+    idem = compile_minic(KERNEL, idempotent=True)
+    orig = compile_minic(KERNEL, idempotent=False)
+
+    ref_sim = Simulator(idem.program)
+    reference = ref_sim.run("main")
+    reference_output = list(ref_sim.output)
+    print(f"fault-free result: {reference} "
+          f"({ref_sim.instructions} instructions, "
+          f"{ref_sim.boundaries_crossed} region boundaries)\n")
+
+    print("single value fault at dynamic instruction 500 (idempotent binary):")
+    outcome = run_with_fault(idem.program, FaultPlan(target_instruction=500))
+    print(f"  injected={outcome.injected} detected={outcome.detected} "
+          f"recovered={outcome.recovered}")
+    print(f"  result={outcome.result} correct={outcome.result == reference}")
+    print(f"  executed {outcome.instructions} instructions "
+          f"(re-execution cost: {outcome.instructions - ref_sim.instructions:+d})\n")
+
+    for kind in (FAULT_VALUE, FAULT_CONTROL):
+        print(f"campaign: 50 random {kind} faults")
+        for label, program in (("idempotent", idem.program), ("original  ", orig.program)):
+            campaign = fault_campaign(
+                program, reference, reference_output, trials=50, kind=kind
+            )
+            print(f"  {label}: injected={campaign.injected:3d} "
+                  f"recovered-correctly={campaign.recovered_correctly:3d} "
+                  f"wrong={campaign.wrong_result:2d} crashed={campaign.crashed:2d} "
+                  f"(recovery rate {campaign.recovery_rate:.0%})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

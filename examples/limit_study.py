@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Limit study demo (paper §3, Figure 4) on a handful of workloads.
+
+Measures the dynamic idempotent path lengths a conventional binary allows
+under the paper's three clobber-antidependence categories, showing how
+artificial (register/stack-reuse) clobbers destroy path lengths that the
+program's semantics would otherwise permit.
+
+Run:  python examples/limit_study.py [workload ...]
+"""
+
+import sys
+
+from repro.experiments import fig4_limit_study
+
+DEFAULT = ["bzip2", "mcf", "gobmk", "lbm", "blackscholes", "streamcluster"]
+
+
+def main():
+    names = sys.argv[1:] or DEFAULT
+    print(f"running limit study on: {', '.join(names)}")
+    print("(three concurrent trackers per run; this takes a minute)\n")
+    result = fig4_limit_study.run(names)
+    print(fig4_limit_study.format_report(result))
+
+
+if __name__ == "__main__":
+    main()

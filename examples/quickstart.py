@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Compiles ``list_push`` (Figure 1a) from MiniC, walks it through the
+pipeline — -O0 lowering, SSA conversion, antidependence analysis, region
+construction — and executes both the original and idempotent binaries on
+the machine simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import AntiDepAnalysis
+from repro.compiler import compile_minic
+from repro.core import RegionDecomposition, construct_module_regions
+from repro.frontend import compile_source
+from repro.ir import format_function
+from repro.sim import Simulator
+
+LIST_PUSH = """
+// list layout: [capacity, size, buffer...], as in the paper's Figure 1(a)
+int list[18];
+
+int list_push(int *l, int e) {
+  if (l[1] >= l[0]) return 0;   // overflow check
+  l[l[1] + 2] = e;              // buf[size] = e
+  l[1] = l[1] + 1;              // size++  <- the semantic clobber
+  return 1;
+}
+
+int main() {
+  list[0] = 16;                 // capacity
+  int pushed = 0;
+  for (int i = 0; i < 20; i = i + 1) {
+    pushed = pushed + list_push(list, i * 10);
+  }
+  print_int(pushed);
+  return pushed;
+}
+"""
+
+
+def banner(title):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main():
+    banner("1. MiniC -> IR (clang -O0 style: locals in allocas)")
+    module = compile_source(LIST_PUSH)
+    print(format_function(module.functions["list_push"]))
+
+    banner("2. Antidependence analysis on the unoptimized IR")
+    analysis = AntiDepAnalysis(module.functions["list_push"])
+    for antidep in analysis.antideps:
+        kind = "semantic" if antidep.is_semantic else "artificial"
+        clob = "clobber" if antidep.is_clobber else "non-clobber"
+        print(f"  {kind:10s} {clob:12s} read=%{antidep.read.name} "
+              f"-> write in block '{antidep.write.parent.name}'")
+
+    banner("3. Region construction (SSA + hitting-set cuts, paper Sec. 4)")
+    results = construct_module_regions(module)
+    for name, result in results.items():
+        print(f"  @{name}: {result.antidep_count} antideps, "
+              f"{result.hitting_set_cut_count} hitting-set cuts, "
+              f"{result.mandatory_cut_count} call cuts, "
+              f"{result.region_count} regions "
+              f"(sizes {result.static_region_sizes})")
+    print()
+    print(format_function(module.functions["list_push"]))
+
+    banner("4. Region decomposition of list_push")
+    decomp = RegionDecomposition(module.functions["list_push"])
+    for region in decomp:
+        block, index = region.header
+        print(f"  region #{region.index}: header {block.name}[{index}], "
+              f"{region.size} instructions")
+
+    banner("5. Original vs idempotent machine code on the simulator")
+    for idem in (False, True):
+        build = compile_minic(LIST_PUSH, idempotent=idem)
+        sim = Simulator(build.program)
+        result = sim.run("main")
+        label = "idempotent" if idem else "original  "
+        print(f"  {label}: result={result} output={sim.output} "
+              f"instructions={sim.instructions} cycles={sim.cycles} "
+              f"boundaries={sim.boundaries_crossed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Region size vs overhead vs detection-latency tolerance (paper §6.2).
+
+"In practice, optimal path length (and hence, region size) depends on a
+variety of factors. ... longer path lengths allow execution to proceed
+speculatively for longer amounts of time while potential execution
+failures remain undetected [but] minimizing the recovery re-execution
+cost favors shorter path lengths."
+
+This demo builds one kernel at several ``max_region_size`` settings and
+prints, for each: average dynamic path length, runtime overhead vs the
+conventional binary, and the fault-recovery rate under increasing
+detection latencies.
+
+Run:  python examples/region_size_tradeoff.py
+"""
+
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig
+from repro.sim import Simulator
+from repro.sim.faults import fault_campaign
+from repro.sim.path_trace import trace_paths
+
+KERNEL = """
+int hist[16];
+int main() {
+  int seed = 17;
+  int acc = 0;
+  for (int i = 0; i < 100; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int b = (seed >> 8) % 16;
+    if (b < 0) b += 16;
+    hist[b] += 1;
+    acc = (acc * 31 + hist[b]) % 1000003;
+  }
+  return acc;
+}
+"""
+
+BOUNDS = [4, 8, 16, 32, None]
+LATENCIES = [0, 4, 16, 64]
+
+
+def main():
+    original = compile_minic(KERNEL, idempotent=False)
+    base = Simulator(original.program)
+    reference = base.run("main")
+    print(f"conventional binary: {base.cycles} cycles, result {reference}\n")
+
+    header = (f"{'max size':>9} {'avg path':>9} {'overhead':>9} "
+              + " ".join(f"rec@L={l:<3}" for l in LATENCIES))
+    print(header)
+    print("-" * len(header))
+    for bound in BOUNDS:
+        config = ConstructionConfig(max_region_size=bound)
+        build = compile_minic(KERNEL, idempotent=True, config=config)
+        sim = Simulator(build.program)
+        assert sim.run("main") == reference
+        overhead = sim.cycles / base.cycles - 1.0
+        paths = trace_paths(build.program).average
+        rates = []
+        for latency in LATENCIES:
+            campaign = fault_campaign(
+                build.program, reference, [], trials=25,
+                detection_latency=latency,
+            )
+            rates.append(f"{campaign.recovery_rate:>7.0%} ")
+        label = "unbounded" if bound is None else str(bound)
+        print(f"{label:>9} {paths:>9.1f} {overhead:>+9.1%} " + " ".join(rates))
+
+    print("\nreading the table: larger regions tolerate longer detection")
+    print("latencies (the rec@L columns improve with size), while the best")
+    print("runtime overhead sits at a workload-dependent middle — exactly")
+    print("the multi-factor optimization space the paper describes (§6.2).")
+
+
+if __name__ == "__main__":
+    main()

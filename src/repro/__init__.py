@@ -1,0 +1,23 @@
+"""repro — Static Analysis and Compiler Design for Idempotent Processing.
+
+A complete reproduction of de Kruijf, Sankaralingam & Jha (PLDI 2012):
+compiler IR, MiniC frontend, idempotent region construction, constrained
+code generation, machine simulation, fault recovery, and the paper's
+evaluation harness.
+
+The most common entry point::
+
+    from repro.compiler import compile_minic
+    from repro.sim import Simulator
+
+    build = compile_minic(source, idempotent=True)
+    result = Simulator(build.program).run("main")
+
+Subpackages: ``ir``, ``frontend``, ``analysis``, ``transforms``, ``core``,
+``codegen``, ``interp``, ``sim``, ``recovery``, ``workloads``,
+``experiments``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

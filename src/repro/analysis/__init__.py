@@ -1,0 +1,60 @@
+"""repro.analysis — program analyses over the repro IR.
+
+- :class:`CFG` — control-flow-graph snapshot with traversal orders
+- :class:`DominatorTree` / :func:`compute_dominance_frontiers`
+- :class:`Liveness` — per-block live value sets
+- :class:`LoopInfo` — natural loops and nesting depth
+- :class:`AliasAnalysis` — points-to, may/must alias, storage classes
+- :class:`AntiDepAnalysis` — memory antidependences with the paper's
+  semantic/artificial and clobber/non-clobber classification, plus the
+  hitting-set candidate cut sets of §4.2.1
+"""
+
+from repro.analysis.alias import (
+    AliasAnalysis,
+    MAY_ALIAS,
+    MemoryObject,
+    MUST_ALIAS,
+    NO_ALIAS,
+    STORAGE_LOCAL_STACK,
+    STORAGE_MEMORY,
+)
+from repro.analysis.antideps import (
+    AntiDep,
+    AntiDepAnalysis,
+    BlockReachability,
+    DominanceOracle,
+    InstructionIndex,
+    Point,
+    path_exists,
+    summarize_antideps,
+)
+from repro.analysis.cfg import CFG, remove_unreachable_blocks
+from repro.analysis.dominators import DominatorTree, compute_dominance_frontiers
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import Loop, LoopInfo
+
+__all__ = [
+    "AliasAnalysis",
+    "AntiDep",
+    "AntiDepAnalysis",
+    "BlockReachability",
+    "CFG",
+    "DominanceOracle",
+    "DominatorTree",
+    "InstructionIndex",
+    "Liveness",
+    "Loop",
+    "LoopInfo",
+    "MAY_ALIAS",
+    "MUST_ALIAS",
+    "MemoryObject",
+    "NO_ALIAS",
+    "Point",
+    "STORAGE_LOCAL_STACK",
+    "STORAGE_MEMORY",
+    "compute_dominance_frontiers",
+    "path_exists",
+    "remove_unreachable_blocks",
+    "summarize_antideps",
+]

@@ -1,0 +1,194 @@
+"""Basic alias analysis over the repro IR.
+
+Mirrors the role of LLVM's ``basicaa`` in the paper (§5: "We gather memory
+antidependence information using LLVM's basic alias analysis
+infrastructure"). The analysis is flow-insensitive and intraprocedural:
+
+- every ``alloca`` is a distinct *stack object*;
+- every global variable is a distinct *global object*;
+- every ``malloc`` call site is a distinct *heap object*;
+- pointer arguments and pointers loaded from memory are *unknown objects*.
+
+Pointers are resolved to ``(object, offset)`` by walking ``gep`` chains;
+offsets become unknown when an index is not a compile-time constant.
+
+Storage classification (paper Table 2): non-escaping stack objects are
+*pseudoregister-like* local stack memory (artificial clobber territory);
+everything else is "memory" — heap, globals, and non-local stack — the
+domain of semantic clobber antidependences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Call, Gep, Instruction, Load, Phi, Select, Store
+from repro.ir.values import Argument, Constant, GlobalVariable, Undef, Value
+
+# Alias query results.
+NO_ALIAS = "no"
+MAY_ALIAS = "may"
+MUST_ALIAS = "must"
+
+# Storage classes (paper Table 2).
+STORAGE_LOCAL_STACK = "local-stack"  # compiler-controlled (artificial clobbers)
+STORAGE_MEMORY = "memory"            # heap/global/non-local stack (semantic)
+
+
+class MemoryObject:
+    """An abstract memory object the analysis can name."""
+
+    KIND_STACK = "stack"
+    KIND_GLOBAL = "global"
+    KIND_HEAP = "heap"
+    KIND_UNKNOWN = "unknown"
+
+    def __init__(self, kind: str, origin: Value, label: str) -> None:
+        self.kind = kind
+        self.origin = origin
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<MemoryObject {self.kind}:{self.label}>"
+
+
+class AliasAnalysis:
+    """Flow-insensitive points-to + alias + storage-class queries.
+
+    ``trust_argument_noalias`` applies a restrict-style promise: distinct
+    pointer *arguments* never alias each other (paper §8: "better
+    programmer aliasing information ... may allow the construction of much
+    larger idempotent regions"; its Fig. 1 footnote assumes exactly this
+    for ``list`` / ``other_list``).
+    """
+
+    def __init__(self, func: Function, trust_argument_noalias: bool = False) -> None:
+        self.func = func
+        self.trust_argument_noalias = trust_argument_noalias
+        self._objects: Dict[int, MemoryObject] = {}
+        self._escaped_allocas = self._compute_escapes()
+
+    # ------------------------------------------------------------------
+    # Escape analysis for allocas
+    # ------------------------------------------------------------------
+    def _compute_escapes(self) -> set:
+        """Allocas whose address may leave the function (or be stored)."""
+        escaped = set()
+        # Transitively: a pointer derived from an alloca escapes if passed to
+        # a call, stored as a *value*, or merged through a φ/select (we keep
+        # it simple and treat φ/select merging as escaping too).
+        derived: Dict[Value, Alloca] = {}
+        for inst in self.func.instructions():
+            if isinstance(inst, Alloca):
+                derived[inst] = inst
+        changed = True
+        while changed:
+            changed = False
+            for inst in self.func.instructions():
+                if isinstance(inst, Gep) and inst.base in derived and inst not in derived:
+                    derived[inst] = derived[inst.base]
+                    changed = True
+        for inst in self.func.instructions():
+            if isinstance(inst, Call):
+                for arg in inst.args:
+                    if arg in derived:
+                        escaped.add(derived[arg])
+            elif isinstance(inst, Store):
+                if inst.value in derived:  # address stored into memory
+                    escaped.add(derived[inst.value])
+            elif isinstance(inst, (Phi, Select)):
+                for op in inst.operands:
+                    if op in derived:
+                        escaped.add(derived[op])
+        return escaped
+
+    def alloca_escapes(self, alloca: Alloca) -> bool:
+        return alloca in self._escaped_allocas
+
+    # ------------------------------------------------------------------
+    # Points-to resolution
+    # ------------------------------------------------------------------
+    def _object_for(self, base: Value) -> MemoryObject:
+        key = id(base)
+        obj = self._objects.get(key)
+        if obj is not None:
+            return obj
+        if isinstance(base, Alloca):
+            obj = MemoryObject(MemoryObject.KIND_STACK, base, base.name)
+        elif isinstance(base, GlobalVariable):
+            obj = MemoryObject(MemoryObject.KIND_GLOBAL, base, base.name)
+        elif isinstance(base, Call) and base.callee == "malloc":
+            obj = MemoryObject(MemoryObject.KIND_HEAP, base, base.name or "heap")
+        else:
+            label = getattr(base, "name", "") or type(base).__name__
+            obj = MemoryObject(MemoryObject.KIND_UNKNOWN, base, label)
+        self._objects[key] = obj
+        return obj
+
+    def resolve(self, ptr: Value) -> Tuple[MemoryObject, Optional[int]]:
+        """Resolve ``ptr`` to (object, word offset); offset None if unknown."""
+        offset = 0
+        known = True
+        node = ptr
+        while isinstance(node, Gep):
+            index = node.index
+            if isinstance(index, Constant):
+                offset += int(index.value)
+            else:
+                known = False
+            node = node.base
+        obj = self._object_for(node)
+        return obj, (offset if known else None)
+
+    # ------------------------------------------------------------------
+    # Alias queries
+    # ------------------------------------------------------------------
+    def alias(self, p1: Value, p2: Value) -> str:
+        """May/must/no-alias classification of two pointer values."""
+        if p1 is p2:
+            return MUST_ALIAS
+        obj1, off1 = self.resolve(p1)
+        obj2, off2 = self.resolve(p2)
+
+        if obj1 is obj2:
+            if off1 is not None and off2 is not None:
+                return MUST_ALIAS if off1 == off2 else NO_ALIAS
+            return MAY_ALIAS
+
+        concrete = (MemoryObject.KIND_STACK, MemoryObject.KIND_GLOBAL, MemoryObject.KIND_HEAP)
+        if obj1.kind in concrete and obj2.kind in concrete:
+            return NO_ALIAS  # distinct named objects never overlap
+
+        # Unknown pointers cannot reach a non-escaping alloca.
+        for known, unknown in ((obj1, obj2), (obj2, obj1)):
+            if known.kind == MemoryObject.KIND_STACK and unknown.kind == MemoryObject.KIND_UNKNOWN:
+                if not self.alloca_escapes(known.origin):
+                    return NO_ALIAS
+
+        # Restrict-style promise: two different pointer arguments are
+        # assumed to address disjoint objects.
+        if (
+            self.trust_argument_noalias
+            and isinstance(obj1.origin, Argument)
+            and isinstance(obj2.origin, Argument)
+            and obj1.origin is not obj2.origin
+        ):
+            return NO_ALIAS
+        return MAY_ALIAS
+
+    # ------------------------------------------------------------------
+    # Storage classification (paper Table 2)
+    # ------------------------------------------------------------------
+    def storage_class(self, ptr: Value) -> str:
+        """Classify the storage a pointer addresses.
+
+        ``STORAGE_LOCAL_STACK`` — provably a non-escaping local alloca:
+        compiler-controlled, so WARs on it are *artificial* clobber
+        antidependences. Anything else is ``STORAGE_MEMORY`` and WARs on it
+        are *semantic* clobber antidependences.
+        """
+        obj, _ = self.resolve(ptr)
+        if obj.kind == MemoryObject.KIND_STACK and not self.alloca_escapes(obj.origin):
+            return STORAGE_LOCAL_STACK
+        return STORAGE_MEMORY

@@ -1,0 +1,268 @@
+"""Antidependence analysis (paper §2.1, §4.2).
+
+Finds memory-level antidependences — (read, write) pairs on potentially
+aliasing locations with a control-flow path from the read to the write —
+and classifies them:
+
+- **storage**: *semantic* (heap / global / non-local stack: fixed by program
+  semantics) vs *artificial* (non-escaping local stack: compiler-renamable)
+  — paper Table 2;
+- **clobber**: an antidependence is a *clobber* if it is not preceded by a
+  flow dependence on the same location (the ``WAR`` without ``RAW·WAR``
+  pattern of §2.1).
+
+This module also provides the instruction-level dominance oracle and the
+candidate-cut-set computation ``S(a, b) = {x : x dom b ∧ ¬(x dom a)} ∪ {b}``
+that the hitting-set region construction consumes (§4.2.1, Lemma 1). The
+``∪ {b}`` extension guarantees a non-empty candidate set even for
+loop-carried antidependences where ``b`` dominates ``a`` (cutting
+immediately before the write trivially separates every read→write path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis, NO_ALIAS, MUST_ALIAS, STORAGE_LOCAL_STACK
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Load, Phi, Store
+
+#: A program point: "immediately before instruction ``block.instructions[index]``".
+#: ``index == len(block.instructions)`` is not used; cuts always precede an
+#: existing instruction (possibly the terminator).
+Point = Tuple[BasicBlock, int]
+
+
+class AntiDep:
+    """A memory antidependence: ``read`` executes, then ``write`` overwrites.
+
+    Attributes:
+        read: the :class:`Load` (or memory-reading call).
+        write: the :class:`Store` (or memory-writing call).
+        storage: ``"memory"`` (semantic) or ``"local-stack"`` (artificial).
+        is_clobber: False only when a must-alias store to the same location
+            dominates the read (a preceding flow dependence, §2.1).
+    """
+
+    def __init__(self, read: Instruction, write: Instruction, storage: str, is_clobber: bool) -> None:
+        self.read = read
+        self.write = write
+        self.storage = storage
+        self.is_clobber = is_clobber
+
+    @property
+    def is_semantic(self) -> bool:
+        return self.storage != STORAGE_LOCAL_STACK
+
+    @property
+    def is_artificial(self) -> bool:
+        return self.storage == STORAGE_LOCAL_STACK
+
+    def __repr__(self) -> str:
+        kind = "semantic" if self.is_semantic else "artificial"
+        clob = "clobber" if self.is_clobber else "non-clobber"
+        return (
+            f"<AntiDep {kind}/{clob} read=%{self.read.name or self.read.opcode} "
+            f"write={self.write.opcode}@{self.write.parent.name}>"
+        )
+
+
+class InstructionIndex:
+    """Positions of instructions: ``inst -> (block, index)``. Rebuild after surgery."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.position: Dict[Instruction, Point] = {}
+        for block in func.blocks:
+            for i, inst in enumerate(block.instructions):
+                self.position[inst] = (block, i)
+
+    def point_before(self, inst: Instruction) -> Point:
+        return self.position[inst]
+
+
+class DominanceOracle:
+    """Instruction-level dominance built on block dominance + block order."""
+
+    def __init__(self, func: Function, domtree: Optional[DominatorTree] = None) -> None:
+        self.func = func
+        self.domtree = domtree or DominatorTree.compute(func)
+        self.index = InstructionIndex(func)
+
+    def dominates(self, x: Instruction, y: Instruction) -> bool:
+        """Reflexive instruction dominance: every entry→y path executes x first."""
+        bx, ix = self.index.position[x]
+        by, iy = self.index.position[y]
+        if bx is by:
+            return ix <= iy
+        return self.domtree.strictly_dominates(bx, by)
+
+
+class BlockReachability:
+    """``reaches(a, b)``: a path of ≥1 CFG edge from ``a`` to ``b`` exists."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._reach: Dict[BasicBlock, Set[BasicBlock]] = {}
+        for block in cfg.blocks:
+            seen: Set[BasicBlock] = set()
+            stack = list(cfg.succs(block))
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(cfg.succs(node))
+            self._reach[block] = seen
+
+    def reaches(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return b in self._reach.get(a, set())
+
+
+def path_exists(index: InstructionIndex, reach: BlockReachability, a: Instruction, b: Instruction) -> bool:
+    """Is there a CFG path executing ``a`` then later ``b``?"""
+    ba, ia = index.position[a]
+    bb, ib = index.position[b]
+    if ba is bb and ia < ib:
+        return True
+    return reach.reaches(ba, bb)
+
+
+class AntiDepAnalysis:
+    """Memory antidependences of one function, with classification."""
+
+    def __init__(self, func: Function, aa: Optional[AliasAnalysis] = None) -> None:
+        self.func = func
+        self.aa = aa or AliasAnalysis(func)
+        self.cfg = CFG(func)
+        self.domtree = DominatorTree.compute_from_cfg(self.cfg)
+        self.oracle = DominanceOracle(func, self.domtree)
+        self.reach = BlockReachability(self.cfg)
+        self.antideps: List[AntiDep] = self._compute()
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _memory_reads(self) -> List[Load]:
+        return [inst for inst in self.func.instructions() if isinstance(inst, Load)]
+
+    def _memory_writes(self) -> List[Store]:
+        return [inst for inst in self.func.instructions() if isinstance(inst, Store)]
+
+    def _compute(self) -> List[AntiDep]:
+        reads = self._memory_reads()
+        writes = self._memory_writes()
+        index = self.oracle.index
+        antideps: List[AntiDep] = []
+        for read in reads:
+            if not self.cfg.is_reachable(read.parent):
+                continue
+            for write in writes:
+                if not self.cfg.is_reachable(write.parent):
+                    continue
+                if self.aa.alias(read.ptr, write.ptr) == NO_ALIAS:
+                    continue
+                if not path_exists(index, self.reach, read, write):
+                    continue
+                storage = self.aa.storage_class(write.ptr)
+                clobber = self._is_clobber(read, write)
+                antideps.append(AntiDep(read, write, storage, clobber))
+        return antideps
+
+    def _is_clobber(self, read: Load, write: Store) -> bool:
+        """A WAR is not a clobber if a must-alias store dominates the read.
+
+        This is the static (sound, conservative) version of "antidependence
+        preceded by a flow dependence" from §2.1: when such a store exists,
+        the location read is not a live-in of any region containing the pair.
+        """
+        for other in self._memory_writes():
+            if other is write:
+                continue
+            if not self.cfg.is_reachable(other.parent):
+                continue
+            if self.aa.alias(other.ptr, read.ptr) != MUST_ALIAS:
+                continue
+            if self.oracle.dominates(other, read):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def clobber_antideps(self) -> List[AntiDep]:
+        return [ad for ad in self.antideps if ad.is_clobber]
+
+    @property
+    def semantic_clobbers(self) -> List[AntiDep]:
+        return [ad for ad in self.antideps if ad.is_clobber and ad.is_semantic]
+
+    @property
+    def artificial_clobbers(self) -> List[AntiDep]:
+        return [ad for ad in self.antideps if ad.is_clobber and ad.is_artificial]
+
+    # ------------------------------------------------------------------
+    # Candidate cut sets (paper §4.2.1)
+    # ------------------------------------------------------------------
+    def candidate_cuts(self, antidep: AntiDep) -> FrozenSet[Point]:
+        """``S(a,b) ∪ {before b}`` as a set of program points.
+
+        Every point in the result lies on *every* path from the read to the
+        write (Lemma 1), so placing a region boundary at any one of them
+        splits the antidependence across regions.
+        """
+        a, b = antidep.read, antidep.write
+        index = self.oracle.index
+        ba, ia = index.position[a]
+        bb, ib = index.position[b]
+        points: Set[Point] = set()
+
+        for dom_block in self.domtree.dominators_of(bb):
+            if dom_block is bb:
+                # Instructions at indices <= ib dominate b within its block.
+                lo = 0
+                if ba is bb:
+                    lo = ia + 1  # those at <= ia dominate a as well
+                for i in range(lo, ib + 1):
+                    points.add((bb, i))
+            else:
+                # Every instruction of a strictly-dominating block dominates b.
+                if dom_block is ba:
+                    # Instructions after a in a's block do not dominate a.
+                    for i in range(ia + 1, len(dom_block.instructions)):
+                        points.add((dom_block, i))
+                elif self.domtree.dominates(dom_block, ba):
+                    continue  # dominates a too: excluded
+                else:
+                    for i in range(len(dom_block.instructions)):
+                        points.add((dom_block, i))
+
+        points.add((bb, ib))  # cutting immediately before the write always works
+        return frozenset(self._normalize_point(p) for p in points)
+
+    @staticmethod
+    def _normalize_point(point: Point) -> Point:
+        """Move points inside a φ prefix to the first non-φ position."""
+        block, index = point
+        first = 0
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                first += 1
+            else:
+                break
+        return (block, max(index, first))
+
+
+def summarize_antideps(analysis: AntiDepAnalysis) -> Dict[str, int]:
+    """Counts used by tests and the Table-2 characterization bench."""
+    return {
+        "total": len(analysis.antideps),
+        "clobber": len(analysis.clobber_antideps),
+        "semantic_clobber": len(analysis.semantic_clobbers),
+        "artificial_clobber": len(analysis.artificial_clobbers),
+        "non_clobber": len(analysis.antideps) - len(analysis.clobber_antideps),
+    }

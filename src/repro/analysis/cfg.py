@@ -1,0 +1,121 @@
+"""Control-flow-graph snapshot and traversal utilities.
+
+:class:`BasicBlock.predecessors` is O(blocks) per query; analyses take a
+:class:`CFG` snapshot once and then enjoy O(1) edge queries and cached
+traversal orders. A snapshot is invalidated by CFG surgery — recompute it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+class CFG:
+    """Immutable snapshot of a function's control flow graph."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.blocks: List[BasicBlock] = list(func.blocks)
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {
+            block: [] for block in self.blocks
+        }
+        for block in self.blocks:
+            succs = block.successors
+            self.successors[block] = succs
+            for succ in succs:
+                self.predecessors[succ].append(block)
+        self._rpo: List[BasicBlock] = self._compute_rpo()
+        self._rpo_index: Dict[BasicBlock, int] = {
+            block: i for i, block in enumerate(self._rpo)
+        }
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+    def _compute_rpo(self) -> List[BasicBlock]:
+        if not self.blocks:
+            return []
+        order: List[BasicBlock] = []
+        visited: Set[BasicBlock] = set()
+
+        # Iterative post-order DFS; recursion would overflow on long chains.
+        stack = [(self.func.entry, iter(self.successors[self.func.entry]))]
+        visited.add(self.func.entry)
+        while stack:
+            block, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.successors[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        return order
+
+    @property
+    def reverse_post_order(self) -> List[BasicBlock]:
+        """Blocks in reverse post-order (entry first, unreachable excluded)."""
+        return list(self._rpo)
+
+    @property
+    def post_order(self) -> List[BasicBlock]:
+        return list(reversed(self._rpo))
+
+    def rpo_index(self, block: BasicBlock) -> int:
+        return self._rpo_index[block]
+
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return block in self._rpo_index
+
+    @property
+    def reachable_blocks(self) -> List[BasicBlock]:
+        return list(self._rpo)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def preds(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self.predecessors[block])
+
+    def succs(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self.successors[block])
+
+    def edges(self) -> Iterable:
+        for block in self.blocks:
+            for succ in self.successors[block]:
+                yield (block, succ)
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Delete blocks not reachable from the entry; returns how many died."""
+    cfg = CFG(func)
+    dead = [block for block in func.blocks if not cfg.is_reachable(block)]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    # Patch φ-nodes in surviving blocks that mention dead predecessors.
+    for block in func.blocks:
+        if block in dead_set:
+            continue
+        for phi in list(block.phis()):
+            for pred in [p for p in phi.incoming_blocks if p in dead_set]:
+                phi.remove_incoming(pred)
+    from repro.ir.values import Undef
+
+    for block in dead:
+        for inst in list(block.instructions):
+            # Any remaining uses live in reachable code only via φ edges we
+            # already removed; replace defensively with undef.
+            if inst.is_used and inst.type.is_value_type:
+                inst.replace_all_uses_with(Undef(inst.type))
+            inst.drop_operands()
+        func.remove_block(block)
+    return len(dead)

@@ -1,0 +1,116 @@
+"""Per-block liveness of IR values (pseudoregisters).
+
+A value is *live-in* at a point if it has a definition reaching that point
+and a use after it. Live-in sets at region entry points are exactly the
+"inputs" of the paper's idempotence definition (§2.1), and the codegen
+constraint (§4.4) is phrased in terms of them: every pseudoregister live-in
+to a region must also be treated as live-out.
+
+Standard backward dataflow over the CFG. φ-nodes are handled edge-wise:
+a φ operand is live-out of the corresponding predecessor, not live-in to
+the φ's own block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.cfg import CFG
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import Argument, Value
+
+
+def _is_tracked(value: Value) -> bool:
+    """Liveness tracks SSA pseudoregisters: instructions and arguments."""
+    return isinstance(value, (Instruction, Argument))
+
+
+class Liveness:
+    """Live-in/live-out value sets per block."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.cfg = CFG(func)
+        self.live_in: Dict[BasicBlock, Set[Value]] = {}
+        self.live_out: Dict[BasicBlock, Set[Value]] = {}
+        self._compute()
+
+    def _block_use_def(self, block: BasicBlock):
+        """Upward-exposed uses and definitions of ``block`` (φs excluded
+        from uses; their operands count on predecessor edges)."""
+        uses: Set[Value] = set()
+        defs: Set[Value] = set()
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                defs.add(inst)
+                continue
+            for op in inst.operands:
+                if _is_tracked(op) and op not in defs:
+                    uses.add(op)
+            if inst.type.is_value_type:
+                defs.add(inst)
+        return uses, defs
+
+    def _phi_uses_on_edge(self, pred: BasicBlock, succ: BasicBlock) -> Set[Value]:
+        uses: Set[Value] = set()
+        for phi in succ.phis():
+            value = phi.incoming_for(pred)
+            if _is_tracked(value):
+                uses.add(value)
+        return uses
+
+    def _compute(self) -> None:
+        blocks = self.cfg.reachable_blocks
+        use_sets = {}
+        def_sets = {}
+        for block in blocks:
+            uses, defs = self._block_use_def(block)
+            use_sets[block] = uses
+            def_sets[block] = defs
+            self.live_in[block] = set()
+            self.live_out[block] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):  # post-order-ish for fast convergence
+                out: Set[Value] = set()
+                for succ in self.cfg.succs(block):
+                    if succ not in self.live_in:
+                        continue
+                    out |= self.live_in[succ]
+                    out |= self._phi_uses_on_edge(block, succ)
+                    # φ results are defined at the head of succ; they are not
+                    # live-out of pred via live_in (they're in defs of succ).
+                new_in = use_sets[block] | (out - def_sets[block])
+                if out != self.live_out[block] or new_in != self.live_in[block]:
+                    self.live_out[block] = out
+                    self.live_in[block] = new_in
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_in_at(self, block: BasicBlock) -> Set[Value]:
+        return set(self.live_in.get(block, set()))
+
+    def live_out_at(self, block: BasicBlock) -> Set[Value]:
+        return set(self.live_out.get(block, set()))
+
+    def live_before(self, inst: Instruction) -> Set[Value]:
+        """Values live immediately before ``inst`` within its block."""
+        block = inst.parent
+        live = self.live_out_at(block)
+        instructions = block.instructions
+        for candidate in reversed(instructions):
+            if candidate.type.is_value_type:
+                live.discard(candidate)
+            if not isinstance(candidate, Phi):
+                for op in candidate.operands:
+                    if _is_tracked(op):
+                        live.add(op)
+            if candidate is inst:
+                break
+        return live

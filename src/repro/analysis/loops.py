@@ -1,0 +1,132 @@
+"""Natural loop detection and loop-nesting depth.
+
+The region-construction heuristic (paper §4.3) prefers cuts at the
+*outermost* loop-nesting depth, and the self-dependent-φ rules (§4.2.2)
+need per-loop membership and "paths through the body" queries; both are
+served by this module.
+
+Loops are discovered from back edges ``(tail → header)`` where the header
+dominates the tail; the loop body is collected by the usual backward walk
+from the tail. Loops sharing a header are merged (one natural loop per
+header), and nesting is reconstructed by body inclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+class Loop:
+    """A natural loop: header block plus body set (header included)."""
+
+    def __init__(self, header: BasicBlock) -> None:
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+        #: tails of the back edges that define this loop
+        self.latches: List[BasicBlock] = []
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth; outermost loops have depth 1."""
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def exits(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges leaving the loop as (inside_block, outside_block) pairs."""
+        edges = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ not in self.blocks:
+                    edges.append((block, succ))
+        return edges
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)} depth={self.depth}>"
+
+
+class LoopInfo:
+    """All natural loops of a function plus per-block depth queries."""
+
+    def __init__(self, func: Function, domtree: Optional[DominatorTree] = None) -> None:
+        self.func = func
+        self.domtree = domtree or DominatorTree.compute(func)
+        self.cfg = self.domtree.cfg
+        self.loops: List[Loop] = []
+        self._loop_of_header: Dict[BasicBlock, Loop] = {}
+        self._discover()
+        self._nest()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _discover(self) -> None:
+        for block in self.cfg.reachable_blocks:
+            for succ in self.cfg.succs(block):
+                if self.domtree.dominates(succ, block):
+                    # back edge block -> succ; succ is a loop header
+                    loop = self._loop_of_header.get(succ)
+                    if loop is None:
+                        loop = Loop(succ)
+                        self._loop_of_header[succ] = loop
+                        self.loops.append(loop)
+                    loop.latches.append(block)
+                    self._collect_body(loop, block)
+
+    def _collect_body(self, loop: Loop, tail: BasicBlock) -> None:
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node in loop.blocks:
+                continue
+            loop.blocks.add(node)
+            for pred in self.cfg.preds(node):
+                if self.cfg.is_reachable(pred):
+                    stack.append(pred)
+
+    def _nest(self) -> None:
+        # Sort by body size ascending; a loop's parent is the smallest loop
+        # strictly containing its header that isn't itself.
+        by_size = sorted(self.loops, key=lambda lp: len(lp.blocks))
+        for i, loop in enumerate(by_size):
+            for bigger in by_size[i + 1:]:
+                if loop.header in bigger.blocks and bigger is not loop:
+                    loop.parent = bigger
+                    bigger.children.append(loop)
+                    break
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def innermost_loop_of(self, block: BasicBlock) -> Optional[Loop]:
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if block in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+    def loop_with_header(self, header: BasicBlock) -> Optional[Loop]:
+        return self._loop_of_header.get(header)
+
+    def depth_of(self, block: BasicBlock) -> int:
+        """Loop-nesting depth of ``block``; 0 outside all loops."""
+        loop = self.innermost_loop_of(block)
+        return loop.depth if loop is not None else 0
+
+    @property
+    def top_level_loops(self) -> List[Loop]:
+        return [loop for loop in self.loops if loop.parent is None]

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``compile FILE``    — compile MiniC and dump IR or machine code
+- ``run FILE``        — compile and execute on the machine simulator
+- ``regions FILE``    — region construction report for each function
+- ``faults FILE``     — fault-injection campaign against both binaries
+- ``experiment NAME`` — regenerate a paper figure/table (fig4, fig8,
+  fig9, fig10, fig12, table2)
+- ``workloads``       — list the benchmark suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.codegen import format_machine_function
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig, construct_module_regions
+from repro.frontend import compile_source
+from repro.ir import format_module
+from repro.sim import Simulator
+from repro.transforms import optimize_module
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _config_from_args(args) -> ConstructionConfig:
+    return ConstructionConfig(
+        heuristic=args.heuristic,
+        unroll_self_dep=not args.no_unroll,
+        max_region_size=args.max_region_size,
+        trust_argument_noalias=args.trust_noalias,
+    )
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--heuristic", choices=["loop", "coverage"], default="loop",
+                        help="cut selection policy (paper §4.3)")
+    parser.add_argument("--no-unroll", action="store_true",
+                        help="disable the unroll-by-one enhancement (§5)")
+    parser.add_argument("--max-region-size", type=int, default=None,
+                        help="bound boundary-free path length (§6.2)")
+    parser.add_argument("--trust-noalias", action="store_true",
+                        help="assume distinct pointer args never alias (§8)")
+
+
+def cmd_compile(args) -> int:
+    source = _read_source(args.file)
+    if args.emit == "ir":
+        module = compile_source(source)
+        if args.original:
+            optimize_module(module)
+        else:
+            construct_module_regions(module, _config_from_args(args))
+        print(format_module(module))
+        return 0
+    result = compile_minic(
+        source,
+        idempotent=not args.original,
+        config=_config_from_args(args),
+    )
+    for mfunc in result.program.functions.values():
+        print(format_machine_function(mfunc))
+        stats = result.alloc_stats[mfunc.name]
+        print(f"  ; vregs={stats.vregs} spilled={stats.spilled} "
+              f"extended={stats.extended}\n")
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.file)
+    result = compile_minic(
+        source,
+        idempotent=not args.original,
+        config=_config_from_args(args),
+    )
+    sim = Simulator(result.program)
+    value = sim.run(args.entry)
+    for item in sim.output:
+        print(item)
+    print(f"; result={value} instructions={sim.instructions} "
+          f"cycles={sim.cycles} boundaries={sim.boundaries_crossed}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_regions(args) -> int:
+    source = _read_source(args.file)
+    module = compile_source(source)
+    results = construct_module_regions(module, _config_from_args(args))
+    for name, result in results.items():
+        print(f"@{name}:")
+        print(f"  antidependences:   {result.antidep_count}")
+        print(f"  hitting-set cuts:  {result.hitting_set_cut_count}")
+        print(f"  call cuts:         {result.mandatory_cut_count}")
+        if result.loop_report:
+            print(f"  loop fixups:       {result.loop_report.forced_cuts} cuts, "
+                  f"{result.loop_report.loops_unrolled} loops unrolled")
+        print(f"  size-bound cuts:   {result.size_bound_cuts}")
+        print(f"  regions:           {result.region_count} "
+              f"(sizes {result.static_region_sizes})")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.sim.faults import fault_campaign
+
+    source = _read_source(args.file)
+    idem = compile_minic(source, idempotent=True, config=_config_from_args(args))
+    orig = compile_minic(source, idempotent=False)
+    reference_sim = Simulator(idem.program)
+    reference = reference_sim.run(args.entry)
+    reference_output = list(reference_sim.output)
+    print(f"fault-free result: {reference}")
+    for label, program in (("idempotent", idem.program), ("original", orig.program)):
+        campaign = fault_campaign(
+            program, reference, reference_output,
+            trials=args.trials, func=args.entry, kind=args.kind,
+        )
+        print(f"{label:10s}: injected={campaign.injected} "
+              f"recovered={campaign.recovered_correctly} "
+              f"wrong={campaign.wrong_result} crashed={campaign.crashed} "
+              f"({campaign.recovery_rate:.0%} recovery)")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro import experiments
+
+    drivers = {
+        "table2": experiments.table2_classification,
+        "fig4": experiments.fig4_limit_study,
+        "fig8": experiments.fig8_path_cdf,
+        "fig9": experiments.fig9_avg_paths,
+        "fig10": experiments.fig10_overheads,
+        "fig12": experiments.fig12_recovery,
+    }
+    driver = drivers[args.name]
+    names = args.workloads or None
+    print(driver.format_report(driver.run(names)))
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import all_workloads
+
+    for workload in all_workloads():
+        lines = len(workload.source.splitlines())
+        print(f"{workload.suite:8s} {workload.name:14s} {lines:4d} lines")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Idempotent processing: compiler, simulator, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC; dump IR or machine code")
+    p.add_argument("file", help="MiniC source file, or - for stdin")
+    p.add_argument("--emit", choices=["ir", "asm"], default="asm")
+    p.add_argument("--original", action="store_true",
+                   help="conventional binary (no region construction)")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--original", action="store_true")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("regions", help="region construction report")
+    p.add_argument("file")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser("faults", help="fault injection campaign")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--trials", type=int, default=30)
+    p.add_argument("--kind", choices=["value", "control"], default="value")
+    _add_config_flags(p)
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("name", choices=["table2", "fig4", "fig8", "fig9", "fig10", "fig12"])
+    p.add_argument("workloads", nargs="*", help="workload subset (default: all)")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("workloads", help="list the benchmark suite")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

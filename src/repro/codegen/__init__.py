@@ -1,0 +1,58 @@
+"""repro.codegen — machine code generation.
+
+- :mod:`repro.codegen.machine` — the ARM-flavoured virtual ISA
+- :mod:`repro.codegen.isel` — IR → machine lowering (φ copies, calls)
+- :mod:`repro.codegen.regalloc` — linear scan, with the §4.4 idempotence
+  constraint when ``idempotent=True``
+- :mod:`repro.codegen.mverify` — post-allocation idempotence oracle
+"""
+
+from repro.codegen.isel import ISelError, select_function, select_module
+from repro.codegen.machine import (
+    CLASS_FLOAT,
+    CLASS_INT,
+    DEFAULT_LATENCY,
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    MachineProgram,
+    Reg,
+    format_machine_function,
+    preg,
+    vreg,
+)
+from repro.codegen.mverify import (
+    MachineIdempotenceViolation,
+    verify_machine_function,
+    verify_machine_program,
+)
+from repro.codegen.regalloc import (
+    AllocationStats,
+    RegAllocError,
+    allocate_function,
+    allocate_program,
+)
+
+__all__ = [
+    "AllocationStats",
+    "CLASS_FLOAT",
+    "CLASS_INT",
+    "DEFAULT_LATENCY",
+    "ISelError",
+    "MachineBlock",
+    "MachineFunction",
+    "MachineIdempotenceViolation",
+    "MachineInstr",
+    "MachineProgram",
+    "Reg",
+    "RegAllocError",
+    "allocate_function",
+    "allocate_program",
+    "format_machine_function",
+    "preg",
+    "select_function",
+    "select_module",
+    "verify_machine_function",
+    "verify_machine_program",
+    "vreg",
+]

@@ -1,0 +1,393 @@
+"""Instruction selection: repro IR → machine IR with virtual registers.
+
+Near 1:1 lowering (no combining), matching the "conventional compiler"
+baseline the paper measures against. The two interesting jobs:
+
+- **φ lowering** — after removing degenerate φs and splitting critical
+  edges, each φ becomes parallel copies at the end of its predecessors.
+  Copies are placed *after* any trailing ``rcb`` (region boundary), which
+  is what positions φ-web writes at region starts and makes the loop cut
+  invariant of :mod:`repro.core.selfdep` sufficient (see DESIGN.md).
+- **calling convention** — up to four int and four float arguments in
+  ``r0``–``r3`` / ``f0``–``f3``; results in ``r0``/``f0``. Physical-register
+  lifetimes are kept to single copies around calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.machine import (
+    CLASS_FLOAT,
+    CLASS_INT,
+    FLOAT_ARG_REGS,
+    FLOAT_RET_REG,
+    INT_ARG_REGS,
+    INT_RET_REG,
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    MachineProgram,
+    Reg,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    Call,
+    Fcmp,
+    Ftoi,
+    Gep,
+    Icmp,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalVariable, Undef, Value
+
+
+class ISelError(RuntimeError):
+    """Unsupported construct reached instruction selection."""
+
+
+# ----------------------------------------------------------------------
+# IR preparation
+# ----------------------------------------------------------------------
+def remove_degenerate_phis(func: Function) -> int:
+    """Replace single-incoming φs with their value; returns count removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for phi in list(block.phis()):
+                if phi.num_operands == 1:
+                    phi.replace_all_uses_with(phi.operand(0))
+                    phi.remove_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def split_critical_edges(func: Function) -> int:
+    """Split edges from multi-successor blocks into φ-bearing blocks."""
+    from repro.transforms.clone import split_edge
+
+    split = 0
+    for block in list(func.blocks):
+        succs = block.successors
+        if len(set(map(id, succs))) <= 1:
+            continue
+        for succ in list(dict.fromkeys(succs)):
+            if any(True for _ in succ.phis()):
+                split_edge(func, block, succ)
+                split += 1
+    return split
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+_INT_CMP = {"eq": "cmpeq", "ne": "cmpne", "lt": "cmplt", "le": "cmple", "gt": "cmpgt", "ge": "cmpge"}
+_FLOAT_CMP = {"eq": "fcmpeq", "ne": "fcmpne", "lt": "fcmplt", "le": "fcmple", "gt": "fcmpgt", "ge": "fcmpge"}
+
+
+class FunctionSelector:
+    """Lowers one IR function to machine code."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        int_args = sum(1 for a in func.args if not a.type.is_float)
+        float_args = sum(1 for a in func.args if a.type.is_float)
+        if int_args > len(INT_ARG_REGS) or float_args > len(FLOAT_ARG_REGS):
+            raise ISelError(
+                f"@{func.name}: too many arguments for the calling convention"
+            )
+        self.mfunc = MachineFunction(
+            func.name,
+            int_args,
+            float_args,
+            returns_float=func.return_type.is_float,
+            returns_value=not func.return_type.is_void,
+        )
+        self.vreg_map: Dict[Value, Reg] = {}
+        self.block_map: Dict[BasicBlock, MachineBlock] = {}
+        self.alloca_slots: Dict[Alloca, int] = {}
+        self.current: Optional[MachineBlock] = None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def emit(self, opcode: str, dst=None, srcs=(), imm=None, callee=None) -> MachineInstr:
+        assert self.current is not None
+        return self.current.append(MachineInstr(opcode, dst, srcs, imm, callee))
+
+    @staticmethod
+    def class_of(value: Value) -> str:
+        return CLASS_FLOAT if value.type.is_float else CLASS_INT
+
+    def value_reg(self, value: Value) -> Reg:
+        """Materialize ``value`` into a register at the current point."""
+        if isinstance(value, Constant):
+            reg = self.mfunc.new_vreg(CLASS_FLOAT if value.type.is_float else CLASS_INT)
+            opcode = "fmovi" if value.type.is_float else "movi"
+            self.emit(opcode, dst=reg, imm=value.value)
+            return reg
+        if isinstance(value, GlobalVariable):
+            reg = self.mfunc.new_vreg(CLASS_INT)
+            self.emit("ga", dst=reg, imm=value.name)
+            return reg
+        if isinstance(value, Undef):
+            reg = self.mfunc.new_vreg(self.class_of(value))
+            opcode = "fmovi" if value.type.is_float else "movi"
+            self.emit(opcode, dst=reg, imm=0.0 if value.type.is_float else 0)
+            return reg
+        found = self.vreg_map.get(value)
+        if found is None:
+            raise ISelError(f"@{self.func.name}: no vreg for {value!r}")
+        return found
+
+    def def_reg(self, inst: Instruction) -> Reg:
+        reg = self.vreg_map.get(inst)
+        if reg is None:
+            reg = self.mfunc.new_vreg(self.class_of(inst))
+            self.vreg_map[inst] = reg
+        return reg
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def select(self) -> MachineFunction:
+        remove_degenerate_phis(self.func)
+        split_critical_edges(self.func)
+
+        for block in self.func.blocks:
+            self.block_map[block] = self.mfunc.add_block(block.name)
+
+        # Pre-create result vregs for every instruction: block layout order
+        # need not be dominance order, so a use (φ copy especially) may be
+        # emitted before its defining block is visited.
+        for block in self.func.blocks:
+            for inst in block.instructions:
+                if inst.type.is_value_type:
+                    self.vreg_map[inst] = self.mfunc.new_vreg(self.class_of(inst))
+
+        # Frame slots for allocas.
+        for inst in self.func.entry.instructions:
+            if isinstance(inst, Alloca):
+                self.alloca_slots[inst] = self.mfunc.frame.add_slot(
+                    inst.size, inst.name
+                )
+
+        for i, block in enumerate(self.func.blocks):
+            self.current = self.block_map[block]
+            if i == 0:
+                self._emit_arg_copies()
+            for inst in block.non_phi_instructions():
+                if inst.is_terminator:
+                    self._emit_phi_copies(block)
+                    self._select_terminator(block, inst)
+                else:
+                    self._select(inst)
+        return self.mfunc
+
+    def _emit_arg_copies(self) -> None:
+        int_index = 0
+        float_index = 0
+        for arg in self.func.args:
+            if arg.type.is_float:
+                phys = FLOAT_ARG_REGS[float_index]
+                float_index += 1
+                reg = self.mfunc.new_vreg(CLASS_FLOAT)
+                self.emit("fmov", dst=reg, srcs=[phys])
+            else:
+                phys = INT_ARG_REGS[int_index]
+                int_index += 1
+                reg = self.mfunc.new_vreg(CLASS_INT)
+                self.emit("mov", dst=reg, srcs=[phys])
+            self.vreg_map[arg] = reg
+
+    # ------------------------------------------------------------------
+    # φ copies
+    # ------------------------------------------------------------------
+    def _emit_phi_copies(self, block: BasicBlock) -> None:
+        """Parallel copies for every successor φ, sequenced cycle-safely.
+
+        After critical-edge splitting, any successor with φs is this
+        block's only successor, so the copies belong at this block's end —
+        after a trailing boundary's ``rcb``, which the natural emission
+        order already guarantees (the boundary was selected before the
+        terminator was reached).
+        """
+        succ_phis: List[Tuple[Phi, Value]] = []
+        for succ in dict.fromkeys(block.successors):
+            phis = list(succ.phis())
+            if not phis:
+                continue
+            if len(set(map(id, block.successors))) > 1:
+                raise ISelError(
+                    f"@{self.func.name}: unsplit critical edge "
+                    f"{block.name} -> {succ.name}"
+                )
+            for phi in phis:
+                succ_phis.append((phi, phi.incoming_for(block)))
+        if not succ_phis:
+            return
+
+        # Materialize constant/global sources first.
+        pending: List[Tuple[Reg, Reg, str]] = []  # (dst, src, class)
+        for phi, value in succ_phis:
+            dst = self.vreg_map[phi]
+            src = self.value_reg(value)
+            if src != dst:
+                pending.append((dst, src, self.class_of(phi)))
+
+        # Idempotence requires the copy group to never read a location it
+        # also writes: with a region boundary just before the group,
+        # re-execution would re-read an already-overwritten input (the
+        # φ-of-φ hazard). Hoist every source that is also a destination
+        # into a fresh temporary *above* the trailing ``rcb``, so the temp
+        # is region-internal state and the overlapped register is dead at
+        # the boundary. This also removes copy cycles as a side effect.
+        dests = {dst for dst, _, _ in pending}
+        overlapping = {src for _, src, _ in pending if src in dests}
+        if overlapping:
+            assert self.current is not None
+            insert_at = len(self.current.instructions)
+            if insert_at and self.current.instructions[-1].opcode == "rcb":
+                insert_at -= 1
+            temp_for: Dict[Reg, Reg] = {}
+            for src in overlapping:
+                temp = self.mfunc.new_vreg(src.rclass)
+                opcode = "fmov" if src.rclass == CLASS_FLOAT else "mov"
+                self.current.instructions.insert(
+                    insert_at, MachineInstr(opcode, dst=temp, srcs=[src])
+                )
+                insert_at += 1
+                temp_for[src] = temp
+            pending = [
+                (dst, temp_for.get(src, src), rclass)
+                for dst, src, rclass in pending
+            ]
+
+        # Sources and destinations are now disjoint: emit in any order.
+        for dst, src, rclass in pending:
+            opcode = "fmov" if rclass == CLASS_FLOAT else "mov"
+            self.emit(opcode, dst=dst, srcs=[src])
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def _select(self, inst: Instruction) -> None:
+        if isinstance(inst, BinaryOp):
+            lhs = self.value_reg(inst.lhs)
+            rhs = self.value_reg(inst.rhs)
+            self.emit(inst.opcode, dst=self.def_reg(inst), srcs=[lhs, rhs])
+        elif isinstance(inst, Icmp):
+            lhs = self.value_reg(inst.lhs)
+            rhs = self.value_reg(inst.rhs)
+            self.emit(_INT_CMP[inst.pred], dst=self.def_reg(inst), srcs=[lhs, rhs])
+        elif isinstance(inst, Fcmp):
+            lhs = self.value_reg(inst.lhs)
+            rhs = self.value_reg(inst.rhs)
+            self.emit(_FLOAT_CMP[inst.pred], dst=self.def_reg(inst), srcs=[lhs, rhs])
+        elif isinstance(inst, Select):
+            cond = self.value_reg(inst.cond)
+            a = self.value_reg(inst.true_value)
+            b = self.value_reg(inst.false_value)
+            self.emit("csel", dst=self.def_reg(inst), srcs=[cond, a, b])
+        elif isinstance(inst, Itof):
+            self.emit("itof", dst=self.def_reg(inst), srcs=[self.value_reg(inst.operand(0))])
+        elif isinstance(inst, Ftoi):
+            self.emit("ftoi", dst=self.def_reg(inst), srcs=[self.value_reg(inst.operand(0))])
+        elif isinstance(inst, Alloca):
+            self.emit("lea", dst=self.def_reg(inst), imm=self.alloca_slots[inst])
+        elif isinstance(inst, Load):
+            addr = self.value_reg(inst.ptr)
+            self.emit("ld", dst=self.def_reg(inst), srcs=[addr])
+        elif isinstance(inst, Store):
+            value = self.value_reg(inst.value)
+            addr = self.value_reg(inst.ptr)
+            self.emit("st", srcs=[value, addr])
+        elif isinstance(inst, Gep):
+            base = self.value_reg(inst.base)
+            index = self.value_reg(inst.index)
+            self.emit("add", dst=self.def_reg(inst), srcs=[base, index])
+        elif isinstance(inst, Call):
+            self._select_call(inst)
+        elif isinstance(inst, Boundary):
+            self.emit("rcb")
+        else:
+            raise ISelError(f"cannot select {inst!r}")
+
+    def _select_call(self, inst: Call) -> None:
+        from repro.ir.instructions import BUILTIN_FUNCTIONS
+
+        int_index = 0
+        float_index = 0
+        moves: List[Tuple[Reg, Reg, str]] = []
+        for arg in inst.args:
+            src = self.value_reg(arg)
+            if arg.type.is_float:
+                if float_index >= len(FLOAT_ARG_REGS):
+                    raise ISelError(f"too many float args in call to @{inst.callee}")
+                moves.append((FLOAT_ARG_REGS[float_index], src, CLASS_FLOAT))
+                float_index += 1
+            else:
+                if int_index >= len(INT_ARG_REGS):
+                    raise ISelError(f"too many int args in call to @{inst.callee}")
+                moves.append((INT_ARG_REGS[int_index], src, CLASS_INT))
+                int_index += 1
+        for dst, src, rclass in moves:
+            self.emit("fmov" if rclass == CLASS_FLOAT else "mov", dst=dst, srcs=[src])
+        arg_regs = [dst for dst, _, _ in moves]
+        opcode = "callb" if inst.callee in BUILTIN_FUNCTIONS else "call"
+        self.emit(opcode, srcs=arg_regs, callee=inst.callee)
+        if inst.type.is_value_type:
+            dst = self.def_reg(inst)
+            if inst.type.is_float:
+                self.emit("fmov", dst=dst, srcs=[FLOAT_RET_REG])
+            else:
+                self.emit("mov", dst=dst, srcs=[INT_RET_REG])
+
+    def _select_terminator(self, block: BasicBlock, inst: Instruction) -> None:
+        if isinstance(inst, Jump):
+            self.emit("b", imm=self.block_map[inst.target].name)
+        elif isinstance(inst, Br):
+            cond = self.value_reg(inst.cond)
+            self.emit("bnz", srcs=[cond], imm=self.block_map[inst.then_block].name)
+            self.emit("b", imm=self.block_map[inst.else_block].name)
+        elif isinstance(inst, Ret):
+            if inst.value is not None:
+                src = self.value_reg(inst.value)
+                if inst.value.type.is_float:
+                    self.emit("fmov", dst=FLOAT_RET_REG, srcs=[src])
+                else:
+                    self.emit("mov", dst=INT_RET_REG, srcs=[src])
+            self.emit("ret")
+        else:
+            raise ISelError(f"unknown terminator {inst!r}")
+
+
+def select_function(func: Function) -> MachineFunction:
+    """Lower one IR function (mutates it: edge splitting, φ cleanup)."""
+    return FunctionSelector(func).select()
+
+
+def select_module(module: Module) -> MachineProgram:
+    """Lower a whole module to machine code with virtual registers."""
+    program = MachineProgram(module.name)
+    for var in module.globals.values():
+        program.globals[var.name] = (var.size, var.initializer)
+    for func in module.defined_functions:
+        program.add_function(select_function(func))
+    return program

@@ -1,0 +1,160 @@
+"""Machine-level idempotence verifier.
+
+Independent post-allocation oracle for the whole compilation pipeline: for
+every machine region (re-execution window), check that no *input* of the
+region — a register or stack slot readable before any write on some path
+from the region header — is overwritten anywhere in the region. This is
+the register/stack-slot half of the idempotence property; the memory half
+is checked at the IR level (:mod:`repro.core.verify`) plus the store
+buffer's commit discipline.
+
+Used in tests and by :func:`repro.compiler.compile_minic` (opt-in) to
+catch construction or allocation bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.codegen.machine import MachineFunction, MachineInstr
+from repro.codegen.regalloc import Linearized, machine_regions, _REGION_ENDERS
+
+#: an abstract storage location
+Loc = Tuple[str, int]
+
+
+def _reads_of(instr: MachineInstr, mfunc: MachineFunction) -> List[Loc]:
+    reads: List[Loc] = [(src.rclass, src.index) for src in instr.srcs]
+    if instr.opcode == "ldslot":
+        reads.append(("slot", instr.imm))
+    if instr.opcode == "ret" and mfunc.returns_value:
+        reads.append(("f" if mfunc.returns_float else "i", 0))
+    return reads
+
+
+def _writes_of(instr: MachineInstr) -> List[Loc]:
+    writes: List[Loc] = []
+    if instr.dst is not None:
+        writes.append((instr.dst.rclass, instr.dst.index))
+    if instr.opcode == "stslot":
+        writes.append(("slot", instr.imm))
+    return writes
+
+
+class MachineIdempotenceViolation:
+    def __init__(self, func: str, header: int, loc: Loc, read_pos: int, write_pos: int) -> None:
+        self.func = func
+        self.header = header
+        self.loc = loc
+        self.read_pos = read_pos
+        self.write_pos = write_pos
+
+    def __repr__(self) -> str:
+        return (
+            f"<MViolation @{self.func} region@{self.header}: {self.loc} "
+            f"read@{self.read_pos} written@{self.write_pos}>"
+        )
+
+
+def verify_machine_function(mfunc: MachineFunction) -> List[MachineIdempotenceViolation]:
+    """All region-input overwrites in ``mfunc`` (empty list = idempotent)."""
+    lin = Linearized(mfunc)
+    violations: List[MachineIdempotenceViolation] = []
+
+    for header, members in machine_regions(mfunc, lin):
+        if not members:
+            continue
+        inputs, read_positions = _region_inputs(mfunc, lin, header, members)
+        ender_positions = {
+            p for p in members if lin.instrs[p].opcode in _REGION_ENDERS
+        }
+        writes: Dict[Loc, int] = {}
+        for pos in members:
+            if pos in ender_positions:
+                continue  # the ender's write lands in the next window
+            instr = lin.instrs[pos]
+            if instr.opcode in ("mov", "fmov") and instr.dst == instr.srcs[0]:
+                continue  # self-move is idempotent
+            for loc in _writes_of(instr):
+                writes.setdefault(loc, pos)
+        for loc in inputs & set(writes):
+            violations.append(
+                MachineIdempotenceViolation(
+                    mfunc.name, header, loc, read_positions[loc], writes[loc]
+                )
+            )
+    return violations
+
+
+def _region_inputs(
+    mfunc: MachineFunction,
+    lin: Linearized,
+    header: int,
+    members: Set[int],
+) -> Tuple[Set[Loc], Dict[Loc, int]]:
+    """Locations read before being definitely written, and a witness read.
+
+    Forward dataflow inside the region: ``definitely_written[pos]`` is the
+    intersection over header→pos paths of locations written so far. A read
+    of a location outside that set marks it as a region input.
+    """
+    # Map each position to its block's end (exclusive) and successor starts.
+    block_end_of: Dict[int, int] = {}
+    succs_of_pos: Dict[int, List[int]] = {}
+    for block in mfunc.blocks:
+        start = lin.block_start[block.name]
+        end = lin.block_end[block.name]
+        succ_starts = [lin.block_start[name] for name in block.successor_names()]
+        for pos in range(start, end):
+            block_end_of[pos] = end
+            succs_of_pos[pos] = succ_starts
+
+    # State at a segment start = locations definitely written since the
+    # region header on every path (meet = intersection).
+    state_at: Dict[int, FrozenSet[Loc]] = {header: frozenset()}
+    worklist: List[int] = [header]
+    inputs: Set[Loc] = set()
+    witness: Dict[Loc, int] = {}
+
+    while worklist:
+        start = worklist.pop()
+        current: Set[Loc] = set(state_at[start])
+        pos = start
+        hit_ender = False
+        while pos in members:
+            instr = lin.instrs[pos]
+            for loc in _reads_of(instr, mfunc):
+                if loc not in current and loc not in inputs:
+                    inputs.add(loc)
+                    witness[loc] = pos
+            if instr.opcode in _REGION_ENDERS:
+                hit_ender = True
+                break
+            for loc in _writes_of(instr):
+                current.add(loc)
+            if pos + 1 >= block_end_of[pos]:
+                break  # end of block: fall through to successors
+            pos += 1
+        if hit_ender or pos not in members:
+            continue
+        frozen = frozenset(current)
+        for succ_start in succs_of_pos[pos]:
+            if succ_start not in members:
+                continue
+            old = state_at.get(succ_start)
+            if old is None:
+                state_at[succ_start] = frozen
+                worklist.append(succ_start)
+            else:
+                met = old & frozen
+                if met != old:
+                    state_at[succ_start] = met
+                    worklist.append(succ_start)
+    return inputs, witness
+
+
+def verify_machine_program(program) -> List[MachineIdempotenceViolation]:
+    violations = []
+    for mfunc in program.functions.values():
+        violations.extend(verify_machine_function(mfunc))
+    return violations

@@ -1,0 +1,97 @@
+"""Top-level compilation driver: MiniC source → executable machine code.
+
+Two build flavours, matching the paper's §6.1 methodology:
+
+- ``compile_minic(src, idempotent=False)`` — the **original binary**: the
+  standard optimization pipeline and an unconstrained register allocator.
+- ``compile_minic(src, idempotent=True)`` — the **idempotent binary**:
+  region construction (§4) plus the idempotence-preserving allocator
+  (§4.4), with ``rcb`` boundary markers in the emitted code.
+
+Both flavours run on :class:`repro.sim.Simulator`; the Fig. 10 overheads
+are the ratio of their cycle/instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.codegen.isel import select_module
+from repro.codegen.machine import MachineProgram
+from repro.codegen.mverify import verify_machine_program
+from repro.codegen.regalloc import AllocationStats, allocate_program
+from repro.core.construction import (
+    ConstructionConfig,
+    ConstructionResult,
+    construct_module_regions,
+)
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.transforms.pipeline import optimize_module
+
+
+class CompilationError(RuntimeError):
+    pass
+
+
+@dataclass
+class CompileResult:
+    """Everything a caller may want to inspect about one build."""
+
+    module: Module
+    program: MachineProgram
+    idempotent: bool
+    construction: Dict[str, ConstructionResult] = field(default_factory=dict)
+    alloc_stats: Dict[str, AllocationStats] = field(default_factory=dict)
+
+    @property
+    def static_instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.program.functions.values())
+
+
+def compile_ir_module(
+    module: Module,
+    idempotent: bool = True,
+    config: Optional[ConstructionConfig] = None,
+    verify: bool = True,
+) -> CompileResult:
+    """Compile an IR module (mutated in place) down to machine code."""
+    construction: Dict[str, ConstructionResult] = {}
+    if idempotent:
+        construction = construct_module_regions(module, config)
+    else:
+        optimize_module(module)
+    if verify:
+        verify_module(module, ssa=True)
+
+    program = select_module(module)
+    alloc_stats = allocate_program(program, idempotent=idempotent)
+
+    if verify and idempotent:
+        violations = verify_machine_program(program)
+        if violations:
+            details = "\n".join(repr(v) for v in violations)
+            raise CompilationError(
+                f"machine idempotence verification failed:\n{details}"
+            )
+    return CompileResult(
+        module=module,
+        program=program,
+        idempotent=idempotent,
+        construction=construction,
+        alloc_stats=alloc_stats,
+    )
+
+
+def compile_minic(
+    source: str,
+    idempotent: bool = True,
+    config: Optional[ConstructionConfig] = None,
+    verify: bool = True,
+    name: str = "minic",
+) -> CompileResult:
+    """Compile MiniC source text to machine code."""
+    module = compile_source(source, name)
+    return compile_ir_module(module, idempotent=idempotent, config=config, verify=verify)

@@ -1,0 +1,59 @@
+"""repro.core — idempotent region construction (the paper's contribution).
+
+Public API::
+
+    from repro.core import (
+        ConstructionConfig,
+        construct_idempotent_regions,   # one function
+        construct_module_regions,       # whole module
+        RegionDecomposition,            # inspect the result
+        verify_idempotent_regions,      # static post-condition
+    )
+"""
+
+from repro.core.construction import (
+    ConstructionConfig,
+    ConstructionResult,
+    construct_idempotent_regions,
+    construct_module_regions,
+)
+from repro.core.cuts import (
+    HEURISTIC_COVERAGE,
+    HEURISTIC_LOOP,
+    HittingSetProblem,
+    solve_hitting_set,
+)
+from repro.core.regions import Region, RegionDecomposition
+from repro.core.sizebound import bound_region_sizes
+from repro.core.selfdep import (
+    LoopCutReport,
+    enforce_loop_cut_invariant,
+    min_cuts_on_body_paths,
+    self_dependent_phis,
+)
+from repro.core.verify import (
+    IdempotenceViolation,
+    find_idempotence_violations,
+    verify_idempotent_regions,
+)
+
+__all__ = [
+    "ConstructionConfig",
+    "ConstructionResult",
+    "HEURISTIC_COVERAGE",
+    "HEURISTIC_LOOP",
+    "HittingSetProblem",
+    "IdempotenceViolation",
+    "LoopCutReport",
+    "Region",
+    "RegionDecomposition",
+    "construct_idempotent_regions",
+    "bound_region_sizes",
+    "construct_module_regions",
+    "enforce_loop_cut_invariant",
+    "find_idempotence_violations",
+    "min_cuts_on_body_paths",
+    "self_dependent_phis",
+    "solve_hitting_set",
+    "verify_idempotent_regions",
+]

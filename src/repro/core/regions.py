@@ -1,0 +1,122 @@
+"""Region decomposition datatypes (paper §2.3, §4.2).
+
+After construction, region boundaries exist in the IR as ``boundary``
+instructions. An *idempotent region* is the set of instructions reachable
+from a header (the function entry, or the point just after a boundary)
+without crossing another boundary; a *path* is one dynamic trace through a
+region. This module recovers that decomposition from the marked IR for
+statistics, verification, and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Boundary, Instruction
+
+
+class Region:
+    """One idempotent region: header point plus member instructions."""
+
+    def __init__(self, header: Tuple[BasicBlock, int], index: int) -> None:
+        self.header = header
+        self.index = index
+        self.instructions: List[Instruction] = []
+
+    @property
+    def header_block(self) -> BasicBlock:
+        return self.header[0]
+
+    @property
+    def size(self) -> int:
+        """Members excluding boundary markers."""
+        return sum(1 for inst in self.instructions if not isinstance(inst, Boundary))
+
+    def __repr__(self) -> str:
+        block, idx = self.header
+        return f"<Region #{self.index} @{block.name}[{idx}] size={self.size}>"
+
+
+class RegionDecomposition:
+    """All regions of a function with boundary markers in place."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.regions: List[Region] = []
+        self.membership: Dict[Instruction, Set[int]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def headers(self) -> List[Tuple[BasicBlock, int]]:
+        """Region entry points: function entry + after every boundary."""
+        points: List[Tuple[BasicBlock, int]] = []
+        if self.func.blocks:
+            points.append((self.func.entry, 0))
+        for block in self.func.blocks:
+            for i, inst in enumerate(block.instructions):
+                if isinstance(inst, Boundary):
+                    points.append((block, i + 1))
+        return points
+
+    def _build(self) -> None:
+        for index, header in enumerate(self.headers()):
+            region = Region(header, index)
+            self._collect(region)
+            self.regions.append(region)
+            for inst in region.instructions:
+                self.membership.setdefault(inst, set()).add(index)
+
+    def _collect(self, region: Region) -> None:
+        """Instructions reachable from the header without crossing a cut."""
+        seen: Set[Tuple[int, int]] = set()
+        added: Set[int] = set()
+        stack: List[Tuple[BasicBlock, int]] = [region.header]
+        while stack:
+            block, start = stack.pop()
+            key = (id(block), start)
+            if key in seen:
+                continue
+            seen.add(key)
+            i = start
+            instructions = block.instructions
+            stopped = False
+            while i < len(instructions):
+                inst = instructions[i]
+                if isinstance(inst, Boundary):
+                    stopped = True
+                    break
+                if id(inst) not in added:
+                    added.add(id(inst))
+                    region.instructions.append(inst)
+                i += 1
+            if not stopped and instructions:
+                for succ in block.successors:
+                    stack.append((succ, 0))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def regions_containing(self, inst: Instruction) -> List[Region]:
+        return [self.regions[i] for i in sorted(self.membership.get(inst, ()))]
+
+    @property
+    def boundary_count(self) -> int:
+        return sum(
+            1
+            for block in self.func.blocks
+            for inst in block.instructions
+            if isinstance(inst, Boundary)
+        )
+
+    def static_sizes(self) -> List[int]:
+        return [region.size for region in self.regions]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self.regions)

@@ -1,0 +1,106 @@
+"""Region size control (paper §6.2).
+
+"While longer path lengths better tolerate long detection latencies,
+minimizing the recovery re-execution cost favors shorter path lengths. ...
+we aim to produce the longest possible paths, observing that path lengths
+are often easily reduced as needed to suit application demands."
+
+This pass is that reduction: given a maximum path length ``max_size``, it
+inserts extra region boundaries so that no boundary-free instruction
+sequence (along any CFG path) exceeds the bound. Used to trade runtime
+overhead against detection-latency tolerance and recovery cost — the
+optimization space the paper leaves to future work and our
+``benchmarks/test_bench_region_size_sweep.py`` characterizes.
+
+Algorithm: forward fixpoint on "instructions since the last boundary"
+(meet = max over predecessors). Whenever the counter would exceed
+``max_size``, a boundary is inserted (never between φs, which execute
+atomically with block entry). Back edges feed the fixpoint, so cut-free
+loops receive in-body cuts; callers must re-run the loop cut invariant
+afterwards (the construction pipeline does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Boundary, Phi
+
+#: Instructions that reset the counter: explicit boundaries and calls
+#: (implicit restart points at machine level).
+def _is_reset(inst) -> bool:
+    from repro.ir.instructions import Call
+
+    return isinstance(inst, (Boundary, Call))
+
+
+def bound_region_sizes(func: Function, max_size: int) -> int:
+    """Insert boundaries so no boundary-free path exceeds ``max_size``.
+
+    Returns the number of boundaries inserted. ``max_size`` counts IR
+    instructions, which lower roughly 1:2 to machine instructions.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    if func.is_declaration:
+        return 0
+
+    inserted = 0
+    # Fixpoint: inserting a cut shortens downstream distances, so iterate
+    # until no path overflows. At most one cut per instruction can ever be
+    # needed, which bounds the loop.
+    for _ in range(func.instruction_count() + 8):
+        distance_in = _compute_distances(func, max_size)
+        overflow = _find_overflow(func, distance_in, max_size)
+        if overflow is None:
+            return inserted
+        block, index = overflow
+        block.insert(index, Boundary())
+        inserted += 1
+    return inserted
+
+
+def _compute_distances(func: Function, max_size: int) -> Dict[BasicBlock, int]:
+    """Max instructions since a boundary at each block entry (capped)."""
+    cap = max_size + 1  # saturate: beyond the bound, exact values no longer matter
+    distance_in: Dict[BasicBlock, int] = {block: 0 for block in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            out = _block_out(block, distance_in[block], cap)
+            for succ in block.successors:
+                if out > distance_in[succ]:
+                    distance_in[succ] = out
+                    changed = True
+    return distance_in
+
+
+def _block_out(block: BasicBlock, dist_in: int, cap: int) -> int:
+    count = dist_in
+    for inst in block.instructions:
+        if _is_reset(inst):
+            count = 0
+        elif isinstance(inst, Phi):
+            continue  # φs lower to predecessor copies, counted there
+        else:
+            count = min(count + 1, cap)
+    return count
+
+
+def _find_overflow(func: Function, distance_in: Dict[BasicBlock, int], max_size: int):
+    """First point where the counter exceeds the bound: (block, index)."""
+    for block in func.blocks:
+        count = distance_in[block]
+        for i, inst in enumerate(block.instructions):
+            if _is_reset(inst):
+                count = 0
+                continue
+            if isinstance(inst, Phi):
+                continue
+            count += 1
+            if count > max_size:
+                return (block, i)
+    return None

@@ -1,0 +1,38 @@
+"""repro.experiments — drivers regenerating every paper table and figure.
+
+| Module | Paper artifact |
+|--------|----------------|
+| ``table2_classification`` | Table 2 (clobber classification, quantified) |
+| ``fig4_limit_study``      | Figure 4 (limit study, 3 categories) |
+| ``fig8_path_cdf``         | Figure 8 (path length CDF) |
+| ``fig9_avg_paths``        | Figure 9 (constructed vs ideal averages) |
+| ``fig10_overheads``       | Figure 10 (execution time / instruction overheads) |
+| ``fig12_recovery``        | Figure 12 (recovery schemes vs DMR baseline) |
+
+Each exposes ``run(names=None)`` and ``format_report(result)``; running a
+module as ``__main__`` prints the full-suite report.
+"""
+
+from repro.experiments import (
+    all_figures,
+    fig4_limit_study,
+    fig8_path_cdf,
+    fig9_avg_paths,
+    fig10_overheads,
+    fig12_recovery,
+    table2_classification,
+)
+from repro.experiments.common import build_pair, format_table, geomean
+
+__all__ = [
+    "all_figures",
+    "build_pair",
+    "fig4_limit_study",
+    "fig8_path_cdf",
+    "fig9_avg_paths",
+    "fig10_overheads",
+    "fig12_recovery",
+    "format_table",
+    "geomean",
+    "table2_classification",
+]

@@ -1,0 +1,77 @@
+"""Run every experiment driver and emit one combined report.
+
+``python -m repro.experiments.all_figures [workload ...] [-o FILE]``
+
+This is what produced ``experiments_full_output.txt`` — the full-suite
+regeneration of every table and figure recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from repro.experiments import (
+    fig4_limit_study,
+    fig8_path_cdf,
+    fig9_avg_paths,
+    fig10_overheads,
+    fig12_recovery,
+    table2_classification,
+)
+
+DRIVERS = [
+    ("TABLE 2 — antidependence classification", table2_classification),
+    ("FIGURE 4 — limit study", fig4_limit_study),
+    ("FIGURE 8 — path length CDF", fig8_path_cdf),
+    ("FIGURE 9 — constructed vs ideal", fig9_avg_paths),
+    ("FIGURE 10 — runtime overheads", fig10_overheads),
+    ("FIGURE 12 — recovery schemes", fig12_recovery),
+]
+
+
+def run_all(names: Optional[List[str]] = None, stream: TextIO = sys.stdout) -> None:
+    """Run every driver on ``names`` (None = full suite), writing reports."""
+
+    def emit(text: str) -> None:
+        stream.write(text + "\n")
+        stream.flush()
+
+    for title, driver in DRIVERS:
+        started = time.time()
+        emit("=" * 78)
+        emit(title)
+        emit("=" * 78)
+        emit(driver.format_report(driver.run(names)))
+        emit(f"[{time.time() - started:.0f}s]")
+        emit("")
+    emit("DONE")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*", help="subset (default: all 19)")
+    parser.add_argument("-o", "--output", help="also write the report to a file")
+    args = parser.parse_args(argv)
+    names = args.workloads or None
+    if args.output:
+        with open(args.output, "w") as handle:
+            class _Tee:
+                def write(self, text):
+                    handle.write(text)
+                    sys.stdout.write(text)
+
+                def flush(self):
+                    handle.flush()
+                    sys.stdout.flush()
+
+            run_all(names, stream=_Tee())
+    else:
+        run_all(names)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Shared infrastructure for the experiment drivers.
+
+Each ``figN_*`` module exposes ``run(names=None)`` returning a result
+object and ``format_report(result)`` producing the text table the paper's
+figure corresponds to. ``python -m repro.experiments.figN_...`` prints it.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompileResult, compile_minic
+from repro.workloads import SUITES, Workload, all_workloads, get_workload
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; zero/negative entries are clamped to a small epsilon."""
+    cleaned = [max(v, 1e-9) for v in values]
+    if not cleaned:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+@lru_cache(maxsize=64)
+def build_pair(name: str) -> Tuple[CompileResult, CompileResult]:
+    """(original, idempotent) builds of a workload, cached per process."""
+    workload = get_workload(name)
+    original = compile_minic(workload.source, idempotent=False, name=name)
+    idempotent = compile_minic(workload.source, idempotent=True, name=name)
+    return original, idempotent
+
+
+def resolve_workloads(names: Optional[Iterable[str]] = None) -> List[Workload]:
+    if names is None:
+        return all_workloads()
+    return [get_workload(name) for name in names]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def suite_of(name: str) -> str:
+    return get_workload(name).suite
+
+
+def group_by_suite(per_workload: Dict[str, float]) -> Dict[str, float]:
+    """Geomean of a per-workload metric within each suite plus overall."""
+    grouped: Dict[str, List[float]] = {suite: [] for suite in SUITES}
+    for name, value in per_workload.items():
+        grouped[suite_of(name)].append(value)
+    summary = {
+        suite: geomean(values) for suite, values in grouped.items() if values
+    }
+    if per_workload:
+        summary["all"] = geomean(list(per_workload.values()))
+    return summary

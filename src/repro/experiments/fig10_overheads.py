@@ -1,0 +1,106 @@
+"""Figure 10: runtime overhead of the idempotent binaries.
+
+Execution-time (cycles) and dynamic-instruction-count overheads of the
+idempotent binary relative to the original binary, per workload and as
+suite geomeans. Paper: execution time 11.2% SPEC INT / 5.4% SPEC FP /
+2.7% PARSEC (7.7% overall); instruction count 8.7% / 8.2% / 4.8%
+(7.6% overall) — "typical overheads in the range of just 2-12%".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    build_pair,
+    format_table,
+    group_by_suite,
+    resolve_workloads,
+)
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class OverheadRow:
+    original_instructions: int
+    idempotent_instructions: int
+    original_cycles: int
+    idempotent_cycles: int
+    boundaries: int
+
+    @property
+    def instruction_overhead(self) -> float:
+        return self.idempotent_instructions / self.original_instructions - 1.0
+
+    @property
+    def cycle_overhead(self) -> float:
+        return self.idempotent_cycles / self.original_cycles - 1.0
+
+
+@dataclass
+class Fig10Result:
+    rows: Dict[str, OverheadRow] = field(default_factory=dict)
+
+    def suite_summary(self) -> Dict[str, Dict[str, float]]:
+        cycle = {n: 1.0 + r.cycle_overhead for n, r in self.rows.items()}
+        instr = {n: 1.0 + r.instruction_overhead for n, r in self.rows.items()}
+        return {
+            "cycles": {k: v - 1.0 for k, v in group_by_suite(cycle).items()},
+            "instructions": {k: v - 1.0 for k, v in group_by_suite(instr).items()},
+        }
+
+
+def measure_pair(name: str) -> OverheadRow:
+    original, idempotent = build_pair(name)
+    sim_orig = Simulator(original.program)
+    result_orig = sim_orig.run("main")
+    sim_idem = Simulator(idempotent.program)
+    result_idem = sim_idem.run("main")
+    if result_orig != result_idem or sim_orig.output != sim_idem.output:
+        raise AssertionError(
+            f"{name}: original computed {result_orig!r}, idempotent {result_idem!r}"
+        )
+    return OverheadRow(
+        original_instructions=sim_orig.instructions,
+        idempotent_instructions=sim_idem.instructions,
+        original_cycles=sim_orig.cycles,
+        idempotent_cycles=sim_idem.cycles,
+        boundaries=sim_idem.boundaries_crossed,
+    )
+
+
+def run(names: Optional[List[str]] = None) -> Fig10Result:
+    result = Fig10Result()
+    for workload in resolve_workloads(names):
+        result.rows[workload.name] = measure_pair(workload.name)
+    return result
+
+
+def format_report(result: Fig10Result) -> str:
+    headers = ["workload", "exec-time ovh", "instr ovh", "orig cycles", "idem cycles"]
+    rows = []
+    for name, row in result.rows.items():
+        rows.append([
+            name,
+            f"{row.cycle_overhead:+.1%}",
+            f"{row.instruction_overhead:+.1%}",
+            row.original_cycles,
+            row.idempotent_cycles,
+        ])
+    table = format_table(headers, rows)
+    summary = result.suite_summary()
+    lines = [table, ""]
+    for metric, per_suite in summary.items():
+        parts = "  ".join(f"{suite}={ovh:+.1%}" for suite, ovh in per_suite.items())
+        lines.append(f"{metric} overhead geomeans: {parts}")
+    lines.append("(paper exec-time: specint +11.2%, specfp +5.4%, parsec +2.7%, all +7.7%)")
+    return "\n".join(lines)
+
+
+def main(names: Optional[List[str]] = None) -> None:
+    print(format_report(run(names)))
+
+
+if __name__ == "__main__":
+    main()

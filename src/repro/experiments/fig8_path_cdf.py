@@ -1,0 +1,70 @@
+"""Figure 8: cumulative distribution of dynamic idempotent path lengths.
+
+Traces the idempotent binaries and reports, per workload, the
+execution-time-weighted CDF of path lengths — e.g. "most applications
+spend less than 20% of their execution time executing paths of length 10
+instructions or less" (paper §6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import build_pair, format_table, resolve_workloads
+from repro.sim.limit_study import PathStats
+from repro.sim.path_trace import trace_paths
+
+#: path-length buckets reported in the table (x-axis samples of Fig. 8)
+DEFAULT_BUCKETS = (5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+@dataclass
+class Fig8Result:
+    stats: Dict[str, PathStats] = field(default_factory=dict)
+
+    def time_fraction_at_or_below(self, name: str, length: int) -> float:
+        cdf = self.stats[name].weighted_cdf()
+        fraction = 0.0
+        for cdf_length, cdf_fraction in cdf:
+            if cdf_length > length:
+                break
+            fraction = cdf_fraction
+        return fraction
+
+
+def run(names: Optional[List[str]] = None) -> Fig8Result:
+    result = Fig8Result()
+    for workload in resolve_workloads(names):
+        _, idempotent = build_pair(workload.name)
+        result.stats[workload.name] = trace_paths(idempotent.program)
+    return result
+
+
+def format_report(result: Fig8Result, buckets: Sequence[int] = DEFAULT_BUCKETS) -> str:
+    headers = ["workload"] + [f"<= {b}" for b in buckets] + ["avg"]
+    rows = []
+    for name, stats in result.stats.items():
+        row: List[object] = [name]
+        for bucket in buckets:
+            row.append(f"{result.time_fraction_at_or_below(name, bucket):.0%}")
+        row.append(stats.average)
+        rows.append(row)
+    table = format_table(headers, rows)
+    short_fracs = [
+        result.time_fraction_at_or_below(name, 10) for name in result.stats
+    ]
+    most_below = sum(1 for f in short_fracs if f < 0.2)
+    note = (
+        f"\n{most_below}/{len(short_fracs)} workloads spend <20% of execution "
+        f"time in paths of <=10 instructions (paper: 'most applications')"
+    )
+    return table + note
+
+
+def main(names: Optional[List[str]] = None) -> None:
+    print(format_report(run(names)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Table 2 companion: antidependence classification per workload.
+
+The paper's Table 2 defines the semantic/artificial split by storage
+resource: artificial antidependences act on compiler-controlled
+pseudoregister state (registers, local stack), semantic ones on heap,
+global, and non-local stack memory. This driver quantifies the split on
+our workloads' *unoptimized* IR (clang -O0 shape) and shows that SSA
+conversion eliminates the artificial ones entirely (paper §4.1) while the
+semantic ones remain for the region construction to cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.antideps import AntiDepAnalysis
+from repro.experiments.common import format_table, resolve_workloads
+from repro.transforms.pipeline import optimize_function
+
+
+def _count(module) -> Dict[str, int]:
+    counts = {"total": 0, "artificial": 0, "semantic": 0, "clobber": 0}
+    for func in module.defined_functions:
+        analysis = AntiDepAnalysis(func)
+        for antidep in analysis.antideps:
+            counts["total"] += 1
+            if antidep.is_artificial:
+                counts["artificial"] += 1
+            else:
+                counts["semantic"] += 1
+            if antidep.is_clobber:
+                counts["clobber"] += 1
+    return counts
+
+
+@dataclass
+class Table2Result:
+    #: workload -> {"before": counts, "after": counts}
+    counts: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+
+
+def run(names: Optional[List[str]] = None) -> Table2Result:
+    result = Table2Result()
+    for workload in resolve_workloads(names):
+        module = workload.compile_ir()
+        before = _count(module)
+        for func in module.defined_functions:
+            optimize_function(func)
+        after = _count(module)
+        result.counts[workload.name] = {"before": before, "after": after}
+    return result
+
+
+def format_report(result: Table2Result) -> str:
+    headers = [
+        "workload",
+        "pre-SSA total",
+        "  artificial",
+        "  semantic",
+        "post-SSA total",
+        "  artificial",
+        "  semantic",
+    ]
+    rows = []
+    for name, counts in result.counts.items():
+        before = counts["before"]
+        after = counts["after"]
+        rows.append([
+            name,
+            before["total"],
+            before["artificial"],
+            before["semantic"],
+            after["total"],
+            after["artificial"],
+            after["semantic"],
+        ])
+    table = format_table(headers, rows)
+    art_before = sum(c["before"]["artificial"] for c in result.counts.values())
+    art_after = sum(c["after"]["artificial"] for c in result.counts.values())
+    return (
+        f"{table}\n"
+        f"artificial (pseudoregister) antidependences: {art_before} before SSA "
+        f"conversion, {art_after} after — Table 2: registers and local stack "
+        f"are compiler-controlled and renamable; memory antidependences remain "
+        f"for the region construction to cut"
+    )
+
+
+def main(names: Optional[List[str]] = None) -> None:
+    print(format_report(run(names)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro.frontend — the MiniC language frontend.
+
+MiniC is a C subset used to author the workload suite: ``int``/``float``
+scalars, single-level pointers, fixed-size arrays, full expression and
+control-flow syntax, and the builtin functions of the runtime
+(``malloc``, ``print_int``, ``sqrt``, ...).
+
+One-call compilation::
+
+    from repro.frontend import compile_source
+    module = compile_source("int main() { return 42; }")
+"""
+
+from repro.frontend.ctypes_ import (
+    CArrayType,
+    CFLOAT,
+    CINT,
+    CPtrType,
+    CType,
+    CVOID,
+    words_of,
+)
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lower import LowerError, lower_program
+from repro.frontend.parser import ParseError, parse_source
+from repro.frontend.sema import SemaError, analyze
+from repro.ir.module import Module
+
+
+def compile_source(source: str, name: str = "minic") -> Module:
+    """Compile MiniC source text to an (unoptimized) IR module."""
+    program = parse_source(source)
+    analyze(program)
+    return lower_program(program, name)
+
+
+__all__ = [
+    "CArrayType",
+    "CFLOAT",
+    "CINT",
+    "CPtrType",
+    "CType",
+    "CVOID",
+    "LexError",
+    "LowerError",
+    "ParseError",
+    "SemaError",
+    "Token",
+    "analyze",
+    "compile_source",
+    "lower_program",
+    "parse_source",
+    "tokenize",
+    "words_of",
+]

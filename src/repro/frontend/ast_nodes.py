@@ -1,0 +1,254 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes carry their source line for diagnostics. Expression nodes gain a
+``ctype`` annotation (and lvalue/rvalue classification) during semantic
+analysis; the lowering pass relies on those annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.ctypes_ import CType
+
+
+class Node:
+    """Base AST node."""
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr(Node):
+    def __init__(self, line: int) -> None:
+        super().__init__(line)
+        self.ctype: Optional[CType] = None
+        self.is_lvalue: bool = False
+
+
+class IntLiteral(Expr):
+    def __init__(self, value: int, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    def __init__(self, value: float, line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class NameRef(Expr):
+    """A reference to a variable or parameter."""
+
+    def __init__(self, name: str, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # filled by sema
+
+
+class Unary(Expr):
+    """``-x``, ``!x``, ``~x``, ``*p`` (deref), ``&x`` (address-of)."""
+
+    def __init__(self, op: str, operand: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Assign(Expr):
+    def __init__(self, target: Expr, value: Expr, line: int) -> None:
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class CompoundAssign(Expr):
+    """``target op= value`` (e.g. ``x += e``): the lvalue is evaluated once."""
+
+    def __init__(self, op: str, target: Expr, value: Expr, line: int) -> None:
+        super().__init__(line)
+        self.op = op  # the arithmetic operator, e.g. "+" for "+="
+        self.target = target
+        self.value = value
+        self.common_ctype: Optional[CType] = None  # set by sema
+
+
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    def __init__(self, op: str, target: Expr, prefix: bool, line: int) -> None:
+        super().__init__(line)
+        self.op = op  # "+" or "-"
+        self.target = target
+        self.prefix = prefix
+
+
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    def __init__(self, cond: Expr, then_expr: Expr, else_expr: Expr, line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+class Index(Expr):
+    """``base[index]``."""
+
+    def __init__(self, base: Expr, index: Expr, line: int) -> None:
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class CallExpr(Expr):
+    def __init__(self, name: str, args: List[Expr], line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Cast(Expr):
+    """Explicit ``(int)x`` / ``(float)x``."""
+
+    def __init__(self, target_type: CType, operand: Expr, line: int) -> None:
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand = operand
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Stmt(Node):
+    pass
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: Expr, line: int) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class DeclStmt(Stmt):
+    """Local declaration: ``int x = e;`` or ``float a[16];``."""
+
+    def __init__(self, name: str, ctype: CType, init: Optional[Expr], line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+        self.symbol = None  # filled by sema
+
+
+class Block(Stmt):
+    def __init__(self, statements: List[Stmt], line: int) -> None:
+        super().__init__(line)
+        self.statements = statements
+
+
+class If(Stmt):
+    def __init__(self, cond: Expr, then_body: Stmt, else_body: Optional[Stmt], line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Stmt):
+    def __init__(self, cond: Expr, body: Stmt, line: int) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Expr],
+        body: Stmt,
+        line: int,
+    ) -> None:
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    def __init__(self, value: Optional[Expr], line: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+class Param(Node):
+    def __init__(self, name: str, ctype: CType, line: int) -> None:
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+
+
+class FunctionDef(Node):
+    def __init__(
+        self,
+        name: str,
+        return_type: CType,
+        params: List[Param],
+        body: Block,
+        line: int,
+    ) -> None:
+        super().__init__(line)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+
+
+class GlobalDecl(Node):
+    """Module-level variable, optionally initialized with literals."""
+
+    def __init__(
+        self,
+        name: str,
+        ctype: CType,
+        init: Optional[List[object]],
+        line: int,
+    ) -> None:
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+
+
+class Program(Node):
+    def __init__(self, globals_: List[GlobalDecl], functions: List[FunctionDef]) -> None:
+        super().__init__(1)
+        self.globals = globals_
+        self.functions = functions

@@ -1,0 +1,137 @@
+"""MiniC's source-level type system.
+
+Word-sized scalars only: ``int`` (64-bit), ``float`` (double), pointers to
+either, and fixed-size one-dimensional arrays (which decay to pointers in
+expression contexts, as in C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CType:
+    """Base class for MiniC types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return "ctype"
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, CIntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, CFloatType)
+
+    @property
+    def is_ptr(self) -> bool:
+        return isinstance(self, CPtrType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, CArrayType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, CVoidType)
+
+    @property
+    def is_arith(self) -> bool:
+        return self.is_int or self.is_float
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arith or self.is_ptr
+
+    def decayed(self) -> "CType":
+        """Array-to-pointer decay; identity for other types."""
+        if isinstance(self, CArrayType):
+            return CPtrType(self.element)
+        return self
+
+
+class CIntType(CType):
+    def __str__(self) -> str:
+        return "int"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CIntType)
+
+    def __hash__(self) -> int:
+        return hash("int")
+
+
+class CFloatType(CType):
+    def __str__(self) -> str:
+        return "float"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CFloatType)
+
+    def __hash__(self) -> int:
+        return hash("float")
+
+
+class CVoidType(CType):
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CVoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class CPtrType(CType):
+    def __init__(self, element: CType) -> None:
+        if element.is_void or element.is_array:
+            raise ValueError(f"cannot form pointer to {element}")
+        self.element = element
+
+    def __str__(self) -> str:
+        return f"{self.element}*"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CPtrType) and other.element == self.element
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.element))
+
+
+class CArrayType(CType):
+    def __init__(self, element: CType, size: int) -> None:
+        if not element.is_arith:
+            raise ValueError(f"array elements must be arithmetic, got {element}")
+        if size <= 0:
+            raise ValueError(f"array size must be positive, got {size}")
+        self.element = element
+        self.size = size
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CArrayType)
+            and other.element == self.element
+            and other.size == self.size
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.size))
+
+
+CINT = CIntType()
+CFLOAT = CFloatType()
+CVOID = CVoidType()
+
+
+def words_of(ctype: CType) -> int:
+    """Storage size in words."""
+    if isinstance(ctype, CArrayType):
+        return ctype.size
+    if ctype.is_void:
+        raise ValueError("void has no size")
+    return 1

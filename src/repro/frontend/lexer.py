@@ -1,0 +1,84 @@
+"""Lexer for MiniC, the C subset used to author workloads.
+
+Token kinds: keywords, identifiers, int/float literals, operators,
+punctuation. Comments (``//`` and ``/* */``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+KEYWORDS = {
+    "int",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^", "?", ":",
+]
+
+PUNCTUATION = ["(", ")", "{", "}", "[", "]", ";", ","]
+
+
+class Token(NamedTuple):
+    kind: str  # 'kw', 'ident', 'int', 'float', 'op', 'punct', 'eof'
+    text: str
+    line: int
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>%s)
+  | (?P<punct>%s)
+    """
+    % (
+        "|".join(re.escape(op) for op in OPERATORS),
+        "|".join(re.escape(p) for p in PUNCTUATION),
+    ),
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens, ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line))
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,481 @@
+"""AST → IR lowering for MiniC.
+
+Deliberately unoptimized, clang ``-O0`` style: every variable lives in an
+``alloca`` slot accessed through loads and stores. This is what gives the
+IR its *artificial clobber antidependences* — pseudoregister state that a
+conventional compiler would freely overwrite — which the paper's SSA
+transformation then eliminates (§4.1). Short-circuit operators and the
+ternary operator lower through temporary slots and control flow, exactly
+like a textbook C frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.ctypes_ import CType, words_of
+from repro.frontend.sema import Symbol
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca
+from repro.ir.module import Module
+from repro.ir.types import FLOAT, INT, PTR, Type, VOID
+from repro.ir.values import Value, const_float, const_int
+
+
+class LowerError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def ir_type_of(ctype: CType) -> Type:
+    if ctype.is_int:
+        return INT
+    if ctype.is_float:
+        return FLOAT
+    if ctype.is_ptr or ctype.is_array:
+        return PTR
+    if ctype.is_void:
+        return VOID
+    raise ValueError(f"no IR type for {ctype}")
+
+
+class _LoopContext:
+    """Branch targets for break/continue inside one loop."""
+
+    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock) -> None:
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class FunctionLowering:
+    """Lowers one function definition."""
+
+    def __init__(self, module: Module, func_ast: ast.FunctionDef) -> None:
+        self.module = module
+        self.func_ast = func_ast
+        params = [(p.name, ir_type_of(p.ctype)) for p in func_ast.params]
+        self.func = module.add_function(
+            func_ast.name, params, ir_type_of(func_ast.return_type)
+        )
+        self.builder = IRBuilder(self.func)
+        self.storage: Dict[Symbol, Value] = {}
+        self.loop_stack: List[_LoopContext] = []
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _entry_alloca(self, size: int, name: str) -> Alloca:
+        """Allocas live in the entry block regardless of insertion point."""
+        alloca = Alloca(size, self.func.unique_value_name(name))
+        entry = self.func.entry
+        index = 0
+        while index < len(entry.instructions) and isinstance(
+            entry.instructions[index], Alloca
+        ):
+            index += 1
+        entry.insert(index, alloca)
+        return alloca
+
+    def _start_block(self, name: str) -> BasicBlock:
+        block = self.builder.new_block(name)
+        self.builder.set_block(block)
+        self.terminated = False
+        return block
+
+    def _branch_to(self, target: BasicBlock) -> None:
+        if not self.terminated:
+            self.builder.jmp(target)
+            self.terminated = True
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def lower(self) -> Function:
+        entry = self.builder.new_block("entry")
+        self.builder.set_block(entry)
+        # Parameters become mutable slots, like clang -O0.
+        for param_ast, arg in zip(self.func_ast.params, self.func.args):
+            slot = self._entry_alloca(1, f"{param_ast.name}.addr")
+            self.builder.store(arg, slot)
+            symbol = self._param_symbol(param_ast)
+            self.storage[symbol] = slot
+        self.lower_block(self.func_ast.body)
+        if not self.terminated:
+            if self.func.return_type.is_void:
+                self.builder.ret()
+            elif self.func.return_type.is_float:
+                self.builder.ret(const_float(0.0))
+            else:
+                self.builder.ret(const_int(0))
+        return self.func
+
+    def _param_symbol(self, param_ast: ast.Param) -> Symbol:
+        # Sema declared the params in the function scope; retrieve the
+        # symbol through the body's NameRefs lazily. To avoid carrying the
+        # scope out of sema, we match by identity stored on first use:
+        # simplest is to key storage by (name, kind) for params.
+        # Instead, sema attaches symbols to NameRefs; we register aliases
+        # on demand (see _storage_for).
+        return Symbol(param_ast.name, param_ast.ctype, Symbol.KIND_PARAM)
+
+    def _storage_for(self, symbol: Symbol, line: int) -> Value:
+        found = self.storage.get(symbol)
+        if found is not None:
+            return found
+        if symbol.kind == Symbol.KIND_GLOBAL:
+            var = self.module.globals.get(symbol.name)
+            if var is None:
+                raise LowerError(f"missing global @{symbol.name}", line)
+            self.storage[symbol] = var
+            return var
+        if symbol.kind == Symbol.KIND_PARAM:
+            # Match the slot registered in lower() by name.
+            for registered, value in self.storage.items():
+                if (
+                    registered.kind == Symbol.KIND_PARAM
+                    and registered.name == symbol.name
+                ):
+                    self.storage[symbol] = value
+                    return value
+        raise LowerError(f"no storage for {symbol!r}", line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def lower_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            if self.terminated:
+                # Unreachable code after return/break: park it in a fresh
+                # dead block (removed later by the unreachable-block pass).
+                self._start_block("dead")
+            self.lower_statement(stmt)
+
+    def lower_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.rvalue(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            slot = self._entry_alloca(words_of(stmt.ctype), stmt.name)
+            self.storage[stmt.symbol] = slot
+            if stmt.init is not None:
+                self.builder.store(self.rvalue(stmt.init), slot)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self.rvalue(stmt.value) if stmt.value is not None else None
+            self.builder.ret(value)
+            self.terminated = True
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise LowerError("break outside loop", stmt.line)
+            self.builder.jmp(self.loop_stack[-1].break_block)
+            self.terminated = True
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise LowerError("continue outside loop", stmt.line)
+            self.builder.jmp(self.loop_stack[-1].continue_block)
+            self.terminated = True
+        else:
+            raise LowerError(f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def lower_if(self, stmt: ast.If) -> None:
+        cond = self.truth_value(stmt.cond)
+        then_block = self.builder.new_block("if.then")
+        end_block = self.builder.new_block("if.end")
+        else_block = (
+            self.builder.new_block("if.else") if stmt.else_body is not None else end_block
+        )
+        self.builder.br(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self.terminated = False
+        self.lower_statement(stmt.then_body)
+        self._branch_to(end_block)
+
+        if stmt.else_body is not None:
+            self.builder.set_block(else_block)
+            self.terminated = False
+            self.lower_statement(stmt.else_body)
+            self._branch_to(end_block)
+
+        self.builder.set_block(end_block)
+        self.terminated = False
+
+    def lower_while(self, stmt: ast.While) -> None:
+        cond_block = self.builder.new_block("while.cond")
+        body_block = self.builder.new_block("while.body")
+        end_block = self.builder.new_block("while.end")
+        self._branch_to(cond_block)
+
+        self.builder.set_block(cond_block)
+        self.terminated = False
+        cond = self.truth_value(stmt.cond)
+        self.builder.br(cond, body_block, end_block)
+
+        self.builder.set_block(body_block)
+        self.terminated = False
+        self.loop_stack.append(_LoopContext(end_block, cond_block))
+        self.lower_statement(stmt.body)
+        self.loop_stack.pop()
+        self._branch_to(cond_block)
+
+        self.builder.set_block(end_block)
+        self.terminated = False
+
+    def lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.lower_statement(stmt.init)
+        cond_block = self.builder.new_block("for.cond")
+        body_block = self.builder.new_block("for.body")
+        step_block = self.builder.new_block("for.step")
+        end_block = self.builder.new_block("for.end")
+        self._branch_to(cond_block)
+
+        self.builder.set_block(cond_block)
+        self.terminated = False
+        if stmt.cond is not None:
+            cond = self.truth_value(stmt.cond)
+            self.builder.br(cond, body_block, end_block)
+        else:
+            self.builder.jmp(body_block)
+
+        self.builder.set_block(body_block)
+        self.terminated = False
+        self.loop_stack.append(_LoopContext(end_block, step_block))
+        self.lower_statement(stmt.body)
+        self.loop_stack.pop()
+        self._branch_to(step_block)
+
+        self.builder.set_block(step_block)
+        self.terminated = False
+        if stmt.step is not None:
+            self.rvalue(stmt.step)
+        self._branch_to(cond_block)
+
+        self.builder.set_block(end_block)
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def truth_value(self, expr: ast.Expr) -> Value:
+        """Lower ``expr`` and compare against zero (an i1-like 0/1 int)."""
+        value = self.rvalue(expr)
+        if value.type.is_float:
+            return self.builder.fcmp("ne", value, const_float(0.0))
+        return self.builder.icmp("ne", value, const_int(0))
+
+    def lvalue_address(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.NameRef):
+            return self._storage_for(expr.symbol, expr.line)
+        if isinstance(expr, ast.Index):
+            base = self.rvalue(expr.base)
+            index = self.rvalue(expr.index)
+            return self.builder.gep(base, index)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self.rvalue(expr.operand)
+        raise LowerError(f"not an lvalue: {type(expr).__name__}", expr.line)
+
+    def rvalue(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return const_int(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return const_float(expr.value)
+        if isinstance(expr, ast.NameRef):
+            storage = self._storage_for(expr.symbol, expr.line)
+            if expr.ctype.is_array:
+                return storage  # arrays evaluate to their address
+            return self.builder.load(ir_type_of(expr.ctype), storage, expr.name)
+        if isinstance(expr, ast.Assign):
+            value = self.rvalue(expr.value)
+            addr = self.lvalue_address(expr.target)
+            self.builder.store(value, addr)
+            return value
+        if isinstance(expr, ast.CompoundAssign):
+            return self.lower_compound_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.lower_incdec(expr)
+        if isinstance(expr, ast.Unary):
+            return self.lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.lower_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self.lower_conditional(expr)
+        if isinstance(expr, ast.Index):
+            addr = self.lvalue_address(expr)
+            return self.builder.load(ir_type_of(expr.ctype), addr)
+        if isinstance(expr, ast.CallExpr):
+            return self.lower_call(expr)
+        if isinstance(expr, ast.Cast):
+            return self.lower_cast(expr)
+        raise LowerError(f"cannot lower {type(expr).__name__}", expr.line)
+
+    def lower_compound_assign(self, expr: ast.CompoundAssign) -> Value:
+        """``x op= e``: the lvalue address is computed exactly once."""
+        addr = self.lvalue_address(expr.target)
+        target_type = expr.target.ctype
+        old = self.builder.load(ir_type_of(target_type), addr)
+        value = self.rvalue(expr.value)
+        op = expr.op
+
+        if target_type.is_ptr:
+            offset = value
+            if op == "-":
+                offset = self.builder.sub(const_int(0), offset)
+            new = self.builder.gep(old, offset)
+        elif expr.common_ctype is not None and expr.common_ctype.is_float:
+            lhs = self.builder.itof(old) if target_type.is_int else old
+            new = self.builder.binop(self._FLOAT_OPS[op], lhs, value)
+            if target_type.is_int:
+                new = self.builder.ftoi(new)
+        else:
+            lhs = self.builder.ftoi(old) if target_type.is_float else old
+            new = self.builder.binop(self._INT_OPS[op], lhs, value)
+            if target_type.is_float:
+                new = self.builder.itof(new)
+        self.builder.store(new, addr)
+        return new
+
+    def lower_incdec(self, expr: ast.IncDec) -> Value:
+        addr = self.lvalue_address(expr.target)
+        target_type = expr.target.ctype
+        old = self.builder.load(ir_type_of(target_type), addr)
+        if target_type.is_ptr:
+            step = const_int(1 if expr.op == "+" else -1)
+            new = self.builder.gep(old, step)
+        elif target_type.is_float:
+            opcode = "fadd" if expr.op == "+" else "fsub"
+            new = self.builder.binop(opcode, old, const_float(1.0))
+        else:
+            opcode = "add" if expr.op == "+" else "sub"
+            new = self.builder.binop(opcode, old, const_int(1))
+        self.builder.store(new, addr)
+        return new if expr.prefix else old
+
+    def lower_unary(self, expr: ast.Unary) -> Value:
+        if expr.op == "&":
+            return self.lvalue_address(expr.operand)
+        if expr.op == "*":
+            addr = self.rvalue(expr.operand)
+            return self.builder.load(ir_type_of(expr.ctype), addr)
+        value = self.rvalue(expr.operand)
+        if expr.op == "-":
+            if value.type.is_float:
+                return self.builder.fsub(const_float(0.0), value)
+            return self.builder.sub(const_int(0), value)
+        if expr.op == "!":
+            if value.type.is_float:
+                return self.builder.fcmp("eq", value, const_float(0.0))
+            return self.builder.icmp("eq", value, const_int(0))
+        if expr.op == "~":
+            return self.builder.xor(value, const_int(-1))
+        raise LowerError(f"unknown unary {expr.op!r}", expr.line)
+
+    _INT_OPS = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    }
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _CMP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+    def lower_binary(self, expr: ast.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.lower_short_circuit(expr)
+        lhs_type = expr.lhs.ctype.decayed()
+        if op in self._CMP:
+            lhs = self.rvalue(expr.lhs)
+            rhs = self.rvalue(expr.rhs)
+            if lhs_type.is_float:
+                return self.builder.fcmp(self._CMP[op], lhs, rhs)
+            return self.builder.icmp(self._CMP[op], lhs, rhs)
+        # Pointer arithmetic (sema normalized to ptr-first).
+        if lhs_type.is_ptr and op in ("+", "-"):
+            base = self.rvalue(expr.lhs)
+            offset = self.rvalue(expr.rhs)
+            if op == "-":
+                offset = self.builder.sub(const_int(0), offset)
+            return self.builder.gep(base, offset)
+        lhs = self.rvalue(expr.lhs)
+        rhs = self.rvalue(expr.rhs)
+        if expr.ctype.is_float:
+            return self.builder.binop(self._FLOAT_OPS[op], lhs, rhs)
+        return self.builder.binop(self._INT_OPS[op], lhs, rhs)
+
+    def lower_short_circuit(self, expr: ast.Binary) -> Value:
+        """``&&``/``||`` via a temporary slot and control flow (C semantics)."""
+        slot = self._entry_alloca(1, "sc")
+        lhs = self.truth_value(expr.lhs)
+        self.builder.store(lhs, slot)
+        rhs_block = self.builder.new_block("sc.rhs")
+        end_block = self.builder.new_block("sc.end")
+        if expr.op == "&&":
+            self.builder.br(lhs, rhs_block, end_block)
+        else:
+            self.builder.br(lhs, end_block, rhs_block)
+        self.builder.set_block(rhs_block)
+        self.terminated = False
+        rhs = self.truth_value(expr.rhs)
+        self.builder.store(rhs, slot)
+        self.builder.jmp(end_block)
+        self.builder.set_block(end_block)
+        self.terminated = False
+        return self.builder.load(INT, slot)
+
+    def lower_conditional(self, expr: ast.Conditional) -> Value:
+        slot = self._entry_alloca(1, "cond")
+        cond = self.truth_value(expr.cond)
+        then_block = self.builder.new_block("cond.then")
+        else_block = self.builder.new_block("cond.else")
+        end_block = self.builder.new_block("cond.end")
+        self.builder.br(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self.terminated = False
+        self.builder.store(self.rvalue(expr.then_expr), slot)
+        self.builder.jmp(end_block)
+
+        self.builder.set_block(else_block)
+        self.terminated = False
+        self.builder.store(self.rvalue(expr.else_expr), slot)
+        self.builder.jmp(end_block)
+
+        self.builder.set_block(end_block)
+        self.terminated = False
+        return self.builder.load(ir_type_of(expr.ctype), slot)
+
+    def lower_call(self, expr: ast.CallExpr) -> Value:
+        args = [self.rvalue(arg) for arg in expr.args]
+        result_type = ir_type_of(expr.ctype)
+        return self.builder.call(result_type, expr.name, args, expr.name)
+
+    def lower_cast(self, expr: ast.Cast) -> Value:
+        value = self.rvalue(expr.operand)
+        source = expr.operand.ctype.decayed()
+        target = expr.ctype
+        if source.is_int and target.is_float:
+            return self.builder.itof(value)
+        if source.is_float and target.is_int:
+            return self.builder.ftoi(value)
+        return value  # ptr↔ptr, same-type, array decay: representation-identical
+
+
+def lower_program(program: ast.Program, name: str = "minic") -> Module:
+    """Lower an analyzed AST to an IR module."""
+    module = Module(name)
+    for decl in program.globals:
+        init = decl.init
+        module.add_global(decl.name, words_of(decl.ctype), init)
+    for func_ast in program.functions:
+        FunctionLowering(module, func_ast).lower()
+    return module

@@ -1,0 +1,396 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.ctypes_ import (
+    CArrayType,
+    CFLOAT,
+    CINT,
+    CPtrType,
+    CType,
+    CVOID,
+)
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tok
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.tok
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            wanted = text if text is not None else kind
+            raise ParseError(f"expected {wanted!r}, got {self.tok.text!r}", self.tok.line)
+        return token
+
+    def at_type_keyword(self, offset: int = 0) -> bool:
+        token = self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+        return token.kind == "kw" and token.text in ("int", "float", "void")
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def parse_type_spec(self) -> CType:
+        token = self.expect("kw")
+        if token.text == "int":
+            base: CType = CINT
+        elif token.text == "float":
+            base = CFLOAT
+        elif token.text == "void":
+            base = CVOID
+        else:
+            raise ParseError(f"expected a type, got {token.text!r}", token.line)
+        while self.accept("op", "*"):
+            if base.is_void:
+                raise ParseError("void* is not supported", token.line)
+            base = CPtrType(base)
+        return base
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FunctionDef] = []
+        while self.tok.kind != "eof":
+            if not self.at_type_keyword():
+                raise ParseError(
+                    f"expected declaration, got {self.tok.text!r}", self.tok.line
+                )
+            start = self.pos
+            ctype = self.parse_type_spec()
+            name_token = self.expect("ident")
+            if self.tok.kind == "punct" and self.tok.text == "(":
+                self.pos = start
+                functions.append(self.parse_function())
+            else:
+                self.pos = start
+                globals_.append(self.parse_global())
+        return ast.Program(globals_, functions)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.tok.line
+        ctype = self.parse_type_spec()
+        if ctype.is_void:
+            raise ParseError("global variables cannot be void", line)
+        name = self.expect("ident").text
+        if self.accept("punct", "["):
+            size = int(self.expect("int").text, 0)
+            self.expect("punct", "]")
+            if ctype.is_ptr:
+                raise ParseError("arrays of pointers are not supported", line)
+            ctype = CArrayType(ctype, size)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_global_initializer(ctype)
+        self.expect("punct", ";")
+        return ast.GlobalDecl(name, ctype, init, line)
+
+    def parse_global_initializer(self, ctype: CType) -> List[object]:
+        if self.accept("punct", "{"):
+            values: List[object] = []
+            if not self.accept("punct", "}"):
+                while True:
+                    values.append(self._parse_literal_number())
+                    if self.accept("punct", "}"):
+                        break
+                    self.expect("punct", ",")
+            return values
+        return [self._parse_literal_number()]
+
+    def _parse_literal_number(self) -> object:
+        negative = bool(self.accept("op", "-"))
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            value: object = int(token.text, 0)
+        elif token.kind == "float":
+            self.advance()
+            value = float(token.text)
+        else:
+            raise ParseError(
+                f"expected numeric literal, got {token.text!r}", token.line
+            )
+        return -value if negative else value
+
+    def parse_function(self) -> ast.FunctionDef:
+        line = self.tok.line
+        return_type = self.parse_type_spec()
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: List[ast.Param] = []
+        if not self.accept("punct", ")"):
+            while True:
+                ptype = self.parse_type_spec()
+                if ptype.is_void:
+                    raise ParseError("parameters cannot be void", self.tok.line)
+                pname = self.expect("ident").text
+                params.append(ast.Param(pname, ptype, self.tok.line))
+                if self.accept("punct", ")"):
+                    break
+                self.expect("punct", ",")
+        body = self.parse_block()
+        return ast.FunctionDef(name, return_type, params, body, line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        line = self.expect("punct", "{").line
+        statements: List[ast.Stmt] = []
+        while not self.accept("punct", "}"):
+            statements.append(self.parse_statement())
+        return ast.Block(statements, line)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.tok
+        if token.kind == "punct" and token.text == "{":
+            return self.parse_block()
+        if token.kind == "kw":
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not (self.tok.kind == "punct" and self.tok.text == ";"):
+                    value = self.parse_expression()
+                self.expect("punct", ";")
+                return ast.Return(value, token.line)
+            if token.text == "break":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Continue(token.line)
+            if token.text in ("int", "float"):
+                return self.parse_declaration()
+            raise ParseError(f"unexpected keyword {token.text!r}", token.line)
+        expr = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.ExprStmt(expr, token.line)
+
+    def parse_declaration(self) -> ast.DeclStmt:
+        line = self.tok.line
+        ctype = self.parse_type_spec()
+        name = self.expect("ident").text
+        if self.accept("punct", "["):
+            size = int(self.expect("int").text, 0)
+            self.expect("punct", "]")
+            if ctype.is_ptr:
+                raise ParseError("arrays of pointers are not supported", line)
+            ctype = CArrayType(ctype, size)
+        init = None
+        if self.accept("op", "="):
+            if ctype.is_array:
+                raise ParseError("local arrays cannot have initializers", line)
+            init = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.DeclStmt(name, ctype, init, line)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.accept("kw", "else"):
+            else_body = self.parse_statement()
+        return ast.If(cond, then_body, else_body, line)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.While(cond, body, line)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("punct", "(")
+        init: Optional[ast.Stmt] = None
+        if self.at_type_keyword():
+            init = self.parse_declaration()  # consumes ';'
+        elif not (self.tok.kind == "punct" and self.tok.text == ";"):
+            init = ast.ExprStmt(self.parse_expression(), line)
+            self.expect("punct", ";")
+        else:
+            self.expect("punct", ";")
+        cond = None
+        if not (self.tok.kind == "punct" and self.tok.text == ";"):
+            cond = self.parse_expression()
+        self.expect("punct", ";")
+        step = None
+        if not (self.tok.kind == "punct" and self.tok.text == ")"):
+            step = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.For(init, cond, step, body, line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    _COMPOUND_OPS = {
+        "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+        "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+    }
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_conditional()
+        token = self.tok
+        if token.kind == "op" and token.text == "=":
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(lhs, value, token.line)
+        if token.kind == "op" and token.text in self._COMPOUND_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.CompoundAssign(
+                self._COMPOUND_OPS[token.text], lhs, value, token.line
+            )
+        return lhs
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        token = self.tok
+        if token.kind == "op" and token.text == "?":
+            self.advance()
+            then_expr = self.parse_expression()
+            self.expect("op", ":")
+            else_expr = self.parse_assignment()
+            return ast.Conditional(cond, then_expr, else_expr, token.line)
+        return cond
+
+    _PRECEDENCE = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        lhs = self.parse_binary(level + 1)
+        ops = self._PRECEDENCE[level]
+        while self.tok.kind == "op" and self.tok.text in ops:
+            token = self.advance()
+            rhs = self.parse_binary(level + 1)
+            lhs = ast.Binary(token.text, lhs, rhs, token.line)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.IncDec(token.text[0], operand, prefix=True, line=token.line)
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(token.text, operand, token.line)
+        # Cast: '(' type-keyword ... ')'
+        if token.kind == "punct" and token.text == "(" and self.at_type_keyword(1):
+            self.advance()
+            target = self.parse_type_spec()
+            self.expect("punct", ")")
+            operand = self.parse_unary()
+            return ast.Cast(target, operand, token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.tok
+            if token.kind == "punct" and token.text == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect("punct", "]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.kind == "op" and token.text in ("++", "--"):
+                self.advance()
+                expr = ast.IncDec(token.text[0], expr, prefix=False, line=token.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(int(token.text, 0), token.line)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(float(token.text), token.line)
+        if token.kind == "ident":
+            self.advance()
+            if self.tok.kind == "punct" and self.tok.text == "(":
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.accept("punct", ")"):
+                            break
+                        self.expect("punct", ",")
+                return ast.CallExpr(token.text, args, token.line)
+            return ast.NameRef(token.text, token.line)
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(source).parse_program()

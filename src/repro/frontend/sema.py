@@ -1,0 +1,489 @@
+"""Semantic analysis for MiniC.
+
+Resolves names, checks types, classifies lvalues, and *rewrites the AST*
+so that every implicit conversion becomes an explicit :class:`ast.Cast`
+node. After this pass the lowering is a direct, type-blind translation.
+
+MiniC type rules (C-like, word-sized):
+
+- arithmetic promotes ``int`` to ``float`` when either operand is float;
+- arrays decay to pointers in every expression context except ``&``;
+- pointer ± int scales by the element size (1 word here);
+- all pointer types interconvert implicitly (our ``malloc`` returns
+  ``int*`` and plays the role of ``void*``);
+- conditions accept any scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.ctypes_ import (
+    CArrayType,
+    CFLOAT,
+    CINT,
+    CPtrType,
+    CType,
+    CVOID,
+)
+
+
+class SemaError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Symbol:
+    """A named variable: local, parameter, or global."""
+
+    KIND_LOCAL = "local"
+    KIND_PARAM = "param"
+    KIND_GLOBAL = "global"
+
+    def __init__(self, name: str, ctype: CType, kind: str) -> None:
+        self.name = name
+        self.ctype = ctype
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"<Symbol {self.kind} {self.name}: {self.ctype}>"
+
+
+class FunctionSignature:
+    def __init__(self, name: str, return_type: CType, param_types: List[CType]) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+
+
+_PTR_INT = CPtrType(CINT)
+_PTR_FLOAT = CPtrType(CFLOAT)
+
+BUILTIN_SIGNATURES: Dict[str, FunctionSignature] = {
+    "malloc": FunctionSignature("malloc", _PTR_INT, [CINT]),
+    "free": FunctionSignature("free", CVOID, [_PTR_INT]),
+    "print_int": FunctionSignature("print_int", CVOID, [CINT]),
+    "print_float": FunctionSignature("print_float", CVOID, [CFLOAT]),
+    "abs": FunctionSignature("abs", CINT, [CINT]),
+    "fabs": FunctionSignature("fabs", CFLOAT, [CFLOAT]),
+    "sqrt": FunctionSignature("sqrt", CFLOAT, [CFLOAT]),
+    "exp": FunctionSignature("exp", CFLOAT, [CFLOAT]),
+    "log": FunctionSignature("log", CFLOAT, [CFLOAT]),
+    "min": FunctionSignature("min", CINT, [CINT, CINT]),
+    "max": FunctionSignature("max", CINT, [CINT, CINT]),
+    "fmin": FunctionSignature("fmin", CFLOAT, [CFLOAT, CFLOAT]),
+    "fmax": FunctionSignature("fmax", CFLOAT, [CFLOAT, CFLOAT]),
+}
+
+
+class SemanticAnalyzer:
+    """Single-pass checker/annotator over a parsed program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.globals: Dict[str, Symbol] = {}
+        self.functions: Dict[str, FunctionSignature] = dict(BUILTIN_SIGNATURES)
+        self.scopes: List[Dict[str, Symbol]] = []
+        self.current_function: Optional[ast.FunctionDef] = None
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def analyze(self) -> ast.Program:
+        for decl in self.program.globals:
+            if decl.name in self.globals or decl.name in self.functions:
+                raise SemaError(f"duplicate global name {decl.name!r}", decl.line)
+            self._check_global_init(decl)
+            self.globals[decl.name] = Symbol(decl.name, decl.ctype, Symbol.KIND_GLOBAL)
+
+        for func in self.program.functions:
+            if func.name in self.functions or func.name in self.globals:
+                raise SemaError(f"duplicate function name {func.name!r}", func.line)
+            self.functions[func.name] = FunctionSignature(
+                func.name, func.return_type, [p.ctype for p in func.params]
+            )
+
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.program
+
+    def _check_global_init(self, decl: ast.GlobalDecl) -> None:
+        if decl.init is None:
+            return
+        capacity = decl.ctype.size if decl.ctype.is_array else 1
+        if len(decl.init) > capacity:
+            raise SemaError(
+                f"{len(decl.init)} initializers for {decl.ctype} {decl.name}",
+                decl.line,
+            )
+        element = decl.ctype.element if decl.ctype.is_array else decl.ctype
+        coerced = []
+        for value in decl.init:
+            if element.is_float:
+                coerced.append(float(value))
+            elif element.is_int:
+                if isinstance(value, float):
+                    raise SemaError(
+                        f"float initializer for int {decl.name}", decl.line
+                    )
+                coerced.append(int(value))
+            else:
+                raise SemaError(f"cannot initialize {decl.ctype}", decl.line)
+        decl.init = coerced
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+    def _push_scope(self) -> None:
+        self.scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def _declare(self, name: str, ctype: CType, kind: str, line: int) -> Symbol:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        symbol = Symbol(name, ctype, kind)
+        scope[name] = symbol
+        return symbol
+
+    def _lookup(self, name: str, line: int) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise SemaError(f"undeclared identifier {name!r}", line)
+
+    # ------------------------------------------------------------------
+    # Functions and statements
+    # ------------------------------------------------------------------
+    def _check_function(self, func: ast.FunctionDef) -> None:
+        self.current_function = func
+        self._push_scope()
+        for param in func.params:
+            self._declare(param.name, param.ctype, Symbol.KIND_PARAM, param.line)
+        self._check_block(func.body)
+        self._pop_scope()
+        self.current_function = None
+
+    def _check_block(self, block: ast.Block) -> None:
+        self._push_scope()
+        for stmt in block.statements:
+            self._check_statement(stmt)
+        self._pop_scope()
+
+    def _check_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.DeclStmt):
+            if stmt.ctype.is_void:
+                raise SemaError("variables cannot be void", stmt.line)
+            stmt.symbol = self._declare(
+                stmt.name, stmt.ctype, Symbol.KIND_LOCAL, stmt.line
+            )
+            if stmt.init is not None:
+                stmt.init = self._convert(
+                    self._check_expr(stmt.init), stmt.ctype, stmt.line
+                )
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self._check_condition(stmt.cond)
+            self._check_statement(stmt.then_body)
+            if stmt.else_body is not None:
+                self._check_statement(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self._check_condition(stmt.cond)
+            self.loop_depth += 1
+            self._check_statement(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._push_scope()  # for-init declarations scope over the loop
+            if stmt.init is not None:
+                self._check_statement(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._check_condition(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = self._check_expr(stmt.step)
+            self.loop_depth += 1
+            self._check_statement(stmt.body)
+            self.loop_depth -= 1
+            self._pop_scope()
+        elif isinstance(stmt, ast.Return):
+            assert self.current_function is not None
+            expected = self.current_function.return_type
+            if expected.is_void:
+                if stmt.value is not None:
+                    raise SemaError("void function returning a value", stmt.line)
+            else:
+                if stmt.value is None:
+                    raise SemaError("non-void function needs a return value", stmt.line)
+                stmt.value = self._convert(
+                    self._check_expr(stmt.value), expected, stmt.line
+                )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemaError(f"{kind} outside a loop", stmt.line)
+        else:
+            raise SemaError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_condition(self, expr: ast.Expr) -> ast.Expr:
+        checked = self._check_expr(expr)
+        ctype = checked.ctype.decayed()
+        if not ctype.is_scalar:
+            raise SemaError(f"condition has non-scalar type {ctype}", expr.line)
+        return checked
+
+    def _check_expr(self, expr: ast.Expr) -> ast.Expr:
+        method = getattr(self, f"_check_{type(expr).__name__}", None)
+        if method is None:
+            raise SemaError(f"unknown expression {type(expr).__name__}", expr.line)
+        return method(expr)
+
+    def _convert(self, expr: ast.Expr, target: CType, line: int) -> ast.Expr:
+        """Insert an implicit conversion to ``target`` if needed."""
+        source = expr.ctype.decayed()
+        if source == target:
+            if expr.ctype.is_array:
+                expr = self._decay(expr)
+            return expr
+        if source.is_int and target.is_float or source.is_float and target.is_int:
+            cast = ast.Cast(target, self._decay(expr), line)
+            cast.ctype = target
+            return cast
+        if source.is_ptr and target.is_ptr:
+            cast = ast.Cast(target, self._decay(expr), line)
+            cast.ctype = target
+            return cast
+        raise SemaError(f"cannot convert {source} to {target}", line)
+
+    @staticmethod
+    def _decay(expr: ast.Expr) -> ast.Expr:
+        if expr.ctype.is_array:
+            decayed = ast.Cast(expr.ctype.decayed(), expr, expr.line)
+            decayed.ctype = expr.ctype.decayed()
+            return decayed
+        return expr
+
+    def _check_IntLiteral(self, expr: ast.IntLiteral) -> ast.Expr:
+        expr.ctype = CINT
+        return expr
+
+    def _check_FloatLiteral(self, expr: ast.FloatLiteral) -> ast.Expr:
+        expr.ctype = CFLOAT
+        return expr
+
+    def _check_NameRef(self, expr: ast.NameRef) -> ast.Expr:
+        symbol = self._lookup(expr.name, expr.line)
+        expr.symbol = symbol
+        expr.ctype = symbol.ctype
+        expr.is_lvalue = not symbol.ctype.is_array
+        return expr
+
+    def _check_Unary(self, expr: ast.Unary) -> ast.Expr:
+        if expr.op == "&":
+            operand = self._check_expr(expr.operand)
+            if not operand.is_lvalue and not operand.ctype.is_array:
+                raise SemaError("'&' needs an lvalue", expr.line)
+            expr.operand = operand
+            if operand.ctype.is_array:
+                expr.ctype = CPtrType(operand.ctype.element)
+            else:
+                expr.ctype = CPtrType(operand.ctype)
+            return expr
+        operand = self._decay(self._check_expr(expr.operand))
+        expr.operand = operand
+        ctype = operand.ctype
+        if expr.op == "*":
+            if not ctype.is_ptr:
+                raise SemaError(f"cannot dereference {ctype}", expr.line)
+            expr.ctype = ctype.element
+            expr.is_lvalue = True
+            return expr
+        if expr.op == "-":
+            if not ctype.is_arith:
+                raise SemaError(f"unary '-' on {ctype}", expr.line)
+            expr.ctype = ctype
+            return expr
+        if expr.op == "!":
+            if not ctype.is_scalar:
+                raise SemaError(f"'!' on {ctype}", expr.line)
+            expr.ctype = CINT
+            return expr
+        if expr.op == "~":
+            if not ctype.is_int:
+                raise SemaError(f"'~' on {ctype}", expr.line)
+            expr.ctype = CINT
+            return expr
+        raise SemaError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    _ARITH_OPS = {"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"}
+    _COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+    _LOGICAL_OPS = {"&&", "||"}
+
+    def _check_Binary(self, expr: ast.Binary) -> ast.Expr:
+        lhs = self._decay(self._check_expr(expr.lhs))
+        rhs = self._decay(self._check_expr(expr.rhs))
+        lt, rt = lhs.ctype, rhs.ctype
+        op = expr.op
+
+        if op in self._LOGICAL_OPS:
+            if not lt.is_scalar or not rt.is_scalar:
+                raise SemaError(f"{op!r} needs scalar operands", expr.line)
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = CINT
+            return expr
+
+        if op in self._COMPARE_OPS:
+            if lt.is_ptr and rt.is_ptr:
+                expr.lhs, expr.rhs = lhs, rhs
+            elif lt.is_arith and rt.is_arith:
+                common = CFLOAT if (lt.is_float or rt.is_float) else CINT
+                expr.lhs = self._convert(lhs, common, expr.line)
+                expr.rhs = self._convert(rhs, common, expr.line)
+            else:
+                raise SemaError(f"cannot compare {lt} with {rt}", expr.line)
+            expr.ctype = CINT
+            return expr
+
+        if op in ("+", "-") and lt.is_ptr and rt.is_int:
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = lt
+            return expr
+        if op == "+" and lt.is_int and rt.is_ptr:
+            expr.lhs, expr.rhs = rhs, lhs  # normalize to ptr + int
+            expr.ctype = rt
+            return expr
+        if op in self._ARITH_OPS:
+            if not lt.is_arith or not rt.is_arith:
+                raise SemaError(f"{op!r} on {lt} and {rt}", expr.line)
+            if op in ("%", "<<", ">>", "&", "|", "^"):
+                if not lt.is_int or not rt.is_int:
+                    raise SemaError(f"{op!r} needs integer operands", expr.line)
+                common: CType = CINT
+            else:
+                common = CFLOAT if (lt.is_float or rt.is_float) else CINT
+            expr.lhs = self._convert(lhs, common, expr.line)
+            expr.rhs = self._convert(rhs, common, expr.line)
+            expr.ctype = common
+            return expr
+
+        raise SemaError(f"unknown binary operator {op!r}", expr.line)
+
+    def _check_CompoundAssign(self, expr: ast.CompoundAssign) -> ast.Expr:
+        target = self._check_expr(expr.target)
+        if not target.is_lvalue:
+            raise SemaError("compound assignment target is not an lvalue", expr.line)
+        value = self._decay(self._check_expr(expr.value))
+        tt = target.ctype
+        vt = value.ctype
+        op = expr.op
+
+        if tt.is_ptr:
+            if op not in ("+", "-") or not vt.is_int:
+                raise SemaError(f"pointer {op}= needs an int operand", expr.line)
+            expr.common_ctype = tt
+        elif op in ("%", "<<", ">>", "&", "|", "^"):
+            if not tt.is_int or not vt.is_int:
+                raise SemaError(f"{op}= needs integer operands", expr.line)
+            expr.common_ctype = CINT
+        elif tt.is_arith and vt.is_arith:
+            # Usual arithmetic conversions, then convert back on store.
+            expr.common_ctype = CFLOAT if (tt.is_float or vt.is_float) else CINT
+            value = self._convert(value, expr.common_ctype, expr.line)
+        else:
+            raise SemaError(f"cannot apply {op}= to {tt} and {vt}", expr.line)
+        expr.target = target
+        expr.value = value
+        expr.ctype = tt
+        return expr
+
+    def _check_IncDec(self, expr: ast.IncDec) -> ast.Expr:
+        target = self._check_expr(expr.target)
+        if not target.is_lvalue:
+            raise SemaError("++/-- target is not an lvalue", expr.line)
+        if not target.ctype.is_scalar:
+            raise SemaError(f"cannot ++/-- a {target.ctype}", expr.line)
+        expr.target = target
+        expr.ctype = target.ctype
+        return expr
+
+    def _check_Assign(self, expr: ast.Assign) -> ast.Expr:
+        target = self._check_expr(expr.target)
+        if not target.is_lvalue:
+            raise SemaError("assignment target is not an lvalue", expr.line)
+        expr.target = target
+        expr.value = self._convert(self._check_expr(expr.value), target.ctype, expr.line)
+        expr.ctype = target.ctype
+        return expr
+
+    def _check_Conditional(self, expr: ast.Conditional) -> ast.Expr:
+        expr.cond = self._check_condition(expr.cond)
+        then_expr = self._decay(self._check_expr(expr.then_expr))
+        else_expr = self._decay(self._check_expr(expr.else_expr))
+        lt, rt = then_expr.ctype, else_expr.ctype
+        if lt == rt:
+            common = lt
+        elif lt.is_arith and rt.is_arith:
+            common = CFLOAT if (lt.is_float or rt.is_float) else CINT
+        else:
+            raise SemaError(f"'?:' arms have types {lt} and {rt}", expr.line)
+        expr.then_expr = self._convert(then_expr, common, expr.line)
+        expr.else_expr = self._convert(else_expr, common, expr.line)
+        expr.ctype = common
+        return expr
+
+    def _check_Index(self, expr: ast.Index) -> ast.Expr:
+        base = self._check_expr(expr.base)
+        decayed = base.ctype.decayed()
+        if not decayed.is_ptr:
+            raise SemaError(f"cannot index {base.ctype}", expr.line)
+        expr.base = self._decay(base)
+        expr.index = self._convert(self._check_expr(expr.index), CINT, expr.line)
+        expr.ctype = decayed.element
+        expr.is_lvalue = True
+        return expr
+
+    def _check_CallExpr(self, expr: ast.CallExpr) -> ast.Expr:
+        signature = self.functions.get(expr.name)
+        if signature is None:
+            raise SemaError(f"call to undeclared function {expr.name!r}", expr.line)
+        if len(expr.args) != len(signature.param_types):
+            raise SemaError(
+                f"{expr.name} expects {len(signature.param_types)} args, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        expr.args = [
+            self._convert(self._check_expr(arg), ptype, expr.line)
+            for arg, ptype in zip(expr.args, signature.param_types)
+        ]
+        expr.ctype = signature.return_type
+        return expr
+
+    def _check_Cast(self, expr: ast.Cast) -> ast.Expr:
+        operand = self._decay(self._check_expr(expr.operand))
+        source = operand.ctype
+        target = expr.target_type
+        ok = (source.is_arith and target.is_arith) or (
+            source.is_ptr and target.is_ptr
+        )
+        if not ok:
+            raise SemaError(f"cannot cast {source} to {target}", expr.line)
+        expr.operand = operand
+        expr.ctype = target
+        return expr
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Run semantic analysis; returns the annotated (and rewritten) AST."""
+    return SemanticAnalyzer(program).analyze()

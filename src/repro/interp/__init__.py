@@ -1,0 +1,35 @@
+"""repro.interp — reference interpreter for the repro IR."""
+
+from repro.interp.interpreter import (
+    ExecutionError,
+    Interpreter,
+    StepLimitExceeded,
+    run_module,
+    wrap64,
+)
+from repro.interp.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    Memory,
+    MemoryError_,
+    SEGMENT_GLOBAL,
+    SEGMENT_HEAP,
+    SEGMENT_STACK,
+    STACK_BASE,
+)
+
+__all__ = [
+    "ExecutionError",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "Interpreter",
+    "Memory",
+    "MemoryError_",
+    "SEGMENT_GLOBAL",
+    "SEGMENT_HEAP",
+    "SEGMENT_STACK",
+    "STACK_BASE",
+    "StepLimitExceeded",
+    "run_module",
+    "wrap64",
+]

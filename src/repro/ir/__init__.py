@@ -1,0 +1,104 @@
+"""repro.ir — a small load/store, SSA-capable compiler IR.
+
+The IR mirrors the constructs the paper's algorithms manipulate: typed
+pseudoregisters, explicit ``load``/``store`` memory operations, φ-nodes,
+and an explicit ``boundary`` marker for idempotent region cuts.
+
+Public surface::
+
+    from repro.ir import (
+        Module, Function, BasicBlock, IRBuilder,
+        INT, FLOAT, PTR, VOID,
+        parse_module, format_module, verify_module,
+    )
+"""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    BUILTIN_FUNCTIONS,
+    Call,
+    CMP_PREDS,
+    Fcmp,
+    FLOAT_BINOPS,
+    Ftoi,
+    Gep,
+    Icmp,
+    INT_BINOPS,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.parser import IRSyntaxError, parse_module
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.types import FLOAT, INT, PTR, Type, VOID, type_from_name
+from repro.ir.values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    Undef,
+    Value,
+    const_float,
+    const_int,
+)
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca",
+    "Argument",
+    "BasicBlock",
+    "BinaryOp",
+    "Boundary",
+    "Br",
+    "BUILTIN_FUNCTIONS",
+    "Call",
+    "CMP_PREDS",
+    "Constant",
+    "Fcmp",
+    "FLOAT",
+    "FLOAT_BINOPS",
+    "Ftoi",
+    "Function",
+    "Gep",
+    "GlobalVariable",
+    "INT",
+    "INT_BINOPS",
+    "IRBuilder",
+    "IRSyntaxError",
+    "Icmp",
+    "Instruction",
+    "Itof",
+    "Jump",
+    "Load",
+    "Module",
+    "PTR",
+    "Phi",
+    "Ret",
+    "Select",
+    "Store",
+    "Type",
+    "Undef",
+    "VOID",
+    "Value",
+    "VerificationError",
+    "const_float",
+    "const_int",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "parse_module",
+    "type_from_name",
+    "verify_function",
+    "verify_module",
+]

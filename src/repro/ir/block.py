@@ -1,0 +1,117 @@
+"""Basic blocks of the repro IR control flow graph."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.instructions import Br, Instruction, Jump, Phi
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """A straight-line instruction sequence ending in a single terminator.
+
+    Successor edges live on the terminator (:class:`Br`/:class:`Jump`);
+    predecessor edges are computed on demand by scanning the function, which
+    keeps block surgery simple at the cost of O(blocks) queries. Analyses
+    that need fast predecessor access build a
+    :class:`repro.analysis.cfg.CFG` snapshot instead.
+    """
+
+    def __init__(self, name: str, parent: Optional["Function"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Instruction management
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Add ``inst`` at the end of the block."""
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` at position ``index``."""
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before(self, anchor: Instruction, inst: Instruction) -> Instruction:
+        """Insert ``inst`` immediately before ``anchor`` (must be in block)."""
+        return self.insert(self.instructions.index(anchor), inst)
+
+    def insert_after_phis(self, inst: Instruction) -> Instruction:
+        """Insert ``inst`` after the φ-node prefix of the block."""
+        index = 0
+        while index < len(self.instructions) and self.instructions[index].is_phi:
+            index += 1
+        return self.insert(index, inst)
+
+    def index_of(self, inst: Instruction) -> int:
+        return self.instructions.index(inst)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The block's final instruction if it is a terminator, else None."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return list(term.targets)
+
+    @property
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors:
+                preds.append(block)
+        return preds
+
+    def phis(self) -> Iterator[Phi]:
+        """The φ-nodes at the head of this block."""
+        for inst in self.instructions:
+            if inst.is_phi:
+                yield inst
+            else:
+                break
+
+    def non_phi_instructions(self) -> Iterator[Instruction]:
+        for inst in self.instructions:
+            if not inst.is_phi:
+                yield inst
+
+    @property
+    def first_non_phi(self) -> Optional[Instruction]:
+        for inst in self.instructions:
+            if not inst.is_phi:
+                return inst
+        return None
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        """Retarget this block's terminator edge(s) from ``old`` to ``new``."""
+        term = self.terminator
+        if isinstance(term, (Br, Jump)):
+            term.replace_target(old, new)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

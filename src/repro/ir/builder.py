@@ -1,0 +1,185 @@
+"""Convenience builder for constructing IR programmatically.
+
+The builder keeps an insertion point (a block) and offers one method per
+instruction kind; results are automatically given fresh names so that
+programmatic construction never collides with parsed names.
+
+Example::
+
+    module = Module("demo")
+    func = module.add_function("double", [("x", INT)], INT)
+    b = IRBuilder(func)
+    entry = b.new_block("entry")
+    b.set_block(entry)
+    doubled = b.add(func.args[0], b.const(2) if False else const_int(2))
+    b.ret(doubled)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    Call,
+    Fcmp,
+    Ftoi,
+    Gep,
+    Icmp,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import FLOAT, INT, Type
+from repro.ir.values import Constant, Value, const_float, const_int
+
+
+class IRBuilder:
+    """Builds instructions into a current block of a function."""
+
+    def __init__(self, func: Function, block: Optional[BasicBlock] = None) -> None:
+        self.func = func
+        self.block = block
+
+    # ------------------------------------------------------------------
+    # Positioning
+    # ------------------------------------------------------------------
+    def new_block(self, name: str) -> BasicBlock:
+        return self.func.add_block(name)
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def _emit(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise ValueError("IRBuilder has no current block")
+        if inst.type.is_value_type:
+            inst.name = self.func.unique_value_name(name or inst.opcode)
+        self.block.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value) -> Constant:
+        """Make an int or float constant from a Python number."""
+        if isinstance(value, bool):
+            return const_int(int(value))
+        if isinstance(value, int):
+            return const_int(value)
+        if isinstance(value, float):
+            return const_float(value)
+        raise TypeError(f"cannot make a constant from {value!r}")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._emit(BinaryOp(opcode, lhs, rhs), name)
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def div(self, lhs, rhs, name=""):
+        return self.binop("div", lhs, rhs, name)
+
+    def rem(self, lhs, rhs, name=""):
+        return self.binop("rem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def shr(self, lhs, rhs, name=""):
+        return self.binop("shr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Icmp:
+        return self._emit(Icmp(pred, lhs, rhs), name)
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Fcmp:
+        return self._emit(Fcmp(pred, lhs, rhs), name)
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Select:
+        return self._emit(Select(cond, a, b), name)
+
+    def itof(self, value: Value, name: str = "") -> Itof:
+        return self._emit(Itof(value), name)
+
+    def ftoi(self, value: Value, name: str = "") -> Ftoi:
+        return self._emit(Ftoi(value), name)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloca(self, size: int = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(size), name or "slot")
+
+    def load(self, type_: Type, ptr: Value, name: str = "") -> Load:
+        return self._emit(Load(type_, ptr), name)
+
+    def store(self, value: Value, ptr: Value) -> Store:
+        return self._emit(Store(value, ptr))
+
+    def gep(self, base: Value, index, name: str = "") -> Gep:
+        if isinstance(index, int):
+            index = const_int(index)
+        return self._emit(Gep(base, index), name)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def br(self, cond: Value, then_block: BasicBlock, else_block: BasicBlock) -> Br:
+        return self._emit(Br(cond, then_block, else_block))
+
+    def jmp(self, target: BasicBlock) -> Jump:
+        return self._emit(Jump(target))
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._emit(Ret(value))
+
+    def phi(self, type_: Type, incoming=(), name: str = "") -> Phi:
+        return self._emit(Phi(type_, incoming), name)
+
+    def call(self, type_: Type, callee: str, args: Sequence[Value], name: str = "") -> Call:
+        return self._emit(Call(type_, callee, args), name)
+
+    def boundary(self) -> Boundary:
+        return self._emit(Boundary())

@@ -1,0 +1,129 @@
+"""Functions of the repro IR."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument
+
+
+class Function:
+    """A function: an argument list, a return type, and a list of blocks.
+
+    The first block is the entry block. Block order is otherwise
+    insignificant to semantics but is preserved for printing and for
+    deterministic iteration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.args: List[Argument] = [
+            Argument(pname, ptype, i) for i, (pname, ptype) in enumerate(params)
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = itertools.count()
+        self._taken_names = {arg.name for arg in self.args}
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def add_block(self, name: str, after: Optional[BasicBlock] = None) -> BasicBlock:
+        """Create a new block with a unique name derived from ``name``."""
+        unique = self.unique_block_name(name)
+        block = BasicBlock(unique, parent=self)
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def block_by_name(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name!r} in @{self.name}")
+
+    def unique_block_name(self, base: str) -> str:
+        existing = {block.name for block in self.blocks}
+        if base and base not in existing:
+            return base
+        for i in itertools.count():
+            candidate = f"{base or 'bb'}.{i}"
+            if candidate not in existing:
+                return candidate
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def unique_value_name(self, base: str = "t") -> str:
+        """A fresh ``%name`` not colliding with args or existing results."""
+        base = base or "t"
+        if base not in self._taken_names:
+            self._taken_names.add(base)
+            return base
+        while True:
+            candidate = f"{base}.{next(self._name_counter)}"
+            if candidate not in self._taken_names:
+                self._taken_names.add(candidate)
+                return candidate
+
+    def claim_name(self, name: str) -> None:
+        """Mark ``name`` as taken (used by the parser for explicit names)."""
+        self._taken_names.add(name)
+
+    def arg_by_name(self, name: str) -> Argument:
+        for arg in self.args:
+            if arg.name == name:
+                return arg
+        raise KeyError(f"no argument named {name!r} in @{self.name}")
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions, in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def values_by_name(self) -> Dict[str, object]:
+        """Map from name to Argument / named Instruction (for tests/tools)."""
+        table: Dict[str, object] = {arg.name: arg for arg in self.args}
+        for inst in self.instructions():
+            if inst.name:
+                table[inst.name] = inst
+        return table
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        sig = ", ".join(f"%{a.name}: {a.type}" for a in self.args)
+        return f"<Function @{self.name}({sig}) -> {self.return_type}>"

@@ -1,0 +1,476 @@
+"""Instruction set of the repro IR.
+
+The IR is a load/store register IR in the style of LLVM: most instructions
+produce a value into a fresh pseudoregister, and memory is only touched by
+``load``/``store``. Instructions are also :class:`~repro.ir.values.Value`\\ s
+so they can appear directly as operands.
+
+Operand slots are tracked through :class:`~repro.ir.values.Use` records so
+that ``replace_all_uses_with`` works across the whole function.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.ir.types import FLOAT, INT, PTR, VOID, Type
+from repro.ir.values import Use, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import BasicBlock
+
+
+INT_BINOPS = ("add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr")
+FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
+CMP_PREDS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Calls to these names are handled directly by the interpreter / simulator
+#: rather than resolved against module functions.
+BUILTIN_FUNCTIONS = {
+    "malloc": PTR,   # malloc(nwords) -> ptr
+    "free": VOID,    # free(ptr)
+    "print_int": VOID,
+    "print_float": VOID,
+    "abs": INT,
+    "fabs": FLOAT,
+    "sqrt": FLOAT,
+    "exp": FLOAT,
+    "log": FLOAT,
+    "min": INT,
+    "max": INT,
+    "fmin": FLOAT,
+    "fmax": FLOAT,
+}
+
+
+class Instruction(Value):
+    """Base class for IR instructions.
+
+    Attributes:
+        opcode: textual opcode (``"add"``, ``"load"``, ...).
+        parent: the :class:`BasicBlock` containing this instruction, or None
+            if detached.
+    """
+
+    opcode = "?"
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = "") -> None:
+        super().__init__(type_, name)
+        self.parent: Optional["BasicBlock"] = None
+        self._operands: List[Use] = []
+        for value in operands:
+            self._append_operand(value)
+
+    # ------------------------------------------------------------------
+    # Operand management
+    # ------------------------------------------------------------------
+    def _append_operand(self, value: Value) -> None:
+        use = Use(self, len(self._operands), value)
+        self._operands.append(use)
+        value.add_use(use)
+
+    @property
+    def operands(self) -> List[Value]:
+        return [use.value for use in self._operands]
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index].value
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        """Replace operand ``index``, updating use lists on both sides."""
+        use = self._operands[index]
+        use.value.remove_use(use)
+        use.value = value
+        value.add_use(use)
+
+    def drop_operands(self) -> None:
+        """Remove this instruction from the use lists of all its operands."""
+        for use in self._operands:
+            use.value.remove_use(use)
+        self._operands = []
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, Jump, Ret))
+
+    @property
+    def is_phi(self) -> bool:
+        return isinstance(self, Phi)
+
+    @property
+    def reads_memory(self) -> bool:
+        return isinstance(self, Load) or (isinstance(self, Call) and not self.is_pure_builtin)
+
+    @property
+    def writes_memory(self) -> bool:
+        return isinstance(self, Store) or (isinstance(self, Call) and not self.is_pure_builtin)
+
+    @property
+    def has_side_effects(self) -> bool:
+        if isinstance(self, (Store, Ret, Br, Jump, Boundary)):
+            return True
+        if isinstance(self, Call):
+            return not self.is_pure_builtin
+        return False
+
+    @property
+    def is_pure_builtin(self) -> bool:
+        """True for calls to math builtins with no memory behaviour."""
+        if not isinstance(self, Call):
+            return False
+        return self.callee in BUILTIN_FUNCTIONS and self.callee not in (
+            "malloc",
+            "free",
+            "print_int",
+            "print_float",
+        )
+
+    # ------------------------------------------------------------------
+    # Block surgery
+    # ------------------------------------------------------------------
+    def remove_from_parent(self) -> None:
+        """Unlink from the containing block and drop operand uses."""
+        if self.parent is not None:
+            self.parent.instructions.remove(self)
+            self.parent = None
+        self.drop_operands()
+
+    def erase(self) -> None:
+        """Remove entirely; the instruction must have no remaining uses."""
+        if self.is_used:
+            raise ValueError(f"cannot erase {self!r}: it still has uses")
+        self.remove_from_parent()
+
+    def __repr__(self) -> str:
+        label = f"%{self.name} = " if self.type.is_value_type and self.name else ""
+        ops = ", ".join(op.ref() for op in self.operands)
+        return f"<{label}{self.opcode} {ops}>"
+
+
+# ----------------------------------------------------------------------
+# Arithmetic and logic
+# ----------------------------------------------------------------------
+class BinaryOp(Instruction):
+    """Two-operand arithmetic/logic: int and float variants share the class."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode in INT_BINOPS:
+            result = INT
+        elif opcode in FLOAT_BINOPS:
+            result = FLOAT
+        else:
+            raise ValueError(f"unknown binary opcode {opcode!r}")
+        super().__init__(result, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class Icmp(Instruction):
+    """Integer/pointer comparison producing 0 or 1."""
+
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in CMP_PREDS:
+            raise ValueError(f"unknown icmp predicate {pred!r}")
+        super().__init__(INT, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class Fcmp(Instruction):
+    """Float comparison producing 0 or 1."""
+
+    opcode = "fcmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in CMP_PREDS:
+            raise ValueError(f"unknown fcmp predicate {pred!r}")
+        super().__init__(INT, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — a without branching if cond is nonzero, else b."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, a: Value, b: Value, name: str = "") -> None:
+        super().__init__(a.type, [cond, a, b], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def true_value(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def false_value(self) -> Value:
+        return self.operand(2)
+
+
+class Itof(Instruction):
+    """Signed int to float conversion."""
+
+    opcode = "itof"
+
+    def __init__(self, value: Value, name: str = "") -> None:
+        super().__init__(FLOAT, [value], name)
+
+
+class Ftoi(Instruction):
+    """Float to signed int conversion (truncating)."""
+
+    opcode = "ftoi"
+
+    def __init__(self, value: Value, name: str = "") -> None:
+        super().__init__(INT, [value], name)
+
+
+# ----------------------------------------------------------------------
+# Memory
+# ----------------------------------------------------------------------
+class Alloca(Instruction):
+    """Reserve ``size`` words of local (function-frame) stack memory.
+
+    The result is the address of the first word. Allocas are only legal in
+    the entry block so their lifetime is the whole activation.
+    """
+
+    opcode = "alloca"
+
+    def __init__(self, size: int = 1, name: str = "") -> None:
+        super().__init__(PTR, [], name)
+        if size <= 0:
+            raise ValueError(f"alloca size must be positive, got {size}")
+        self.size = int(size)
+
+
+class Load(Instruction):
+    """Read one word from memory: ``%x = load <type>, %ptr``."""
+
+    opcode = "load"
+
+    def __init__(self, type_: Type, ptr: Value, name: str = "") -> None:
+        if not type_.is_value_type:
+            raise ValueError("load must produce a value type")
+        super().__init__(type_, [ptr], name)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operand(0)
+
+
+class Store(Instruction):
+    """Write one word to memory: ``store %value, %ptr``."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value) -> None:
+        super().__init__(VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operand(1)
+
+
+class Gep(Instruction):
+    """Pointer arithmetic: ``%p = gep %base, %index`` is ``base + index`` words."""
+
+    opcode = "gep"
+
+    def __init__(self, base: Value, index: Value, name: str = "") -> None:
+        super().__init__(PTR, [base, index], name)
+
+    @property
+    def base(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def index(self) -> Value:
+        return self.operand(1)
+
+
+# ----------------------------------------------------------------------
+# Control flow
+# ----------------------------------------------------------------------
+class Br(Instruction):
+    """Conditional branch: ``br %cond, then_block, else_block``."""
+
+    opcode = "br"
+
+    def __init__(self, cond: Value, then_block: "BasicBlock", else_block: "BasicBlock") -> None:
+        super().__init__(VOID, [cond])
+        self.then_block = then_block
+        self.else_block = else_block
+
+    @property
+    def cond(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def targets(self) -> List["BasicBlock"]:
+        return [self.then_block, self.else_block]
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.then_block is old:
+            self.then_block = new
+        if self.else_block is old:
+            self.else_block = new
+
+
+class Jump(Instruction):
+    """Unconditional branch."""
+
+    opcode = "jmp"
+
+    def __init__(self, target: "BasicBlock") -> None:
+        super().__init__(VOID, [])
+        self.target = target
+
+    @property
+    def targets(self) -> List["BasicBlock"]:
+        return [self.target]
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+
+class Ret(Instruction):
+    """Function return, with an optional value."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operand(0) if self.num_operands else None
+
+    @property
+    def targets(self) -> List["BasicBlock"]:
+        return []
+
+
+class Phi(Instruction):
+    """SSA φ-node. Incoming blocks are kept parallel to the operand list."""
+
+    opcode = "phi"
+
+    def __init__(
+        self,
+        type_: Type,
+        incoming: Sequence[Tuple[Value, "BasicBlock"]] = (),
+        name: str = "",
+    ) -> None:
+        super().__init__(type_, [value for value, _ in incoming], name)
+        self.incoming_blocks: List["BasicBlock"] = [block for _, block in incoming]
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incoming(self) -> List[Tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        """The value flowing in from predecessor ``block``."""
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        raise KeyError(f"phi %{self.name} has no incoming edge from {block.name}")
+
+    def set_incoming_for(self, block: "BasicBlock", value: Value) -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                self.set_operand(i, value)
+                return
+        raise KeyError(f"phi %{self.name} has no incoming edge from {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        """Drop the edge from ``block`` (e.g. after CFG surgery)."""
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                use = self._operands.pop(i)
+                use.value.remove_use(use)
+                self.incoming_blocks.pop(i)
+                for j, remaining in enumerate(self._operands):
+                    remaining.index = j
+                return
+        raise KeyError(f"phi %{self.name} has no incoming edge from {block.name}")
+
+    def replace_incoming_block(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is old:
+                self.incoming_blocks[i] = new
+
+
+class Call(Instruction):
+    """Direct call: ``%r = call <type> @callee(args...)``.
+
+    Callees are referenced by name and resolved by the module; this keeps
+    functions free of cross-function object references, which simplifies
+    cloning and parsing. Builtins (``malloc``, ``print_int``, ``sqrt``, ...)
+    are interpreted directly by the execution engines.
+    """
+
+    opcode = "call"
+
+    def __init__(self, type_: Type, callee: str, args: Sequence[Value], name: str = "") -> None:
+        super().__init__(type_, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+
+class Boundary(Instruction):
+    """Idempotent region boundary marker (a "cut" placed before a statement).
+
+    Inserted by the region construction pass; lowered by the code generator
+    to an ``rcb`` machine op that records the restart address in ``rp``.
+    """
+
+    opcode = "boundary"
+
+    def __init__(self) -> None:
+        super().__init__(VOID, [])

@@ -1,0 +1,64 @@
+"""Top-level IR container: a module of globals and functions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.ir.types import Type, VOID
+from repro.ir.values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: named global variables plus named functions."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.globals: Dict[str, GlobalVariable] = {}
+        self.functions: Dict[str, Function] = {}
+
+    # ------------------------------------------------------------------
+    # Globals
+    # ------------------------------------------------------------------
+    def add_global(
+        self, name: str, size: int = 1, initializer: Optional[list] = None
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global @{name}")
+        var = GlobalVariable(name, size, initializer)
+        self.globals[name] = var
+        return var
+
+    def global_by_name(self, name: str) -> GlobalVariable:
+        return self.globals[name]
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def add_function(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, Type]] = (),
+        return_type: Type = VOID,
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"duplicate function @{name}")
+        func = Function(name, params, return_type)
+        self.functions[name] = func
+        return func
+
+    def function_by_name(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    @property
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.globals)} globals, "
+            f"{len(self.functions)} functions>"
+        )

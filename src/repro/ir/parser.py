@@ -1,0 +1,430 @@
+"""Parser for the textual repro IR.
+
+Accepts the format produced by :mod:`repro.ir.printer` and round-trips it.
+Forward references (needed for φ-nodes and loop-carried values) are resolved
+with placeholder patching after the function body is read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    CMP_PREDS,
+    Call,
+    Fcmp,
+    FLOAT_BINOPS,
+    Ftoi,
+    Gep,
+    Icmp,
+    INT_BINOPS,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.types import Type, VOID, type_from_name
+from repro.ir.values import Undef, Value, const_float, const_int
+
+
+class IRSyntaxError(ValueError):
+    """Raised on malformed IR text, with a line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|;[^\n]*)
+  | (?P<float>-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)(?![\w.])|-?\d+\.\d*(?![\w])|-?\.\d+(?![\w]))
+  | (?P<int>-?\d+)
+  | (?P<global>@[A-Za-z_][\w.]*)
+  | (?P<local>%[A-Za-z_][\w.]*)
+  | (?P<word>[A-Za-z_][\w.]*)
+  | (?P<punct>->|[{}()\[\]=:,])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Placeholder(Value):
+    """Stand-in for a not-yet-defined local value (forward reference)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(VOID, name)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind} {self.text!r} @{self.line}>"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise IRSyntaxError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _FunctionContext:
+    """Per-function parse state: name tables and patch lists."""
+
+    def __init__(self, func: Function, module_globals: Dict[str, Value]) -> None:
+        self.func = func
+        self.module_globals = module_globals
+        self.values: Dict[str, Value] = {arg.name: arg for arg in func.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.placeholders: Dict[str, _Placeholder] = {}
+        # Blocks referenced before their labels appear.
+        self.pending_blocks: Dict[str, BasicBlock] = {}
+
+    def lookup_value(self, name: str) -> Value:
+        if name in self.values:
+            return self.values[name]
+        placeholder = self.placeholders.get(name)
+        if placeholder is None:
+            placeholder = _Placeholder(name)
+            self.placeholders[name] = placeholder
+        return placeholder
+
+    def define_value(self, name: str, value: Value, line: int) -> None:
+        if name in self.values:
+            raise IRSyntaxError(f"%{name} defined twice", line)
+        self.values[name] = value
+        self.func.claim_name(name)
+        placeholder = self.placeholders.pop(name, None)
+        if placeholder is not None:
+            placeholder.replace_all_uses_with(value)
+
+    def lookup_block(self, name: str) -> BasicBlock:
+        if name in self.blocks:
+            return self.blocks[name]
+        if name not in self.pending_blocks:
+            self.pending_blocks[name] = BasicBlock(name, parent=self.func)
+        return self.pending_blocks[name]
+
+    def start_block(self, name: str, line: int) -> BasicBlock:
+        if name in self.blocks:
+            raise IRSyntaxError(f"block {name} defined twice", line)
+        block = self.pending_blocks.pop(name, None)
+        if block is None:
+            block = BasicBlock(name, parent=self.func)
+        self.blocks[name] = block
+        self.func.blocks.append(block)
+        return block
+
+    def finish(self, line: int) -> None:
+        if self.placeholders:
+            missing = ", ".join(f"%{n}" for n in sorted(self.placeholders))
+            raise IRSyntaxError(f"undefined value(s): {missing}", line)
+        if self.pending_blocks:
+            missing = ", ".join(sorted(self.pending_blocks))
+            raise IRSyntaxError(f"undefined block label(s): {missing}", line)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def tok(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tok
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.tok
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise IRSyntaxError(f"expected {wanted!r}, got {token.text!r}", token.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.tok
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect_word(self, text: str) -> _Token:
+        return self.expect("word", text)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_module(self, name: str = "module") -> Module:
+        module = Module(name)
+        while self.tok.kind != "eof":
+            if self.tok.kind == "word" and self.tok.text == "global":
+                self._parse_global(module)
+            elif self.tok.kind == "word" and self.tok.text in ("func", "declare"):
+                self._parse_function(module)
+            else:
+                raise IRSyntaxError(
+                    f"expected 'global', 'func' or 'declare', got {self.tok.text!r}",
+                    self.tok.line,
+                )
+        return module
+
+    def _parse_global(self, module: Module) -> None:
+        self.expect_word("global")
+        name = self.expect("global").text[1:]
+        size = int(self.expect("int").text)
+        initializer = None
+        if self.accept("punct", "="):
+            self.expect("punct", "[")
+            initializer = []
+            if not self.accept("punct", "]"):
+                while True:
+                    initializer.append(self._parse_number())
+                    if self.accept("punct", "]"):
+                        break
+                    self.expect("punct", ",")
+        module.add_global(name, size, initializer)
+
+    def _parse_number(self):
+        token = self.tok
+        if token.kind == "int":
+            self.advance()
+            return int(token.text)
+        if token.kind == "float":
+            self.advance()
+            return float(token.text)
+        raise IRSyntaxError(f"expected number, got {token.text!r}", token.line)
+
+    def _parse_params(self) -> List[Tuple[str, Type]]:
+        self.expect("punct", "(")
+        params: List[Tuple[str, Type]] = []
+        if self.accept("punct", ")"):
+            return params
+        while True:
+            pname = self.expect("local").text[1:]
+            self.expect("punct", ":")
+            ptype = self._parse_type()
+            params.append((pname, ptype))
+            if self.accept("punct", ")"):
+                return params
+            self.expect("punct", ",")
+
+    def _parse_type(self) -> Type:
+        token = self.expect("word")
+        try:
+            return type_from_name(token.text)
+        except KeyError:
+            raise IRSyntaxError(f"unknown type {token.text!r}", token.line) from None
+
+    def _parse_function(self, module: Module) -> None:
+        is_decl = self.tok.text == "declare"
+        self.advance()
+        name = self.expect("global").text[1:]
+        params = self._parse_params()
+        return_type = VOID
+        if self.accept("punct", "->"):
+            return_type = self._parse_type()
+        func = module.add_function(name, params, return_type)
+        if is_decl:
+            return
+        self.expect("punct", "{")
+        ctx = _FunctionContext(func, module.globals)
+        current: Optional[BasicBlock] = None
+        while not self.accept("punct", "}"):
+            token = self.tok
+            if token.kind == "word" and self.tokens[self.pos + 1].text == ":" and token.text not in (
+                "store", "br", "jmp", "ret", "call", "boundary",
+            ):
+                self.advance()
+                self.expect("punct", ":")
+                current = ctx.start_block(token.text, token.line)
+                continue
+            if current is None:
+                raise IRSyntaxError("instruction before first block label", token.line)
+            self._parse_instruction(ctx, current)
+        ctx.finish(self.tok.line)
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def _parse_operand(self, ctx: _FunctionContext) -> Value:
+        token = self.tok
+        if token.kind == "local":
+            self.advance()
+            return ctx.lookup_value(token.text[1:])
+        if token.kind == "global":
+            self.advance()
+            name = token.text[1:]
+            module_global = ctx.module_globals.get(name)
+            if module_global is None:
+                raise IRSyntaxError(f"unknown global @{name}", token.line)
+            return module_global
+        if token.kind == "int":
+            self.advance()
+            return const_int(int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return const_float(float(token.text))
+        if token.kind == "word" and token.text == "undef":
+            self.advance()
+            self.expect("punct", ":")
+            return Undef(self._parse_type())
+        raise IRSyntaxError(f"expected operand, got {token.text!r}", token.line)
+
+    def _parse_instruction(self, ctx: _FunctionContext, block: BasicBlock) -> None:
+        token = self.tok
+        if token.kind == "local":
+            self._parse_assignment(ctx, block)
+            return
+        word = self.expect("word").text
+        if word == "store":
+            value = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            ptr = self._parse_operand(ctx)
+            block.append(Store(value, ptr))
+        elif word == "br":
+            cond = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            then_name = self.expect("word").text
+            self.expect("punct", ",")
+            else_name = self.expect("word").text
+            block.append(Br(cond, ctx.lookup_block(then_name), ctx.lookup_block(else_name)))
+        elif word == "jmp":
+            target = self.expect("word").text
+            block.append(Jump(ctx.lookup_block(target)))
+        elif word == "ret":
+            if self.tok.kind in ("local", "global", "int", "float") or (
+                self.tok.kind == "word" and self.tok.text == "undef"
+            ):
+                block.append(Ret(self._parse_operand(ctx)))
+            else:
+                block.append(Ret())
+        elif word == "call":
+            self.expect_word("void")
+            callee = self.expect("global").text[1:]
+            args = self._parse_call_args(ctx)
+            block.append(Call(VOID, callee, args))
+        elif word == "boundary":
+            block.append(Boundary())
+        else:
+            raise IRSyntaxError(f"unknown instruction {word!r}", token.line)
+
+    def _parse_call_args(self, ctx: _FunctionContext) -> List[Value]:
+        self.expect("punct", "(")
+        args: List[Value] = []
+        if self.accept("punct", ")"):
+            return args
+        while True:
+            args.append(self._parse_operand(ctx))
+            if self.accept("punct", ")"):
+                return args
+            self.expect("punct", ",")
+
+    def _parse_assignment(self, ctx: _FunctionContext, block: BasicBlock) -> None:
+        name_token = self.expect("local")
+        name = name_token.text[1:]
+        self.expect("punct", "=")
+        op_token = self.expect("word")
+        opcode = op_token.text
+        inst: Instruction
+        if opcode in INT_BINOPS or opcode in FLOAT_BINOPS:
+            lhs = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(ctx)
+            inst = BinaryOp(opcode, lhs, rhs, name)
+        elif opcode in ("icmp", "fcmp"):
+            pred = self.expect("word").text
+            if pred not in CMP_PREDS:
+                raise IRSyntaxError(f"unknown predicate {pred!r}", op_token.line)
+            lhs = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            rhs = self._parse_operand(ctx)
+            inst = Icmp(pred, lhs, rhs, name) if opcode == "icmp" else Fcmp(pred, lhs, rhs, name)
+        elif opcode == "select":
+            cond = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            a = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            b = self._parse_operand(ctx)
+            inst = Select(cond, a, b, name)
+        elif opcode == "itof":
+            inst = Itof(self._parse_operand(ctx), name)
+        elif opcode == "ftoi":
+            inst = Ftoi(self._parse_operand(ctx), name)
+        elif opcode == "alloca":
+            size = int(self.expect("int").text)
+            inst = Alloca(size, name)
+        elif opcode == "load":
+            type_ = self._parse_type()
+            self.expect("punct", ",")
+            ptr = self._parse_operand(ctx)
+            inst = Load(type_, ptr, name)
+        elif opcode == "gep":
+            base = self._parse_operand(ctx)
+            self.expect("punct", ",")
+            index = self._parse_operand(ctx)
+            inst = Gep(base, index, name)
+        elif opcode == "phi":
+            type_ = self._parse_type()
+            inst = Phi(type_, [], name)
+            while True:
+                self.expect("punct", "[")
+                value = self._parse_operand(ctx)
+                self.expect("punct", ",")
+                label = self.expect("word").text
+                self.expect("punct", "]")
+                inst.add_incoming(value, ctx.lookup_block(label))
+                if not self.accept("punct", ","):
+                    break
+        elif opcode == "call":
+            type_ = self._parse_type()
+            callee = self.expect("global").text[1:]
+            args = self._parse_call_args(ctx)
+            inst = Call(type_, callee, args, name)
+        else:
+            raise IRSyntaxError(f"unknown opcode {opcode!r}", op_token.line)
+        ctx.define_value(name, inst, name_token.line)
+        block.append(inst)
+
+
+def parse_module(source: str, name: str = "module") -> Module:
+    """Parse IR text into a :class:`Module`."""
+    return Parser(source).parse_module(name)

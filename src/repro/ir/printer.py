@@ -1,0 +1,131 @@
+"""Textual printer for the repro IR.
+
+The format round-trips through :mod:`repro.ir.parser`. Example::
+
+    global @table 16 = [1, 2, 3]
+
+    func @sum(%p: ptr, %n: int) -> int {
+    entry:
+      %i0 = alloca 1
+      store 0, %i0
+      jmp loop
+    loop:
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    Call,
+    Fcmp,
+    Ftoi,
+    Gep,
+    Icmp,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Undef, Value
+
+
+def format_operand(value: Value) -> str:
+    """Spell a value in operand position."""
+    if isinstance(value, Undef):
+        return f"undef:{value.type}"
+    return value.ref()
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line textual form of ``inst`` (without indentation)."""
+    ops = [format_operand(op) for op in inst.operands]
+    if isinstance(inst, BinaryOp):
+        return f"%{inst.name} = {inst.opcode} {ops[0]}, {ops[1]}"
+    if isinstance(inst, Icmp):
+        return f"%{inst.name} = icmp {inst.pred} {ops[0]}, {ops[1]}"
+    if isinstance(inst, Fcmp):
+        return f"%{inst.name} = fcmp {inst.pred} {ops[0]}, {ops[1]}"
+    if isinstance(inst, Select):
+        return f"%{inst.name} = select {ops[0]}, {ops[1]}, {ops[2]}"
+    if isinstance(inst, Itof):
+        return f"%{inst.name} = itof {ops[0]}"
+    if isinstance(inst, Ftoi):
+        return f"%{inst.name} = ftoi {ops[0]}"
+    if isinstance(inst, Alloca):
+        return f"%{inst.name} = alloca {inst.size}"
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {inst.type}, {ops[0]}"
+    if isinstance(inst, Store):
+        return f"store {ops[0]}, {ops[1]}"
+    if isinstance(inst, Gep):
+        return f"%{inst.name} = gep {ops[0]}, {ops[1]}"
+    if isinstance(inst, Br):
+        return f"br {ops[0]}, {inst.then_block.name}, {inst.else_block.name}"
+    if isinstance(inst, Jump):
+        return f"jmp {inst.target.name}"
+    if isinstance(inst, Ret):
+        return f"ret {ops[0]}" if ops else "ret"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[{format_operand(value)}, {block.name}]" for value, block in inst.incoming
+        )
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, Call):
+        arglist = ", ".join(ops)
+        if inst.type.is_void:
+            return f"call void @{inst.callee}({arglist})"
+        return f"%{inst.name} = call {inst.type} @{inst.callee}({arglist})"
+    if isinstance(inst, Boundary):
+        return "boundary"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    sig = ", ".join(f"%{a.name}: {a.type}" for a in func.args)
+    arrow = f" -> {func.return_type}" if not func.return_type.is_void else ""
+    if func.is_declaration:
+        return f"declare @{func.name}({sig}){arrow}"
+    lines = [f"func @{func.name}({sig}){arrow} {{"]
+    for block in func.blocks:
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = []
+    for var in module.globals.values():
+        if var.initializer is not None:
+            init = ", ".join(str(v) for v in var.initializer)
+            parts.append(f"global @{var.name} {var.size} = [{init}]")
+        else:
+            parts.append(f"global @{var.name} {var.size}")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts) + "\n"
+
+
+def print_module(module: Module) -> str:
+    """Alias of :func:`format_module` for discoverability."""
+    return format_module(module)

@@ -1,0 +1,80 @@
+"""Type system for the repro IR.
+
+The IR is deliberately small: a 64-bit integer type (which doubles as the
+boolean type — comparisons produce 0/1), a double-precision float type, an
+opaque pointer type, and void for instructions that produce no value.
+
+Types are singletons; compare them with ``is`` or ``==`` interchangeably.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for IR types. Instances are interned singletons."""
+
+    _name = "type"
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __str__(self) -> str:
+        return self._name
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_ptr(self) -> bool:
+        return isinstance(self, PtrType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_value_type(self) -> bool:
+        """True for types a register can hold (everything but void)."""
+        return not self.is_void
+
+
+class IntType(Type):
+    """64-bit signed integer. Also the boolean type (0 = false, 1 = true)."""
+
+    _name = "int"
+
+
+class FloatType(Type):
+    """Double-precision floating point."""
+
+    _name = "float"
+
+
+class PtrType(Type):
+    """Opaque pointer into word-addressed memory."""
+
+    _name = "ptr"
+
+
+class VoidType(Type):
+    """Absence of a value (stores, branches, void calls)."""
+
+    _name = "void"
+
+
+INT = IntType()
+FLOAT = FloatType()
+PTR = PtrType()
+VOID = VoidType()
+
+_BY_NAME = {"int": INT, "float": FLOAT, "ptr": PTR, "void": VOID}
+
+
+def type_from_name(name: str) -> Type:
+    """Look up a type by its textual name, raising ``KeyError`` if unknown."""
+    return _BY_NAME[name]

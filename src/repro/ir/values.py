@@ -1,0 +1,189 @@
+"""Core value hierarchy for the repro IR.
+
+Every operand in the IR is a :class:`Value`. Values track their users so
+that transforms can rewrite programs with ``replace_all_uses_with``. The
+leaf kinds defined here are constants, undef, function arguments, and
+global variables; instructions (which are also values) live in
+:mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.types import FLOAT, INT, PTR, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Base class for everything that can appear as an operand.
+
+    Attributes:
+        type: the :class:`~repro.ir.types.Type` of the value.
+        name: optional printable name (``%name`` for locals, ``@name`` for
+            globals and functions).
+    """
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+        # Uses are stored as (instruction, operand_index) pairs. A list, not
+        # a set: one instruction may use the same value in several slots.
+        self._uses: List["Use"] = []
+
+    # ------------------------------------------------------------------
+    # Use tracking
+    # ------------------------------------------------------------------
+    @property
+    def uses(self) -> List["Use"]:
+        """The live (instruction, index) pairs that reference this value."""
+        return list(self._uses)
+
+    @property
+    def users(self) -> List["Instruction"]:
+        """Instructions that reference this value (deduplicated, ordered)."""
+        seen = []
+        for use in self._uses:
+            if use.user not in seen:
+                seen.append(use.user)
+        return seen
+
+    def add_use(self, use: "Use") -> None:
+        self._uses.append(use)
+
+    def remove_use(self, use: "Use") -> None:
+        self._uses.remove(use)
+
+    @property
+    def is_used(self) -> bool:
+        return bool(self._uses)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every use of ``self`` to reference ``new`` instead."""
+        if new is self:
+            return
+        for use in list(self._uses):
+            use.user.set_operand(use.index, new)
+
+    # ------------------------------------------------------------------
+    # Printing
+    # ------------------------------------------------------------------
+    def ref(self) -> str:
+        """The operand-position spelling of this value (e.g. ``%x``)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref()}>"
+
+
+class Use:
+    """A single operand slot: instruction ``user`` reads ``value`` at ``index``."""
+
+    __slots__ = ("user", "index", "value")
+
+    def __init__(self, user: "Instruction", index: int, value: Value) -> None:
+        self.user = user
+        self.index = index
+        self.value = value
+
+
+class Constant(Value):
+    """An immediate integer or float constant."""
+
+    def __init__(self, type_: Type, value) -> None:
+        super().__init__(type_, name="")
+        self.value = value
+
+    def ref(self) -> str:
+        if self.type.is_float:
+            text = repr(float(self.value))
+            # Ensure floats always round-trip as floats in the parser.
+            if "." not in text and "e" not in text and "inf" not in text and "nan" not in text:
+                text += ".0"
+            return text
+        return str(int(self.value))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.type), self.value))
+
+    def __repr__(self) -> str:
+        return f"<Constant {self.type} {self.value}>"
+
+
+def const_int(value: int) -> Constant:
+    """Make an integer constant."""
+    return Constant(INT, int(value))
+
+
+def const_float(value: float) -> Constant:
+    """Make a float constant."""
+    return Constant(FLOAT, float(value))
+
+
+class Undef(Value):
+    """An undefined value of a given type (used by SSA construction)."""
+
+    def __init__(self, type_: Type) -> None:
+        super().__init__(type_, name="")
+
+    def ref(self) -> str:
+        return "undef"
+
+    def __repr__(self) -> str:
+        return f"<Undef {self.type}>"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, name: str, type_: Type, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"<Argument %{self.name}: {self.type}>"
+
+
+class GlobalVariable(Value):
+    """A module-level variable: a fixed-size block of word-addressed memory.
+
+    The value of a ``GlobalVariable`` operand is the *address* of the block,
+    so its type is always ``ptr``.
+
+    Attributes:
+        size: number of words reserved.
+        initializer: optional list of initial word values (ints/floats);
+            padded with zeros to ``size`` at interpretation time.
+    """
+
+    def __init__(self, name: str, size: int, initializer: Optional[list] = None) -> None:
+        super().__init__(PTR, name)
+        if size <= 0:
+            raise ValueError(f"global @{name} must have positive size, got {size}")
+        if initializer is not None and len(initializer) > size:
+            raise ValueError(
+                f"global @{name}: initializer has {len(initializer)} words "
+                f"but size is {size}"
+            )
+        self.size = size
+        self.initializer = list(initializer) if initializer is not None else None
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<GlobalVariable @{self.name} size={self.size}>"
+
+
+def operand_values(values: Iterator[Value]) -> List[Value]:
+    """Materialize an operand iterator as a list (small helper for callers)."""
+    return list(values)

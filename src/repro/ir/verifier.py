@@ -1,0 +1,240 @@
+"""Structural and (optionally) SSA well-formedness checks for the IR.
+
+The verifier catches compiler bugs early: every transform in the pipeline is
+followed by a verification in tests. Two levels:
+
+- :func:`verify_function` / :func:`verify_module` — structural checks that
+  hold for any IR (terminators present, operand types, φ edges match
+  predecessors, allocas in entry, ...).
+- with ``ssa=True`` — additionally checks the SSA dominance property: every
+  use is dominated by its definition (φ uses checked at the incoming edge).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Fcmp,
+    FLOAT_BINOPS,
+    Gep,
+    Icmp,
+    Instruction,
+    Itof,
+    Ftoi,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.types import FLOAT, INT, PTR
+from repro.ir.values import Argument, Constant, GlobalVariable, Undef, Value
+
+
+class VerificationError(ValueError):
+    """Raised when IR fails verification; message lists every violation."""
+
+
+def _check_operand_type(errors: List[str], where: str, value: Value, expected) -> None:
+    if isinstance(value, Undef):
+        return
+    if value.type is not expected and type(value.type) is not type(expected):
+        errors.append(f"{where}: operand {value.ref()} has type {value.type}, expected {expected}")
+
+
+def _is_intlike(value: Value) -> bool:
+    # Pointers may flow into int comparisons (pointer equality) — allow it.
+    return value.type.is_int or value.type.is_ptr
+
+
+def verify_function(func: Function, ssa: bool = False) -> None:
+    """Raise :class:`VerificationError` if ``func`` is malformed."""
+    errors: List[str] = []
+    if func.is_declaration:
+        return
+
+    block_set = set(func.blocks)
+    defined: set = set(func.args)
+
+    for block in func.blocks:
+        where = f"@{func.name}:{block.name}"
+        if block.parent is not func:
+            errors.append(f"{where}: block parent pointer is wrong")
+        term = block.terminator
+        if term is None:
+            errors.append(f"{where}: block lacks a terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                errors.append(f"{where}: instruction #{i} has wrong parent")
+            if inst.is_terminator and inst is not block.instructions[-1]:
+                errors.append(f"{where}: terminator {inst.opcode} not at block end")
+            if inst.is_phi and i > 0 and not block.instructions[i - 1].is_phi:
+                errors.append(f"{where}: phi %{inst.name} not at block head")
+            defined.add(inst)
+        for succ in block.successors:
+            if succ not in block_set:
+                errors.append(f"{where}: successor {succ.name} not in function")
+
+    for block in func.blocks:
+        preds = set(block.predecessors)
+        for phi in block.phis():
+            where = f"@{func.name}:{block.name}: phi %{phi.name}"
+            incoming_blocks = set(phi.incoming_blocks)
+            if incoming_blocks != preds:
+                pred_names = sorted(p.name for p in preds)
+                in_names = sorted(p.name for p in phi.incoming_blocks)
+                errors.append(
+                    f"{where}: incoming blocks {in_names} != predecessors {pred_names}"
+                )
+            if len(phi.incoming_blocks) != len(set(map(id, phi.incoming_blocks))):
+                errors.append(f"{where}: duplicate incoming block")
+
+    for inst in func.instructions():
+        where = f"@{func.name}:{inst.parent.name}: {inst.opcode}"
+        if inst.name:
+            where += f" %{inst.name}"
+        _verify_instruction_types(errors, where, func, inst)
+        for op in inst.operands:
+            if isinstance(op, (Constant, Undef, GlobalVariable)):
+                continue
+            if isinstance(op, (Argument, Instruction)):
+                if op not in defined:
+                    errors.append(f"{where}: operand {op.ref()} not defined in function")
+            else:
+                errors.append(f"{where}: operand {op!r} has unexpected kind")
+
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Alloca) and block is not func.entry:
+                errors.append(
+                    f"@{func.name}:{block.name}: alloca %{inst.name} outside entry block"
+                )
+
+    if ssa:
+        _verify_ssa_dominance(errors, func)
+
+    if errors:
+        raise VerificationError("\n".join(errors))
+
+
+def _verify_instruction_types(errors: List[str], where: str, func: Function, inst: Instruction) -> None:
+    if isinstance(inst, BinaryOp):
+        expected = FLOAT if inst.opcode in FLOAT_BINOPS else INT
+        for op in inst.operands:
+            _check_operand_type(errors, where, op, expected)
+    elif isinstance(inst, Icmp):
+        for op in inst.operands:
+            if not _is_intlike(op) and not isinstance(op, Undef):
+                errors.append(f"{where}: icmp on non-integer operand {op.ref()}")
+    elif isinstance(inst, Fcmp):
+        for op in inst.operands:
+            _check_operand_type(errors, where, op, FLOAT)
+    elif isinstance(inst, Select):
+        if inst.true_value.type is not inst.false_value.type:
+            errors.append(f"{where}: select arms have different types")
+    elif isinstance(inst, Load):
+        _check_operand_type(errors, where, inst.ptr, PTR)
+    elif isinstance(inst, Store):
+        _check_operand_type(errors, where, inst.ptr, PTR)
+        if inst.value.type.is_void:
+            errors.append(f"{where}: storing a void value")
+    elif isinstance(inst, Gep):
+        _check_operand_type(errors, where, inst.base, PTR)
+        _check_operand_type(errors, where, inst.index, INT)
+    elif isinstance(inst, Itof):
+        _check_operand_type(errors, where, inst.operand(0), INT)
+    elif isinstance(inst, Ftoi):
+        _check_operand_type(errors, where, inst.operand(0), FLOAT)
+    elif isinstance(inst, Br):
+        _check_operand_type(errors, where, inst.cond, INT)
+    elif isinstance(inst, Ret):
+        if func.return_type.is_void:
+            if inst.value is not None:
+                errors.append(f"{where}: returning a value from a void function")
+        else:
+            if inst.value is None:
+                errors.append(f"{where}: missing return value")
+    elif isinstance(inst, Phi):
+        for value, _ in inst.incoming:
+            _check_operand_type(errors, where, value, inst.type)
+
+
+def _verify_ssa_dominance(errors: List[str], func: Function) -> None:
+    # Imported here to avoid a package cycle (analysis depends on ir).
+    from repro.analysis.dominators import DominatorTree
+
+    domtree = DominatorTree.compute(func)
+    positions = {}
+    for block in func.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[inst] = (block, i)
+
+    def dominates_use(def_inst: Instruction, user: Instruction, use_block: BasicBlock) -> bool:
+        def_block, def_index = positions[def_inst]
+        if user.is_phi:
+            # For phis, the definition must dominate the end of the incoming
+            # block (use_block here is the incoming block).
+            if def_block is use_block:
+                return True
+            return domtree.dominates(def_block, use_block)
+        use_block_actual, use_index = positions[user]
+        if def_block is use_block_actual:
+            return def_index < use_index
+        return domtree.dominates(def_block, use_block_actual)
+
+    for block in func.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        for inst in block.instructions:
+            if inst.is_phi:
+                for value, pred in inst.incoming:
+                    if isinstance(value, Instruction) and domtree.is_reachable(pred):
+                        if not dominates_use(value, inst, pred):
+                            errors.append(
+                                f"@{func.name}: phi %{inst.name} operand %{value.name} "
+                                f"does not dominate incoming edge from {pred.name}"
+                            )
+            else:
+                for value in inst.operands:
+                    if isinstance(value, Instruction):
+                        if value not in positions:
+                            errors.append(
+                                f"@{func.name}: %{inst.name or inst.opcode} uses detached "
+                                f"value %{value.name}"
+                            )
+                        elif not dominates_use(value, inst, block):
+                            errors.append(
+                                f"@{func.name}:{block.name}: use of %{value.name} in "
+                                f"%{inst.name or inst.opcode} not dominated by its definition"
+                            )
+
+
+def verify_module(module: Module, ssa: bool = False) -> None:
+    """Verify every defined function in ``module``."""
+    errors: List[str] = []
+    for func in module.defined_functions:
+        try:
+            verify_function(func, ssa=ssa)
+        except VerificationError as exc:
+            errors.append(str(exc))
+    # Check call targets resolve to module functions or builtins.
+    from repro.ir.instructions import BUILTIN_FUNCTIONS
+
+    for func in module.defined_functions:
+        for inst in func.instructions():
+            if isinstance(inst, Call):
+                if inst.callee not in module.functions and inst.callee not in BUILTIN_FUNCTIONS:
+                    errors.append(
+                        f"@{func.name}: call to unknown function @{inst.callee}"
+                    )
+    if errors:
+        raise VerificationError("\n".join(errors))

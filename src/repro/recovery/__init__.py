@@ -1,0 +1,29 @@
+"""repro.recovery — fault recovery schemes (paper §6.3, Fig. 11/12)."""
+
+from repro.recovery.schemes import (
+    SCHEME_CHECKPOINT_LOG,
+    SCHEME_DMR,
+    SCHEME_IDEMPOTENCE,
+    SCHEME_TMR,
+    SCHEMES,
+    SchemeRun,
+    compare_schemes,
+    dmr_cost_model,
+    instrument_checkpoint_log,
+    run_scheme,
+    tmr_cost_model,
+)
+
+__all__ = [
+    "SCHEMES",
+    "SCHEME_CHECKPOINT_LOG",
+    "SCHEME_DMR",
+    "SCHEME_IDEMPOTENCE",
+    "SCHEME_TMR",
+    "SchemeRun",
+    "compare_schemes",
+    "dmr_cost_model",
+    "instrument_checkpoint_log",
+    "run_scheme",
+    "tmr_cost_model",
+]

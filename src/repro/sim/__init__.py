@@ -1,0 +1,17 @@
+"""repro.sim — machine simulation, dynamic analyses, fault injection."""
+
+from repro.sim.simulator import (
+    CostModel,
+    Location,
+    SimLimitExceeded,
+    SimulationError,
+    Simulator,
+)
+
+__all__ = [
+    "CostModel",
+    "Location",
+    "SimLimitExceeded",
+    "SimulationError",
+    "Simulator",
+]

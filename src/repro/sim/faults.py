@@ -1,0 +1,211 @@
+"""Transient-fault injection and recovery (paper §2.3, §6.3).
+
+Fault model (the paper's): memory and register *storage* are ECC-protected;
+faults arise in instruction execution only. We corrupt the destination of
+one dynamic instruction (a soft error in a functional unit) or a branch
+decision (incorrect control flow). Detection is instruction-level DMR: the
+fault becomes visible at the next *check point* — a load, store, branch,
+call, or region boundary — before that operation commits, so corrupted
+stores never reach memory and corrupted values never cross an undetected
+region boundary.
+
+Recovery is the paper's idempotence scheme: discard unverified stores and
+jump to the restart pointer ``rp``. On an idempotent binary this always
+reproduces the fault-free result; on an original (non-idempotent) binary
+the same procedure silently corrupts state — the negative control used in
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.codegen.machine import MachineInstr, MachineProgram
+from repro.interp.memory import MemoryError_
+from repro.sim.simulator import SimulationError, Simulator
+
+FAULT_VALUE = "value"      # corrupt an instruction's destination register
+FAULT_CONTROL = "control"  # corrupt a branch condition (wrong control flow)
+
+
+@dataclass
+class FaultPlan:
+    """Inject one fault at the Nth dynamically executed instruction.
+
+    ``detection_latency`` models slow detection (paper §6.2: "longer path
+    lengths allow execution to proceed speculatively for longer amounts of
+    time while potential execution failures remain undetected"): the fault
+    is only detected at the first check point at least that many dynamic
+    instructions after injection. If a region boundary slips by in the
+    meantime, ``rp`` advances past the fault and recovery re-executes a
+    region whose inputs are already corrupt — large regions are what make
+    long latencies survivable.
+    """
+
+    target_instruction: int
+    kind: str = FAULT_VALUE
+    flip_mask: int = 0x1
+    detection_latency: int = 0
+
+
+@dataclass
+class FaultOutcome:
+    injected: bool = False
+    detected: bool = False
+    recovered: bool = False
+    crashed: bool = False
+    result: object = None
+    output: List[object] = field(default_factory=list)
+    instructions: int = 0
+    recovery_instructions: int = 0
+
+
+class FaultInjector:
+    """Drives a simulator run with one planned fault and rp recovery."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, recover: bool = True) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.recover = recover
+        self.outcome = FaultOutcome()
+        self._pending = False
+        self._armed = True
+        self._injected_at = 0
+        sim.pre_hook = self._pre
+        sim.post_hook = self._post
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _pre(self, sim: Simulator, instr: MachineInstr) -> None:
+        if (
+            self._pending
+            and instr.opcode in Simulator.CHECK_POINTS
+            and sim.instructions - self._injected_at >= self.plan.detection_latency
+        ):
+            self.outcome.detected = True
+            self._pending = False
+            if self.recover:
+                mark = sim.instructions
+                sim.recover_to_rp()
+                sim.redirect()
+                self.outcome.recovered = True
+                self.outcome.recovery_instructions = mark
+            return
+        if (
+            self._armed
+            and self.plan.kind == FAULT_CONTROL
+            and sim.instructions + 1 >= self.plan.target_instruction
+            and instr.opcode == "bnz"
+        ):
+            cond = instr.srcs[0]
+            value = sim.get_reg(cond)
+            sim.set_reg(cond, 0 if value else 1)
+            self._armed = False
+            self.outcome.injected = True
+            self._injected_at = sim.instructions
+            self._pending = True  # detected at the next check point after this branch
+
+    def _post(self, sim: Simulator, instr: MachineInstr, loc) -> None:
+        if (
+            self._armed
+            and self.plan.kind == FAULT_VALUE
+            and sim.instructions >= self.plan.target_instruction
+            and instr.dst is not None
+            and not instr.is_memory  # loads are verified directly by DMR
+        ):
+            value = sim.get_reg(instr.dst)
+            if isinstance(value, float):
+                corrupted = -(value + 1.0)
+            else:
+                corrupted = value ^ self.plan.flip_mask
+            sim.set_reg(instr.dst, corrupted)
+            self._armed = False
+            self.outcome.injected = True
+            self._injected_at = sim.instructions
+            self._pending = True
+
+
+def run_with_fault(
+    program: MachineProgram,
+    plan: FaultPlan,
+    func: str = "main",
+    args: Tuple = (),
+    recover: bool = True,
+    max_instructions: int = 50_000_000,
+) -> FaultOutcome:
+    """Execute ``func`` with one injected fault; returns the outcome."""
+    sim = Simulator(program, max_instructions=max_instructions)
+    injector = FaultInjector(sim, plan, recover=recover)
+    outcome = injector.outcome
+    try:
+        outcome.result = sim.run(func, args)
+    except (MemoryError_, SimulationError):
+        outcome.crashed = True
+    outcome.output = list(sim.output)
+    outcome.instructions = sim.instructions
+    return outcome
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of a fault-injection campaign."""
+
+    trials: int = 0
+    injected: int = 0
+    detected: int = 0
+    recovered_correctly: int = 0
+    wrong_result: int = 0
+    crashed: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered_correctly / self.injected if self.injected else 0.0
+
+
+def fault_campaign(
+    program: MachineProgram,
+    reference_result: object,
+    reference_output: List[object],
+    trials: int = 50,
+    func: str = "main",
+    args: Tuple = (),
+    kind: str = FAULT_VALUE,
+    seed: int = 12345,
+    recover: bool = True,
+    detection_latency: int = 0,
+) -> CampaignResult:
+    """Inject ``trials`` faults at random points; compare against reference.
+
+    The fault-free dynamic instruction count is measured first so targets
+    are uniform over the execution.
+    """
+    baseline = Simulator(program)
+    baseline.run(func, args)
+    span = max(baseline.instructions - 2, 1)
+
+    rng = random.Random(seed)
+    result = CampaignResult()
+    for _ in range(trials):
+        target = rng.randrange(1, span)
+        plan = FaultPlan(
+            target_instruction=target,
+            kind=kind,
+            detection_latency=detection_latency,
+        )
+        outcome = run_with_fault(program, plan, func=func, args=args, recover=recover)
+        result.trials += 1
+        if not outcome.injected:
+            continue
+        result.injected += 1
+        if outcome.detected:
+            result.detected += 1
+        if outcome.crashed:
+            result.crashed += 1
+        elif outcome.result == reference_result and outcome.output == reference_output:
+            result.recovered_correctly += 1
+        else:
+            result.wrong_result += 1
+    return result

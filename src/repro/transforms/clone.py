@@ -1,0 +1,151 @@
+"""Cloning and CFG-surgery utilities shared by loop transforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Boundary,
+    Br,
+    Call,
+    Fcmp,
+    Ftoi,
+    Gep,
+    Icmp,
+    Instruction,
+    Itof,
+    Jump,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import Value
+
+
+def clone_instruction(
+    inst: Instruction,
+    vmap: Dict[Value, Value],
+    bmap: Dict[BasicBlock, BasicBlock],
+    name_hint: str = "",
+) -> Instruction:
+    """Create a copy of ``inst`` with operands and block targets remapped.
+
+    Operands not present in ``vmap`` are shared with the original (values
+    defined outside the cloned region). φ incoming values are copied as-is
+    and must be patched by the caller once the whole region is cloned.
+    """
+
+    def m(value: Value) -> Value:
+        return vmap.get(value, value)
+
+    def mb(block: BasicBlock) -> BasicBlock:
+        return bmap.get(block, block)
+
+    if isinstance(inst, BinaryOp):
+        copy: Instruction = BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), name_hint)
+    elif isinstance(inst, Icmp):
+        copy = Icmp(inst.pred, m(inst.lhs), m(inst.rhs), name_hint)
+    elif isinstance(inst, Fcmp):
+        copy = Fcmp(inst.pred, m(inst.lhs), m(inst.rhs), name_hint)
+    elif isinstance(inst, Select):
+        copy = Select(m(inst.cond), m(inst.true_value), m(inst.false_value), name_hint)
+    elif isinstance(inst, Itof):
+        copy = Itof(m(inst.operand(0)), name_hint)
+    elif isinstance(inst, Ftoi):
+        copy = Ftoi(m(inst.operand(0)), name_hint)
+    elif isinstance(inst, Alloca):
+        copy = Alloca(inst.size, name_hint)
+    elif isinstance(inst, Load):
+        copy = Load(inst.type, m(inst.ptr), name_hint)
+    elif isinstance(inst, Store):
+        copy = Store(m(inst.value), m(inst.ptr))
+    elif isinstance(inst, Gep):
+        copy = Gep(m(inst.base), m(inst.index), name_hint)
+    elif isinstance(inst, Br):
+        copy = Br(m(inst.cond), mb(inst.then_block), mb(inst.else_block))
+    elif isinstance(inst, Jump):
+        copy = Jump(mb(inst.target))
+    elif isinstance(inst, Ret):
+        copy = Ret(m(inst.value) if inst.value is not None else None)
+    elif isinstance(inst, Phi):
+        copy = Phi(inst.type, [(m(v), mb(b)) for v, b in inst.incoming], name_hint)
+    elif isinstance(inst, Call):
+        copy = Call(inst.type, inst.callee, [m(a) for a in inst.args], name_hint)
+    elif isinstance(inst, Boundary):
+        copy = Boundary()
+    else:
+        raise TypeError(f"cannot clone instruction {inst!r}")
+    return copy
+
+
+def clone_blocks(
+    func: Function,
+    blocks: Iterable[BasicBlock],
+    suffix: str,
+) -> Tuple[Dict[BasicBlock, BasicBlock], Dict[Value, Value]]:
+    """Clone ``blocks`` into ``func``; returns (block map, value map).
+
+    Branch targets and φ incoming blocks *within* the cloned set are
+    remapped to the clones; edges leaving the set keep their original
+    targets. φ operands referring to cloned values are patched after all
+    instructions exist (two-pass), so forward references work.
+    """
+    blocks = list(blocks)
+    bmap: Dict[BasicBlock, BasicBlock] = {}
+    vmap: Dict[Value, Value] = {}
+    for block in blocks:
+        bmap[block] = func.add_block(f"{block.name}.{suffix}")
+
+    cloned_phis: List[Tuple[Phi, Phi]] = []
+    for block in blocks:
+        new_block = bmap[block]
+        for inst in block.instructions:
+            hint = f"{inst.name}.{suffix}" if inst.name else ""
+            copy = clone_instruction(inst, vmap, bmap, hint)
+            if copy.type.is_value_type:
+                copy.name = func.unique_value_name(hint or copy.opcode)
+            new_block.append(copy)
+            if inst.type.is_value_type:
+                vmap[inst] = copy
+            if isinstance(inst, Phi):
+                cloned_phis.append((inst, copy))
+
+    # Second pass: φ operands may reference values that were cloned after
+    # the φ itself; remap them now.
+    for original, copy in cloned_phis:
+        for i, value in enumerate(original.operands):
+            mapped = vmap.get(value, value)
+            if copy.operand(i) is not mapped:
+                copy.set_operand(i, mapped)
+    # Same for non-φ instructions whose operands were defined later in the
+    # region (possible across blocks when the region has internal cycles).
+    for block in blocks:
+        new_block = bmap[block]
+        for original, copy in zip(block.instructions, new_block.instructions):
+            if isinstance(original, Phi):
+                continue
+            for i, value in enumerate(original.operands):
+                mapped = vmap.get(value, value)
+                if copy.operand(i) is not mapped:
+                    copy.set_operand(i, mapped)
+    return bmap, vmap
+
+
+def split_edge(func: Function, pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the edge ``pred → succ`` and return it.
+
+    φ-nodes in ``succ`` are retargeted to the new block. Used to give loops
+    dedicated exit blocks before unrolling.
+    """
+    middle = func.add_block(f"{pred.name}.{succ.name}.edge", after=pred)
+    middle.append(Jump(succ))
+    pred.replace_successor(succ, middle)
+    for phi in succ.phis():
+        phi.replace_incoming_block(pred, middle)
+    return middle

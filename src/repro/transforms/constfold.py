@@ -1,0 +1,161 @@
+"""Constant folding and algebraic simplification.
+
+Folds operations whose operands are compile-time constants and a few
+always-safe identities. Semantics mirror the interpreter exactly (64-bit
+wrapping ints, C-style division); folding must never change what the
+machine would compute.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.interpreter import _int_div, _int_rem, wrap64
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Br,
+    Fcmp,
+    Ftoi,
+    Icmp,
+    Instruction,
+    Itof,
+    Jump,
+    Select,
+)
+from repro.ir.values import Constant, Value, const_float, const_int
+
+_COMPARE = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_INT_FOLD = {
+    "add": lambda a, b: wrap64(a + b),
+    "sub": lambda a, b: wrap64(a - b),
+    "mul": lambda a, b: wrap64(a * b),
+    "and": lambda a, b: wrap64(a & b),
+    "or": lambda a, b: wrap64(a | b),
+    "xor": lambda a, b: wrap64(a ^ b),
+    "shl": lambda a, b: wrap64(a << (b & 63)),
+    "shr": lambda a, b: wrap64(a >> (b & 63)),
+}
+
+_FLOAT_FOLD = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+}
+
+
+def _fold_instruction(inst: Instruction) -> Optional[Value]:
+    """The constant/simplified replacement for ``inst``, or None."""
+    if isinstance(inst, BinaryOp):
+        lhs, rhs = inst.lhs, inst.rhs
+        lconst = lhs.value if isinstance(lhs, Constant) else None
+        rconst = rhs.value if isinstance(rhs, Constant) else None
+
+        if lconst is not None and rconst is not None:
+            opcode = inst.opcode
+            if opcode in _INT_FOLD:
+                return const_int(_INT_FOLD[opcode](lconst, rconst))
+            if opcode == "div" and rconst != 0:
+                return const_int(wrap64(_int_div(lconst, rconst)))
+            if opcode == "rem" and rconst != 0:
+                return const_int(wrap64(_int_rem(lconst, rconst)))
+            if opcode in _FLOAT_FOLD:
+                return const_float(_FLOAT_FOLD[opcode](lconst, rconst))
+            if opcode == "fdiv" and rconst != 0.0:
+                return const_float(lconst / rconst)
+            return None
+
+        # Algebraic identities (always safe for wrapping integers).
+        opcode = inst.opcode
+        if opcode == "add":
+            if rconst == 0:
+                return lhs
+            if lconst == 0:
+                return rhs
+        elif opcode == "sub" and rconst == 0:
+            return lhs
+        elif opcode == "mul":
+            if rconst == 1:
+                return lhs
+            if lconst == 1:
+                return rhs
+            if rconst == 0 or lconst == 0:
+                return const_int(0)
+        elif opcode in ("shl", "shr") and rconst == 0:
+            return lhs
+        elif opcode == "and":
+            if rconst == 0 or lconst == 0:
+                return const_int(0)
+            if rconst == -1:
+                return lhs
+            if lconst == -1:
+                return rhs
+        elif opcode == "or":
+            if rconst == 0:
+                return lhs
+            if lconst == 0:
+                return rhs
+        elif opcode == "xor":
+            if rconst == 0:
+                return lhs
+            if lconst == 0:
+                return rhs
+        return None
+
+    if isinstance(inst, (Icmp, Fcmp)):
+        if isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant):
+            return const_int(int(_COMPARE[inst.pred](inst.lhs.value, inst.rhs.value)))
+        return None
+
+    if isinstance(inst, Select) and isinstance(inst.cond, Constant):
+        return inst.true_value if inst.cond.value else inst.false_value
+
+    if isinstance(inst, Itof) and isinstance(inst.operand(0), Constant):
+        return const_float(float(inst.operand(0).value))
+
+    if isinstance(inst, Ftoi) and isinstance(inst.operand(0), Constant):
+        return const_int(wrap64(int(inst.operand(0).value)))
+
+    return None
+
+
+def fold_constants(func: Function) -> int:
+    """Fold to fixpoint; returns the number of instructions replaced.
+
+    Also simplifies conditional branches whose condition is constant into
+    unconditional jumps (the dead arm becomes unreachable and is cleaned
+    up by :func:`repro.analysis.cfg.remove_unreachable_blocks`).
+    """
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, Br) and isinstance(inst.cond, Constant):
+                    target = inst.then_block if inst.cond.value else inst.else_block
+                    dead = inst.else_block if inst.cond.value else inst.then_block
+                    if dead is not target:
+                        for phi in dead.phis():
+                            phi.remove_incoming(block)
+                    block.instructions.remove(inst)
+                    inst.drop_operands()
+                    block.append(Jump(target))
+                    folded += 1
+                    changed = True
+                    continue
+                replacement = _fold_instruction(inst)
+                if replacement is not None and replacement is not inst:
+                    inst.replace_all_uses_with(replacement)
+                    inst.remove_from_parent()
+                    folded += 1
+                    changed = True
+    return folded

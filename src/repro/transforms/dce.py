@@ -1,0 +1,45 @@
+"""Dead code elimination: drop unused side-effect-free instructions."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Instruction, Load, Phi
+from repro.ir.values import Undef
+
+
+def _is_removable(inst: Instruction) -> bool:
+    if inst.is_used:
+        return False
+    if inst.is_terminator or inst.has_side_effects:
+        return False
+    if isinstance(inst, Alloca):
+        # Dead only if no loads/stores reference it — is_used covers that.
+        return True
+    if isinstance(inst, Load):
+        return True  # loads are pure in our memory model
+    return not inst.type.is_void
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Iteratively remove dead instructions; returns how many were removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in reversed(list(block.instructions)):
+                if _is_removable(inst):
+                    inst.remove_from_parent()
+                    removed += 1
+                    changed = True
+        # φ-webs that only feed each other are dead as a group; handle the
+        # common self-cycle case (φ used only by itself).
+        for block in func.blocks:
+            for phi in list(block.phis()):
+                users = phi.users
+                if users and all(u is phi for u in users):
+                    phi.replace_all_uses_with(Undef(phi.type))
+                    phi.remove_from_parent()
+                    removed += 1
+                    changed = True
+    return removed

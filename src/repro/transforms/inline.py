@@ -1,0 +1,179 @@
+"""Function inlining.
+
+Motivated by the paper's inter-procedural limit study (§3): region
+boundaries at calls cost roughly an order of magnitude of idempotent path
+length, and "very aggressive inlining can be performed such that this
+obstacle is weakened or removed". Inlining small callees before region
+construction removes their call boundaries and lets the intra-procedural
+algorithm build regions that span the former call.
+
+Mechanics: the call block is split at the call site; the callee's blocks
+are cloned into the caller with arguments substituted; returns become
+jumps to the continuation with a φ merging return values. Recursive
+(directly or transitively) callees are never inlined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Call, Instruction, Jump, Phi, Ret
+from repro.ir.module import Module
+from repro.ir.values import Undef, Value
+from repro.transforms.clone import clone_blocks
+
+
+class InlineError(RuntimeError):
+    pass
+
+
+def _call_targets(func: Function, module: Module) -> Set[str]:
+    targets = set()
+    for inst in func.instructions():
+        if isinstance(inst, Call) and inst.callee in module.functions:
+            targets.add(inst.callee)
+    return targets
+
+
+def _reaches_recursively(module: Module, start: str) -> Set[str]:
+    """Function names reachable from ``start`` through direct calls."""
+    seen: Set[str] = set()
+    stack = [start]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        func = module.functions.get(name)
+        if func is not None and not func.is_declaration:
+            stack.extend(_call_targets(func, module))
+    return seen
+
+
+def can_inline(module: Module, caller: Function, callee_name: str) -> bool:
+    """Inlinable: defined, non-recursive, does not (transitively) call caller."""
+    callee = module.functions.get(callee_name)
+    if callee is None or callee.is_declaration:
+        return False
+    # Recursion check: does the callee reach itself through its callees?
+    reachable_from_body: Set[str] = set()
+    for target in _call_targets(callee, module):
+        reachable_from_body |= _reaches_recursively(module, target)
+    if callee_name in reachable_from_body:
+        return False  # recursive (directly or through a cycle)
+    if caller.name in reachable_from_body or caller.name == callee_name:
+        return False  # would re-introduce the caller inside itself
+    return True
+
+
+def inline_call(module: Module, caller: Function, call: Call) -> None:
+    """Inline one call site in place. The call must target a module function."""
+    callee = module.functions.get(call.callee)
+    if callee is None or callee.is_declaration:
+        raise InlineError(f"cannot inline call to @{call.callee}")
+
+    call_block = call.parent
+    call_index = call_block.index_of(call)
+
+    # 1. Split the call block: everything after the call moves to a
+    #    continuation block.
+    continuation = caller.add_block(f"{call_block.name}.ret", after=call_block)
+    moved = call_block.instructions[call_index + 1:]
+    call_block.instructions = call_block.instructions[: call_index + 1]
+    for inst in moved:
+        inst.parent = continuation
+        continuation.instructions.append(inst)
+    for succ in continuation.successors:
+        for phi in succ.phis():
+            phi.replace_incoming_block(call_block, continuation)
+
+    # 2. Clone the callee body into the caller.
+    bmap, vmap = clone_blocks(caller, callee.blocks, suffix=f"inl.{callee.name}")
+    entry_clone = bmap[callee.entry]
+
+    # 3. Substitute arguments: cloned instructions still reference the
+    #    callee's Argument objects; rewrite them to the actual operands.
+    for formal, actual in zip(callee.args, call.args):
+        for block in bmap.values():
+            for inst in block.instructions:
+                for i, op in enumerate(inst.operands):
+                    if op is formal:
+                        inst.set_operand(i, actual)
+
+    # 4. Rewrite cloned returns into jumps to the continuation, collecting
+    #    return values for the result φ.
+    returning: List[Tuple[Value, BasicBlock]] = []
+    for block in bmap.values():
+        term = block.terminator
+        if isinstance(term, Ret):
+            value = term.value
+            term.remove_from_parent()
+            block.append(Jump(continuation))
+            if not call.type.is_void:
+                returning.append((value if value is not None else Undef(call.type), block))
+
+    # 5. Replace the call's result with a φ (or the single return value).
+    if not call.type.is_void:
+        if not returning:
+            call.replace_all_uses_with(Undef(call.type))
+        elif len(returning) == 1:
+            call.replace_all_uses_with(returning[0][0])
+        else:
+            phi = Phi(call.type, returning, name=caller.unique_value_name(f"{call.callee}.ret"))
+            continuation.insert(0, phi)
+            call.replace_all_uses_with(phi)
+
+    # 6. The call itself becomes a jump into the cloned entry.
+    call.remove_from_parent()
+    call_block.append(Jump(entry_clone))
+
+    # 7. Callee allocas must live in the caller's entry block.
+    entry = caller.entry
+    for block in bmap.values():
+        for inst in list(block.instructions):
+            if isinstance(inst, Alloca) and block is not entry:
+                block.instructions.remove(inst)
+                index = 0
+                while index < len(entry.instructions) and isinstance(
+                    entry.instructions[index], Alloca
+                ):
+                    index += 1
+                inst.parent = entry
+                entry.instructions.insert(index, inst)
+
+
+def inline_small_functions(
+    module: Module,
+    max_instructions: int = 40,
+    max_growth: int = 8,
+) -> int:
+    """Inline every call to a small, non-recursive callee; returns count.
+
+    ``max_instructions`` bounds the callee size; ``max_growth`` bounds how
+    many times a single caller may inline (protecting against blowup in
+    call-dense code).
+    """
+    inlined = 0
+    for caller in list(module.defined_functions):
+        budget = max_growth
+        changed = True
+        while changed and budget > 0:
+            changed = False
+            for inst in list(caller.instructions()):
+                if not isinstance(inst, Call):
+                    continue
+                callee = module.functions.get(inst.callee)
+                if callee is None or callee.is_declaration:
+                    continue
+                if callee.instruction_count() > max_instructions:
+                    continue
+                if not can_inline(module, caller, inst.callee):
+                    continue
+                inline_call(module, caller, inst)
+                inlined += 1
+                budget -= 1
+                changed = True
+                break
+    return inlined

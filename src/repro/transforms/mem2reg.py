@@ -1,0 +1,210 @@
+"""SSA construction: promote scalar allocas to pseudoregister values.
+
+This is the paper's first program transformation (§4.1): "the conversion of
+all pseudoregister assignments to static single assignment (SSA) form.
+After this transformation ... all artificial clobber antidependences are
+effectively eliminated" (except self-dependent loop φs, handled later by
+the region construction).
+
+Frontend output keeps every local variable in an ``alloca`` slot accessed
+by ``load``/``store`` (the moral equivalent of the paper's mutable
+pseudoregisters t0, t1, ...). Promotion is the classic
+Cytron-et-al-by-dominance-frontiers algorithm:
+
+1. a scalar, non-escaping alloca whose address is only used directly by
+   loads and stores is *promotable*;
+2. φ-nodes are placed at the iterated dominance frontier of its defining
+   blocks (semi-pruned: single-block allocas skip φ placement entirely);
+3. a dominator-tree walk renames loads to the reaching definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree, compute_dominance_frontiers
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.types import Type
+from repro.ir.values import Undef, Value
+
+
+def promotable_allocas(func: Function) -> List[Alloca]:
+    """Allocas that can be rewritten into SSA values.
+
+    Requirements: size 1 (scalar), every use is a ``load`` from it or a
+    ``store`` *to* it (never storing the address itself), and all accesses
+    agree on a single value type.
+    """
+    result = []
+    for inst in func.entry.instructions if func.blocks else []:
+        if not isinstance(inst, Alloca) or inst.size != 1:
+            continue
+        if _promotion_type(inst) is not None:
+            result.append(inst)
+    return result
+
+
+def _promotion_type(alloca: Alloca) -> Optional[Type]:
+    value_type: Optional[Type] = None
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, Load) and user.ptr is alloca:
+            candidate = user.type
+        elif isinstance(user, Store) and user.ptr is alloca and user.value is not alloca:
+            candidate = user.value.type
+        else:
+            return None  # address escapes (gep, call arg, stored value, ...)
+        if value_type is None:
+            value_type = candidate
+        elif type(candidate) is not type(value_type):
+            return None
+    return value_type
+
+
+class _AllocaPromotion:
+    """Rename state for one alloca during the dominator-tree walk."""
+
+    def __init__(self, alloca: Alloca, value_type: Type) -> None:
+        self.alloca = alloca
+        self.type = value_type
+        self.phis: Set[Phi] = set()
+
+
+def promote_to_ssa(func: Function) -> int:
+    """Promote all promotable allocas; returns the number promoted."""
+    allocas = promotable_allocas(func)
+    if not allocas:
+        return 0
+
+    cfg = CFG(func)
+    domtree = DominatorTree.compute_from_cfg(cfg)
+    frontiers = compute_dominance_frontiers(domtree)
+
+    promotions: Dict[Alloca, _AllocaPromotion] = {}
+    phi_owner: Dict[Phi, _AllocaPromotion] = {}
+
+    for alloca in allocas:
+        value_type = _promotion_type(alloca)
+        assert value_type is not None
+        promo = _AllocaPromotion(alloca, value_type)
+        promotions[alloca] = promo
+
+        defining_blocks = {
+            use.user.parent
+            for use in alloca.uses
+            if isinstance(use.user, Store) and cfg.is_reachable(use.user.parent)
+        }
+        # Iterated dominance frontier.
+        worklist = list(defining_blocks)
+        placed: Set[BasicBlock] = set()
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in frontiers.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                placed.add(frontier_block)
+                phi = Phi(value_type, [], name=func.unique_value_name(alloca.name))
+                frontier_block.insert(0, phi)
+                promo.phis.add(phi)
+                phi_owner[phi] = promo
+                if frontier_block not in defining_blocks:
+                    worklist.append(frontier_block)
+
+    # ------------------------------------------------------------------
+    # Renaming walk over the dominator tree.
+    # ------------------------------------------------------------------
+    def current_value(stack: List[Value], promo: _AllocaPromotion) -> Value:
+        return stack[-1] if stack else Undef(promo.type)
+
+    stacks: Dict[Alloca, List[Value]] = {alloca: [] for alloca in allocas}
+    dead: List[Instruction] = []
+
+    def rename(block: BasicBlock) -> None:
+        pushed: List[Alloca] = []
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and inst in phi_owner:
+                promo = phi_owner[inst]
+                stacks[promo.alloca].append(inst)
+                pushed.append(promo.alloca)
+                continue
+            if isinstance(inst, Load) and isinstance(inst.ptr, Alloca):
+                promo = promotions.get(inst.ptr)
+                if promo is not None:
+                    inst.replace_all_uses_with(current_value(stacks[promo.alloca], promo))
+                    dead.append(inst)
+                continue
+            if isinstance(inst, Store) and isinstance(inst.ptr, Alloca):
+                promo = promotions.get(inst.ptr)
+                if promo is not None:
+                    stacks[promo.alloca].append(inst.value)
+                    pushed.append(promo.alloca)
+                    dead.append(inst)
+                continue
+        for succ in block.successors:
+            for phi in succ.phis():
+                promo = phi_owner.get(phi)
+                if promo is not None:
+                    phi.add_incoming(current_value(stacks[promo.alloca], promo), block)
+        for child in domtree.children.get(block, ()):
+            rename(child)
+        for alloca in pushed:
+            stacks[alloca].pop()
+
+    # The dominator tree can be deep for long block chains; use an explicit
+    # stack to avoid Python recursion limits.
+    _rename_iterative(func, domtree, rename_block=rename)
+
+    for inst in dead:
+        inst.remove_from_parent()
+    for alloca in allocas:
+        # Accesses in unreachable blocks were never visited by the renaming
+        # walk; scrub them so the alloca really is dead.
+        for use in alloca.uses:
+            user = use.user
+            if isinstance(user, Load):
+                user.replace_all_uses_with(Undef(user.type))
+                user.remove_from_parent()
+            elif isinstance(user, Store):
+                user.remove_from_parent()
+        assert not alloca.is_used, f"alloca %{alloca.name} still used after promotion"
+        alloca.remove_from_parent()
+
+    _prune_dead_phis(func, set(phi_owner))
+    return len(allocas)
+
+
+def _rename_iterative(func: Function, domtree: DominatorTree, rename_block) -> None:
+    """Drive ``rename_block`` with the recursion inside it.
+
+    ``rename_block`` recurses over dominator-tree children itself; for the
+    function sizes in this project Python's default recursion limit is
+    sufficient except for pathological chains, so we simply raise the limit
+    around the walk.
+    """
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000 + len(func.blocks) * 4))
+    try:
+        rename_block(func.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def _prune_dead_phis(func: Function, inserted: Set[Phi]) -> None:
+    """Remove inserted φs that are unused (semi-pruned leftovers)."""
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for phi in list(block.phis()):
+                if phi in inserted and not phi.is_used:
+                    phi.remove_from_parent()
+                    changed = True
+                elif phi in inserted and all(u is phi for u in phi.users):
+                    phi.replace_all_uses_with(Undef(phi.type))
+                    phi.remove_from_parent()
+                    changed = True

@@ -1,0 +1,183 @@
+"""Store-to-load forwarding (redundancy elimination, paper §4.1, Fig. 5).
+
+After SSA conversion, memory antidependences that are *not* clobber
+antidependences are always of the form ``store x; ... load x; ... store x``
+— the load is made redundant by the flow dependence that precedes the
+antidependence. Eliminating the redundant load (replacing its uses with the
+stored pseudoregister) makes every *remaining* memory antidependence a
+potential clobber antidependence, which breaks the circular dependence
+between region identification and live-in identification (§2.2).
+
+Implementation: a forward "available memory values" dataflow. Locations are
+``(abstract object, constant word offset)`` pairs from the alias analysis;
+the meet is intersection with value agreement. Stores and loads generate
+availability; potentially-aliasing stores and opaque calls kill it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.alias import AliasAnalysis, MemoryObject
+from repro.analysis.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Load, Store
+from repro.ir.values import Value
+
+#: A concrete memory location: (abstract object, known word offset).
+Location = Tuple[MemoryObject, int]
+
+#: Calls that never overwrite program-visible memory.
+_NON_CLOBBERING_CALLS = {
+    "malloc",  # returns fresh memory
+    "print_int",
+    "print_float",
+    "abs",
+    "fabs",
+    "sqrt",
+    "exp",
+    "log",
+    "min",
+    "max",
+    "fmin",
+    "fmax",
+}
+
+
+class _AvailableValues:
+    """Map from location to the SSA value memory is known to hold there."""
+
+    def __init__(self, entries: Optional[Dict[Location, Value]] = None) -> None:
+        self.entries: Dict[Location, Value] = dict(entries or {})
+
+    def copy(self) -> "_AvailableValues":
+        return _AvailableValues(self.entries)
+
+    def meet(self, other: "_AvailableValues") -> "_AvailableValues":
+        merged = {
+            loc: value
+            for loc, value in self.entries.items()
+            if other.entries.get(loc) is value
+        }
+        return _AvailableValues(merged)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, _AvailableValues):
+            return NotImplemented
+        if self.entries.keys() != other.entries.keys():
+            return False
+        return all(other.entries[k] is v for k, v in self.entries.items())
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+
+def _kill_for_store(avail: _AvailableValues, aa: AliasAnalysis, obj: MemoryObject, off: Optional[int]) -> None:
+    """Remove entries a store to (obj, off) may overwrite."""
+    concrete = (MemoryObject.KIND_STACK, MemoryObject.KIND_GLOBAL, MemoryObject.KIND_HEAP)
+    for loc in list(avail.entries):
+        loc_obj, loc_off = loc
+        if loc_obj is obj:
+            if off is None or loc_off == off:
+                del avail.entries[loc]
+            continue
+        if loc_obj.kind in concrete and obj.kind in concrete:
+            continue  # distinct named objects never overlap
+        # One side is unknown: it may alias anything except a non-escaping
+        # stack object.
+        safe = False
+        for side in (loc_obj, obj):
+            if side.kind == MemoryObject.KIND_STACK and not aa.alloca_escapes(side.origin):
+                other = obj if side is loc_obj else loc_obj
+                if other.kind == MemoryObject.KIND_UNKNOWN:
+                    safe = True
+        if not safe:
+            del avail.entries[loc]
+
+
+def _kill_for_call(avail: _AvailableValues, aa: AliasAnalysis, call: Call) -> None:
+    if call.callee in _NON_CLOBBERING_CALLS:
+        return
+    for loc in list(avail.entries):
+        obj, _ = loc
+        if obj.kind == MemoryObject.KIND_STACK and not aa.alloca_escapes(obj.origin):
+            continue  # callee cannot address a non-escaping local
+        del avail.entries[loc]
+
+
+def _transfer(
+    avail: _AvailableValues,
+    aa: AliasAnalysis,
+    inst: Instruction,
+    forward: Optional[Dict[Load, Value]] = None,
+) -> None:
+    """Apply one instruction's effect; optionally record forwardable loads."""
+    if isinstance(inst, Store):
+        obj, off = aa.resolve(inst.ptr)
+        _kill_for_store(avail, aa, obj, off)
+        if off is not None:
+            avail.entries[(obj, off)] = inst.value
+    elif isinstance(inst, Load):
+        obj, off = aa.resolve(inst.ptr)
+        if off is not None:
+            known = avail.entries.get((obj, off))
+            if known is not None and type(known.type) is type(inst.type):
+                if forward is not None:
+                    forward[inst] = known
+            else:
+                avail.entries[(obj, off)] = inst
+    elif isinstance(inst, Call):
+        _kill_for_call(avail, aa, inst)
+
+
+def forward_stores_to_loads(func: Function) -> int:
+    """Eliminate loads whose value is available; returns loads removed."""
+    if func.is_declaration:
+        return 0
+    aa = AliasAnalysis(func)
+    cfg = CFG(func)
+    blocks = cfg.reverse_post_order
+
+    block_out: Dict[object, Optional[_AvailableValues]] = {b: None for b in blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            preds = [p for p in cfg.preds(block) if p in block_out]
+            state: Optional[_AvailableValues] = None
+            for pred in preds:
+                pred_out = block_out[pred]
+                if pred_out is None:
+                    continue  # optimistic: unprocessed predecessor
+                state = pred_out.copy() if state is None else state.meet(pred_out)
+            if state is None:
+                state = _AvailableValues()
+            for inst in block.instructions:
+                _transfer(state, aa, inst)
+            if block_out[block] is None or block_out[block] != state:
+                block_out[block] = state
+                changed = True
+
+    # Final pass: compute block-in states and rewrite forwardable loads.
+    removed = 0
+    for block in blocks:
+        preds = [p for p in cfg.preds(block) if p in block_out]
+        state = None
+        for pred in preds:
+            pred_out = block_out[pred]
+            if pred_out is None:
+                continue
+            state = pred_out.copy() if state is None else state.meet(pred_out)
+        if state is None:
+            state = _AvailableValues()
+        forward: Dict[Load, Value] = {}
+        for inst in list(block.instructions):
+            _transfer(state, aa, inst, forward)
+            replacement = forward.get(inst)
+            if replacement is not None:
+                inst.replace_all_uses_with(replacement)
+                inst.remove_from_parent()
+                removed += 1
+    return removed

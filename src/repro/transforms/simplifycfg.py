@@ -1,0 +1,116 @@
+"""CFG simplification: jump threading and block merging.
+
+Two classic cleanups, both φ-aware:
+
+- **forwarding-block elimination**: a block containing only ``jmp T``
+  is bypassed (predecessors retarget to ``T``), provided φ-nodes in ``T``
+  can be rewired unambiguously;
+- **linear merge**: a block with a unique predecessor whose terminator is
+  an unconditional jump to it is folded into that predecessor.
+
+Run after constant folding, which creates both shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.cfg import remove_unreachable_blocks
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Jump, Phi
+
+
+def _is_forwarding(block: BasicBlock) -> Optional[BasicBlock]:
+    """Target block if ``block`` is just an unconditional jump."""
+    if len(block.instructions) == 1 and isinstance(block.instructions[0], Jump):
+        return block.instructions[0].target
+    return None
+
+
+def _can_bypass(block: BasicBlock, target: BasicBlock) -> bool:
+    """Safe to send ``block``'s predecessors directly to ``target``?
+
+    φ-nodes in ``target`` must gain one entry per new predecessor; that is
+    ambiguous if a predecessor already reaches ``target`` directly (it
+    would need two entries with possibly different values), so we bail.
+    """
+    if target is block:
+        return False  # self-loop
+    preds = block.predecessors
+    if not preds:
+        return False
+    target_preds = set(map(id, target.predecessors))
+    for pred in preds:
+        if id(pred) in target_preds:
+            return False
+        # A pred branching to `block` twice is fine (same value flows).
+    return True
+
+
+def _bypass_forwarding_block(func: Function, block: BasicBlock, target: BasicBlock) -> None:
+    preds = block.predecessors
+    for phi in target.phis():
+        value = phi.incoming_for(block)
+        phi.remove_incoming(block)
+        for pred in preds:
+            phi.add_incoming(value, pred)
+    for pred in preds:
+        pred.replace_successor(block, target)
+    # ``block`` is now unreachable; drop it.
+    block.instructions[0].drop_operands()
+    func.remove_block(block)
+
+
+def _merge_into_predecessor(func: Function, block: BasicBlock, pred: BasicBlock) -> None:
+    """Fold ``block`` into its unique jump-predecessor ``pred``."""
+    jump = pred.terminator
+    pred.instructions.remove(jump)
+    jump.drop_operands()
+    # Single predecessor: φs are degenerate — replace with their value.
+    for phi in list(block.phis()):
+        phi.replace_all_uses_with(phi.incoming_for(pred))
+        phi.remove_from_parent()
+    for inst in list(block.instructions):
+        inst.parent = pred
+        pred.instructions.append(inst)
+    block.instructions = []
+    for succ in pred.successors:
+        for phi in succ.phis():
+            phi.replace_incoming_block(block, pred)
+    func.remove_block(block)
+
+
+def simplify_cfg(func: Function) -> int:
+    """Apply both cleanups to fixpoint; returns blocks eliminated."""
+    if func.is_declaration:
+        return 0
+    removed = remove_unreachable_blocks(func)
+    changed = True
+    while changed:
+        changed = False
+        for block in list(func.blocks):
+            if block is func.entry:
+                continue
+            target = _is_forwarding(block)
+            if target is not None and _can_bypass(block, target):
+                _bypass_forwarding_block(func, block, target)
+                removed += 1
+                changed = True
+                break
+        for block in list(func.blocks):
+            if block is func.entry:
+                continue
+            preds = block.predecessors
+            if len(preds) != 1:
+                continue
+            pred = preds[0]
+            if pred is block:
+                continue
+            term = pred.terminator
+            if isinstance(term, Jump) and term.target is block:
+                _merge_into_predecessor(func, block, pred)
+                removed += 1
+                changed = True
+                break
+    return removed

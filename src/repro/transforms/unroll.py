@@ -1,0 +1,172 @@
+"""Loop unroll-by-one, used by the region construction (paper §5).
+
+"Before inserting cuts, we attempt to unroll the containing loop once if
+possible. ... By unrolling the loop once, we can place the second necessary
+cut in the unrolled iteration. This effectively preserves region sizes on
+average." (§5, Cutting self-dependent pseudoregister antidependences.)
+
+The transform duplicates the loop body so each traversal runs two logical
+iterations: ``H → ... → T → H' → ... → T' → H``. Preconditions (checked by
+:func:`can_unroll_once`): a single latch, and reducible structure (natural
+loop from :mod:`repro.analysis.loops`). Values defined in the loop and used
+outside are routed through φ-nodes in dedicated exit blocks (LCSSA-style)
+so SSA dominance survives having two copies of each definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.loops import Loop
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import Value
+from repro.transforms.clone import clone_blocks, split_edge
+
+
+def can_unroll_once(loop: Loop) -> bool:
+    """Check the structural preconditions for :func:`unroll_once`."""
+    return len(set(loop.latches)) == 1
+
+
+def _ensure_dedicated_exits(func: Function, loop: Loop) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """Split exit edges so each exit block has exactly one, in-loop pred.
+
+    Returns (in-loop block, dedicated exit block) pairs.
+    """
+    dedicated = []
+    for inside, outside in loop.exits():
+        exit_block = split_edge(func, inside, outside)
+        dedicated.append((inside, exit_block))
+    return dedicated
+
+
+class UnrollNotSupported(RuntimeError):
+    """Raised when a loop does not meet unroll preconditions."""
+
+
+def unroll_once(func: Function, loop: Loop) -> Dict[BasicBlock, BasicBlock]:
+    """Duplicate ``loop``'s body (two iterations per traversal).
+
+    Returns the block map original→clone. Raises :class:`UnrollNotSupported`
+    if preconditions fail; callers fall back to inserting extra cuts
+    (paper §4.2.2 case 3 without the enhancement).
+    """
+    if not can_unroll_once(loop):
+        raise UnrollNotSupported(f"loop at {loop.header.name} has multiple latches")
+
+    header = loop.header
+    latch = loop.latches[0]
+
+    # 1. Dedicated exits + LCSSA φs for values escaping the loop.
+    dedicated = _ensure_dedicated_exits(func, loop)
+    _rewrite_escaping_values(func, loop, dedicated)
+
+    # 2. Clone the body.
+    body = sorted(loop.blocks, key=lambda b: func.blocks.index(b))
+    bmap, vmap = clone_blocks(func, body, suffix="u")
+    header_clone = bmap[header]
+    latch_clone = bmap[latch]
+
+    # 3. Redirect the original latch to the cloned header; the cloned latch
+    #    back-edges to the original header.
+    latch.replace_successor(header, header_clone)
+    latch_clone.replace_successor(header_clone, header)
+
+    # 4. Fix header φs.
+    #    Capture the iteration-1 back-edge values before rewiring anything.
+    first_iter_values: Dict[Phi, Value] = {
+        phi: phi.incoming_for(latch) for phi in header.phis()
+    }
+    #    Original header now receives its back edge from the cloned latch;
+    #    the in-loop incoming value is the *cloned* (iteration-2) computation.
+    for phi, value in first_iter_values.items():
+        phi.replace_incoming_block(latch, latch_clone)
+        phi.set_incoming_for(latch_clone, vmap.get(value, value))
+    #    The cloned header's only predecessor is the original latch; its φs
+    #    collapse to the value flowing out of the first iteration.
+    for phi in list(header_clone.phis()):
+        original_phi = next(p for p, c in vmap.items() if c is phi)
+        replacement = first_iter_values[original_phi]
+        phi.replace_all_uses_with(replacement)
+        phi.remove_from_parent()
+        # Later consumers of the value map (exit-φ patching below) must see
+        # the surviving replacement, not the deleted clone.
+        vmap[original_phi] = replacement
+
+    # 5. Cloned exit edges point at the dedicated exit blocks; add their φ
+    #    entries for the new predecessors.
+    for inside, exit_block in dedicated:
+        inside_clone = bmap[inside]
+        if exit_block in inside_clone.successors:
+            for phi in exit_block.phis():
+                value = phi.incoming_for(inside)
+                phi.add_incoming(vmap.get(value, value), inside_clone)
+
+    return bmap
+
+
+def _rewrite_escaping_values(
+    func: Function,
+    loop: Loop,
+    dedicated: List[Tuple[BasicBlock, BasicBlock]],
+) -> None:
+    """LCSSA: uses outside the loop read a φ in the dominating exit block.
+
+    For each loop-defined value with outside uses, place a single-incoming
+    φ in every dedicated exit block and rewrite each outside use to the φ
+    of an exit block that dominates the use. If no exit block dominates a
+    use (the use point merges several exits), the value must already flow
+    through a φ at that merge; we then rewrite the matching incoming edges
+    instead — handled naturally because φ uses are classified by their
+    incoming block.
+    """
+    from repro.analysis.dominators import DominatorTree
+
+    exit_blocks = [exit_block for _, exit_block in dedicated]
+    exit_set = set(exit_blocks)
+
+    for block in list(loop.blocks):
+        for inst in list(block.instructions):
+            if not inst.type.is_value_type:
+                continue
+            outside_uses = []
+            for use in inst.uses:
+                user = use.user
+                if isinstance(user, Phi):
+                    position = user.incoming_blocks[use.index]
+                else:
+                    position = user.parent
+                if position not in loop.blocks and position not in exit_set:
+                    outside_uses.append(use)
+            if not outside_uses:
+                continue
+            phis: Dict[BasicBlock, Phi] = {}
+            for exit_block in exit_blocks:
+                phi = Phi(inst.type, [(inst, exit_block.predecessors[0])],
+                          name=func.unique_value_name(f"{inst.name}.lcssa"))
+                exit_block.insert(0, phi)
+                phis[exit_block] = phi
+            domtree = DominatorTree.compute(func)
+            for use in outside_uses:
+                user = use.user
+                if isinstance(user, Phi):
+                    position = user.incoming_blocks[use.index]
+                else:
+                    position = user.parent
+                chosen = None
+                for exit_block in exit_blocks:
+                    if domtree.dominates(exit_block, position):
+                        chosen = phis[exit_block]
+                        break
+                if chosen is None:
+                    raise UnrollNotSupported(
+                        f"no dominating exit for use of %{inst.name} in "
+                        f"{position.name}"
+                    )
+                user.set_operand(use.index, chosen)
+            # Drop φs that ended up unused.
+            for phi in phis.values():
+                if not phi.is_used:
+                    phi.remove_from_parent()

@@ -1,0 +1,81 @@
+"""repro.workloads — the benchmark suite.
+
+Nineteen MiniC programs in three suites mirroring the paper's evaluation
+(§6.1): ``specint`` (control-heavy integer, in-place state), ``specfp``
+(floating-point compute), and ``parsec`` (streaming data-parallel). Each
+prints and returns a deterministic checksum, so every binary flavour can
+be verified against the IR interpreter.
+
+    from repro.workloads import all_workloads, get_workload
+    wl = get_workload("hmmer")
+    module = wl.compile_ir()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.workloads import parsec, specfp, specint
+
+SUITE_SPECINT = "specint"
+SUITE_SPECFP = "specfp"
+SUITE_PARSEC = "parsec"
+SUITES = (SUITE_SPECINT, SUITE_SPECFP, SUITE_PARSEC)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a name, its suite, and MiniC source text."""
+
+    name: str
+    suite: str
+    source: str
+    entry: str = "main"
+
+    def compile_ir(self) -> Module:
+        """Fresh (unoptimized) IR module for this workload."""
+        return compile_source(self.source, self.name)
+
+
+def _build_registry() -> Dict[str, Workload]:
+    registry: Dict[str, Workload] = {}
+    for suite, sources in (
+        (SUITE_SPECINT, specint.SOURCES),
+        (SUITE_SPECFP, specfp.SOURCES),
+        (SUITE_PARSEC, parsec.SOURCES),
+    ):
+        for name, source in sources.items():
+            registry[name] = Workload(name=name, suite=suite, source=source)
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, grouped by suite, deterministic order."""
+    ordered = []
+    for suite in SUITES:
+        ordered.extend(w for w in _REGISTRY.values() if w.suite == suite)
+    return ordered
+
+
+def by_suite(suite: str) -> List[Workload]:
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}; choose from {SUITES}")
+    return [w for w in _REGISTRY.values() if w.suite == suite]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def workload_names() -> List[str]:
+    return [w.name for w in all_workloads()]

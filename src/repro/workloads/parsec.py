@@ -1,0 +1,294 @@
+"""PARSEC-like workloads in MiniC.
+
+Streaming, data-parallel kernels with wide per-element computations —
+the paper's PARSEC suite shows the longest idempotent paths and the lowest
+overheads (2.7% geomean, Fig. 10) because inputs are rarely overwritten
+and FP registers are plentiful.
+"""
+
+BLACKSCHOLES = """
+// blackscholes-like: closed-form option pricing over a stream of options.
+float spot[128];
+float strike[128];
+float rate[128];
+float vol[128];
+float time_[128];
+float prices[128];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+float cnd(float x) {
+  // Abramowitz-Stegun style rational approximation of the normal CDF.
+  float sign_ = 1.0;
+  if (x < 0.0) { sign_ = -1.0; x = 0.0 - x; }
+  float k = 1.0 / (1.0 + 0.2316419 * x);
+  float poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+             + k * (-1.821255978 + k * 1.330274429))));
+  float pdf = 0.3989422804 * exp(0.0 - 0.5 * x * x);
+  float value = 1.0 - pdf * poly;
+  if (sign_ < 0.0) value = 1.0 - value;
+  return value;
+}
+
+float price_one(int i) {
+  float s = spot[i];
+  float k = strike[i];
+  float r = rate[i];
+  float v = vol[i];
+  float t = time_[i];
+  float sq = sqrt(t);
+  float d1 = (log(s / k) + (r + 0.5 * v * v) * t) / (v * sq);
+  float d2 = d1 - v * sq;
+  return s * cnd(d1) - k * exp(0.0 - r * t) * cnd(d2);
+}
+
+int main() {
+  int seed = 61;
+  int i;
+  for (i = 0; i < 128; i = i + 1) {
+    seed = lcg(seed); spot[i]   = 50.0 + (float) ((seed >> 8) % 5000) / 100.0;
+    seed = lcg(seed); strike[i] = 50.0 + (float) ((seed >> 8) % 5000) / 100.0;
+    seed = lcg(seed); rate[i]   = 0.01 + (float) ((seed >> 8) % 500) / 10000.0;
+    seed = lcg(seed); vol[i]    = 0.10 + (float) ((seed >> 8) % 500) / 1000.0;
+    seed = lcg(seed); time_[i]  = 0.25 + (float) ((seed >> 8) % 300) / 100.0;
+  }
+  float total = 0.0;
+  int round;
+  for (round = 0; round < 4; round = round + 1) {
+    for (i = 0; i < 128; i = i + 1) {
+      prices[i] = price_one(i);           // pure streaming output
+      total = total + prices[i];
+    }
+  }
+  int check = (int) total;
+  print_int(check);
+  return check;
+}
+"""
+
+STREAMCLUSTER = """
+// streamcluster-like: assign points to nearest centers, update costs.
+float points[512];    // 128 points x 4 dims
+float centers[32];    // 8 centers x 4 dims
+int assign_[128];
+float cost[128];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int seed = 67;
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    seed = lcg(seed);
+    points[i] = (float) ((seed >> 8) % 1000) / 100.0;
+  }
+  for (i = 0; i < 32; i = i + 1) {
+    seed = lcg(seed);
+    centers[i] = (float) ((seed >> 8) % 1000) / 100.0;
+  }
+  int round;
+  float total = 0.0;
+  for (round = 0; round < 5; round = round + 1) {
+    int p;
+    for (p = 0; p < 128; p = p + 1) {
+      float best = 1000000.0;
+      int bestc = 0;
+      int c;
+      for (c = 0; c < 8; c = c + 1) {
+        float d = 0.0;
+        int k;
+        for (k = 0; k < 4; k = k + 1) {
+          float diff = points[p * 4 + k] - centers[c * 4 + k];
+          d = d + diff * diff;
+        }
+        if (d < best) { best = d; bestc = c; }
+      }
+      assign_[p] = bestc;
+      cost[p] = best;
+      total = total + best;
+    }
+    // drift the centers deterministically between rounds
+    for (i = 0; i < 32; i = i + 1) centers[i] = centers[i] * 0.98 + 0.05;
+  }
+  int check = (int) total;
+  print_int(check);
+  return check;
+}
+"""
+
+SWAPTIONS = """
+// swaptions-like: Monte-Carlo payoff simulation with an integer LCG.
+float payoffs[64];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int seed = 71;
+  float total = 0.0;
+  int sw;
+  for (sw = 0; sw < 40; sw = sw + 1) {
+    float strike_rate = 0.03 + (float) (sw % 8) / 200.0;
+    int trial;   // payoffs[] starts zeroed (global) and accumulates in place
+    for (trial = 0; trial < 40; trial = trial + 1) {
+      float rate_path = 0.05;
+      int step;
+      for (step = 0; step < 10; step = step + 1) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;   // inlined LCG
+        float shock = (float) ((seed >> 8) % 2001 - 1000) / 100000.0;
+        rate_path = rate_path + 0.2 * (0.05 - rate_path) * 0.1 + shock;
+      }
+      float payoff = rate_path - strike_rate;
+      if (payoff < 0.0) payoff = 0.0;
+      payoffs[sw] = payoffs[sw] + payoff;   // in-place accumulation
+    }
+    payoffs[sw] = payoffs[sw] / 40.0;
+    total = total + payoffs[sw];
+  }
+  int check = (int) (total * 10000.0);
+  print_int(check);
+  return check;
+}
+"""
+
+FLUIDANIMATE = """
+// fluidanimate-like: smoothed-particle density and force accumulation.
+float posx[56];
+float posy[56];
+float density[56];
+float forcex[56];
+float forcey[56];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int seed = 73;
+  int i;
+  for (i = 0; i < 56; i = i + 1) {
+    seed = lcg(seed); posx[i] = (float) ((seed >> 8) % 1000) / 100.0;
+    seed = lcg(seed); posy[i] = (float) ((seed >> 8) % 1000) / 100.0;
+  }
+  int t;
+  float total = 0.0;
+  for (t = 0; t < 4; t = t + 1) {
+    // density pass: streaming writes to density[]
+    for (i = 0; i < 56; i = i + 1) {
+      float d = 1.0;
+      int j;
+      for (j = 0; j < 56; j = j + 1) {
+        float dx = posx[j] - posx[i];
+        float dy = posy[j] - posy[i];
+        float r2 = dx * dx + dy * dy;
+        if (r2 < 4.0) {
+          float w = 4.0 - r2;
+          d = d + w * w;
+        }
+      }
+      density[i] = d;
+    }
+    // force pass: streaming writes to force[]
+    for (i = 0; i < 56; i = i + 1) {
+      float ax = 0.0;
+      float ay = 0.0;
+      int j;
+      for (j = 0; j < 56; j = j + 1) {
+        float dx = posx[j] - posx[i];
+        float dy = posy[j] - posy[i];
+        float r2 = dx * dx + dy * dy;
+        if (r2 < 4.0 && r2 > 0.0001) {
+          float push = (4.0 - r2) / (density[i] + density[j]);
+          ax = ax - dx * push;
+          ay = ay - dy * push;
+        }
+      }
+      forcex[i] = ax;
+      forcey[i] = ay;
+    }
+    // integrate
+    for (i = 0; i < 56; i = i + 1) {
+      posx[i] = posx[i] + forcex[i] * 0.01;
+      posy[i] = posy[i] + forcey[i] * 0.01;
+    }
+    total = total + density[(t * 13) % 56];
+  }
+  int check = (int) (total * 100.0);
+  print_int(check);
+  return check;
+}
+"""
+
+CANNEAL = """
+// canneal-like: simulated-annealing element swaps on a routing cost grid.
+int netlist[256];     // element -> location
+int location[256];    // location -> element
+int wire_a[512];
+int wire_b[512];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int wire_cost(int w) {
+  int la = netlist[wire_a[w]];
+  int lb = netlist[wire_b[w]];
+  int dr = la / 16 - lb / 16;  if (dr < 0) dr = 0 - dr;
+  int dc = la % 16 - lb % 16;  if (dc < 0) dc = 0 - dc;
+  return dr + dc;
+}
+
+int main() {
+  int seed = 79;
+  int i;
+  for (i = 0; i < 256; i = i + 1) { netlist[i] = i; location[i] = i; }
+  for (i = 0; i < 512; i = i + 1) {
+    seed = lcg(seed); wire_a[i] = (seed >> 8) % 256;
+    seed = lcg(seed); wire_b[i] = (seed >> 8) % 256;
+  }
+  int accepted = 0;
+  int temperature = 100;
+  int step;
+  for (step = 0; step < 500; step = step + 1) {
+    seed = lcg(seed);
+    int e1 = (seed >> 8) % 256;
+    seed = lcg(seed);
+    int e2 = (seed >> 8) % 256;
+    if (e1 != e2) {
+      // cost of wires touching e1/e2 before the swap
+      int before = 0;
+      int w;
+      for (w = 0; w < 16; w = w + 1) {
+        int idx = (e1 * 7 + w * 11) % 512;
+        before = before + wire_cost(idx);
+      }
+      // swap in place (semantic clobbers on the placement tables)
+      int l1 = netlist[e1];
+      int l2 = netlist[e2];
+      netlist[e1] = l2; netlist[e2] = l1;
+      location[l1] = e2; location[l2] = e1;
+      int after = 0;
+      for (w = 0; w < 16; w = w + 1) {
+        int idx = (e1 * 7 + w * 11) % 512;
+        after = after + wire_cost(idx);
+      }
+      seed = lcg(seed);
+      int noise = (seed >> 8) % (temperature + 1);
+      if (after > before + noise) {       // reject: swap back
+        netlist[e1] = l1; netlist[e2] = l2;
+        location[l1] = e1; location[l2] = e2;
+      } else {
+        accepted = accepted + 1;
+      }
+    }
+    if (step % 50 == 49 && temperature > 1) temperature = temperature - 11;
+  }
+  int check = accepted;
+  for (i = 0; i < 256; i = i + 1) check = (check * 31 + netlist[i]) % 1000003;
+  print_int(check);
+  return check;
+}
+"""
+
+SOURCES = {
+    "blackscholes": BLACKSCHOLES,
+    "streamcluster": STREAMCLUSTER,
+    "swaptions": SWAPTIONS,
+    "fluidanimate": FLUIDANIMATE,
+    "canneal": CANNEAL,
+}

@@ -1,0 +1,321 @@
+"""SPEC FP 2006-like workloads in MiniC.
+
+Floating-point, compute-intensive kernels that read inputs and stream
+results into separate output arrays — the shape the paper credits for
+SPEC FP's long idempotent paths (Fig. 4) and low overheads (5.4% geomean,
+Fig. 10): many FP registers, few in-place overwrites.
+"""
+
+LBM = """
+// lbm-like: 2D five-point stencil relaxation with separate src/dst grids.
+float grid_a[1024];   // 32x32
+float grid_b[1024];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+void step(float *src, float *dst) {
+  int y;
+  for (y = 1; y < 31; y = y + 1) {
+    int x;
+    for (x = 1; x < 31; x = x + 1) {
+      int i = y * 32 + x;
+      dst[i] = 0.2 * (src[i] + src[i - 1] + src[i + 1] + src[i - 32] + src[i + 32]);
+    }
+  }
+}
+
+int main() {
+  int seed = 13;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    seed = lcg(seed);
+    grid_a[i] = (float) ((seed >> 8) % 1000) / 1000.0;
+    grid_b[i] = 0.0;
+  }
+  int t;
+  for (t = 0; t < 10; t = t + 1) {
+    step(grid_a, grid_b);
+    step(grid_b, grid_a);
+  }
+  float acc = 0.0;
+  for (i = 0; i < 1024; i = i + 1) acc = acc + grid_a[i];
+  int check = (int) (acc * 1000.0);
+  print_int(check);
+  return check;
+}
+"""
+
+MILC = """
+// milc-like: small complex-matrix multiplications over a lattice.
+float lat_re[1152];   // 128 sites x 3x3 matrix
+float lat_im[1152];
+float out_re[1152];
+float out_im[1152];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+void mat_mul(int a_off, int b_off, int c_off) {
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    int j;
+    for (j = 0; j < 3; j = j + 1) {
+      float sr = 0.0;
+      float si = 0.0;
+      int k;
+      for (k = 0; k < 3; k = k + 1) {
+        float ar = lat_re[a_off + i * 3 + k];
+        float ai = lat_im[a_off + i * 3 + k];
+        float br = lat_re[b_off + k * 3 + j];
+        float bi = lat_im[b_off + k * 3 + j];
+        sr = sr + ar * br - ai * bi;
+        si = si + ar * bi + ai * br;
+      }
+      out_re[c_off + i * 3 + j] = sr;
+      out_im[c_off + i * 3 + j] = si;
+    }
+  }
+}
+
+int main() {
+  int seed = 29;
+  int i;
+  for (i = 0; i < 1152; i = i + 1) {
+    seed = lcg(seed);
+    lat_re[i] = (float) ((seed >> 8) % 2000 - 1000) / 1000.0;
+    seed = lcg(seed);
+    lat_im[i] = (float) ((seed >> 8) % 2000 - 1000) / 1000.0;
+  }
+  int s;
+  for (s = 0; s < 127; s = s + 1) {
+    mat_mul(s * 9, s * 9 + 9, s * 9);
+  }
+  float acc = 0.0;
+  for (i = 0; i < 1143; i = i + 1) acc = acc + out_re[i] * out_re[i] + out_im[i] * out_im[i];
+  int check = (int) (acc * 100.0);
+  print_int(check);
+  return check;
+}
+"""
+
+NAMD = """
+// namd-like: pairwise short-range forces between particles (n-body).
+float px[64];
+float py[64];
+float pz[64];
+float fx[64];
+float fy[64];
+float fz[64];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+void forces(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    float ax = 0.0;
+    float ay = 0.0;
+    float az = 0.0;
+    int j;
+    for (j = 0; j < n; j = j + 1) {
+      if (j != i) {
+        float dx = px[j] - px[i];
+        float dy = py[j] - py[i];
+        float dz = pz[j] - pz[i];
+        float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+        if (r2 < 9.0) {                       // cutoff
+          float inv = 1.0 / r2;
+          float s = inv * inv - 0.5 * inv;
+          ax = ax + dx * s;
+          ay = ay + dy * s;
+          az = az + dz * s;
+        }
+      }
+    }
+    fx[i] = ax;                               // streaming output
+    fy[i] = ay;
+    fz[i] = az;
+  }
+}
+
+int main() {
+  int seed = 31;
+  int i;
+  for (i = 0; i < 64; i = i + 1) {
+    seed = lcg(seed); px[i] = (float) ((seed >> 8) % 600) / 100.0;
+    seed = lcg(seed); py[i] = (float) ((seed >> 8) % 600) / 100.0;
+    seed = lcg(seed); pz[i] = (float) ((seed >> 8) % 600) / 100.0;
+  }
+  int t;
+  for (t = 0; t < 3; t = t + 1) {
+    forces(64);
+    for (i = 0; i < 64; i = i + 1) {          // integrate (separate pass)
+      px[i] = px[i] + fx[i] * 0.001;
+      py[i] = py[i] + fy[i] * 0.001;
+      pz[i] = pz[i] + fz[i] * 0.001;
+    }
+  }
+  float acc = 0.0;
+  for (i = 0; i < 64; i = i + 1) acc = acc + px[i] + py[i] + pz[i];
+  int check = (int) (acc * 100.0);
+  print_int(check);
+  return check;
+}
+"""
+
+DEALII = """
+// dealII-like: Jacobi iteration on a sparse (penta-diagonal) FEM system.
+float mat_d[256];     // diagonal
+float rhs[256];
+float x_old[256];
+float x_new[256];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int n = 256;
+  int seed = 37;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    seed = lcg(seed);
+    mat_d[i] = 4.0 + (float) ((seed >> 8) % 100) / 100.0;
+    seed = lcg(seed);
+    rhs[i] = (float) ((seed >> 8) % 200 - 100) / 10.0;
+    x_old[i] = 0.0;
+  }
+  int it;
+  for (it = 0; it < 40; it = it + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      float sigma = 0.0;
+      if (i >= 1)      sigma = sigma - x_old[i - 1];
+      if (i >= 16)     sigma = sigma - x_old[i - 16];
+      if (i + 1 < n)   sigma = sigma - x_old[i + 1];
+      if (i + 16 < n)  sigma = sigma - x_old[i + 16];
+      x_new[i] = (rhs[i] - sigma) / mat_d[i];   // write to the other buffer
+    }
+    for (i = 0; i < n; i = i + 1) x_old[i] = x_new[i];
+  }
+  float acc = 0.0;
+  for (i = 0; i < n; i = i + 1) acc = acc + x_old[i] * x_old[i];
+  int check = (int) (acc * 10.0);
+  print_int(check);
+  return check;
+}
+"""
+
+SOPLEX = """
+// soplex-like: Gaussian elimination with partial pivoting (dense LP core).
+float a[576];      // 24x24 augmented-ish matrix
+float b[24];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int n = 24;
+  int seed = 41;
+  int i;
+  for (i = 0; i < n * n; i = i + 1) {
+    seed = lcg(seed);
+    a[i] = (float) ((seed >> 8) % 2000 - 1000) / 100.0;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    a[i * n + i] = a[i * n + i] + 50.0;     // diagonally dominant
+    seed = lcg(seed);
+    b[i] = (float) ((seed >> 8) % 200 - 100) / 10.0;
+  }
+  int col;
+  for (col = 0; col < n; col = col + 1) {
+    // partial pivot
+    int piv = col;
+    float best = a[col * n + col];
+    if (best < 0.0) best = 0.0 - best;
+    int r;
+    for (r = col + 1; r < n; r = r + 1) {
+      float v = a[r * n + col];
+      if (v < 0.0) v = 0.0 - v;
+      if (v > best) { best = v; piv = r; }
+    }
+    if (piv != col) {
+      int k;
+      for (k = 0; k < n; k = k + 1) {
+        float t = a[col * n + k];
+        a[col * n + k] = a[piv * n + k];
+        a[piv * n + k] = t;
+      }
+      float tb = b[col]; b[col] = b[piv]; b[piv] = tb;
+    }
+    for (r = col + 1; r < n; r = r + 1) {
+      float factor = a[r * n + col] / a[col * n + col];
+      int k;
+      for (k = col; k < n; k = k + 1) {
+        a[r * n + k] = a[r * n + k] - factor * a[col * n + k];
+      }
+      b[r] = b[r] - factor * b[col];
+    }
+  }
+  // back substitution
+  float acc = 0.0;
+  for (i = n - 1; i >= 0; i = i - 1) {
+    float s = b[i];
+    int k;
+    for (k = i + 1; k < n; k = k + 1) s = s - a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+    acc = acc + b[i];
+  }
+  int check = (int) (acc * 1000.0);
+  print_int(check);
+  return check;
+}
+"""
+
+SPHINX = """
+// sphinx3-like: Gaussian mixture log-likelihood scoring of feature frames.
+float means[512];     // 16 mixtures x 32 dims
+float variances[512];
+float features[640];  // 20 frames x 32 dims
+float scores[320];    // 20 frames x 16 mixtures
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int main() {
+  int seed = 53;
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    seed = lcg(seed);
+    means[i] = (float) ((seed >> 8) % 200 - 100) / 50.0;
+    seed = lcg(seed);
+    variances[i] = 0.5 + (float) ((seed >> 8) % 100) / 100.0;
+  }
+  for (i = 0; i < 640; i = i + 1) {
+    seed = lcg(seed);
+    features[i] = (float) ((seed >> 8) % 200 - 100) / 50.0;
+  }
+  int f;
+  float total = 0.0;
+  for (f = 0; f < 20; f = f + 1) {
+    float best = -100000.0;
+    int m;
+    for (m = 0; m < 16; m = m + 1) {
+      float ll = 0.0;
+      int d;
+      for (d = 0; d < 32; d = d + 1) {
+        float diff = features[f * 32 + d] - means[m * 32 + d];
+        ll = ll - diff * diff / variances[m * 32 + d];
+      }
+      scores[f * 16 + m] = ll;               // streaming score matrix
+      if (ll > best) best = ll;
+    }
+    total = total + best;
+  }
+  int check = (int) (0.0 - total);
+  print_int(check);
+  return check;
+}
+"""
+
+SOURCES = {
+    "lbm": LBM,
+    "milc": MILC,
+    "namd": NAMD,
+    "dealii": DEALII,
+    "soplex": SOPLEX,
+    "sphinx": SPHINX,
+}

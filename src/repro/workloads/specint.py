@@ -1,0 +1,503 @@
+"""SPEC INT 2006-like workloads in MiniC.
+
+Each kernel mirrors the *shape* of a SPEC CPU2006 integer benchmark that
+the paper evaluates: control-heavy integer code that frequently overwrites
+its own state in place. That shape is what drives the paper's SPEC INT
+results — short semantic idempotent paths (Fig. 4), higher register
+pressure and hence higher idempotence overhead (Fig. 10, 11.2% geomean).
+
+Every program is deterministic (inputs from an in-program LCG), prints a
+checksum, and returns it from ``main``.
+"""
+
+BZIP2 = """
+// bzip2-like: run-length encoding + move-to-front transform, in place.
+int input[512];
+int mtf[64];
+int encoded[1024];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int rle_encode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    int v = input[i];
+    int run = 1;
+    while (i + run < n && input[i + run] == v && run < 255) {
+      run = run + 1;
+    }
+    encoded[out] = v;
+    encoded[out + 1] = run;
+    out = out + 2;
+    i = i + run;
+  }
+  return out;
+}
+
+int mtf_one(int v) {
+  // encode one symbol against the persistent table: the table is an input
+  // that the shift overwrites in place (semantic clobbers).
+  int j = 0;
+  while (mtf[j] != v) j = j + 1;
+  int rank = j;
+  while (j > 0) {
+    mtf[j] = mtf[j - 1];
+    j = j - 1;
+  }
+  mtf[0] = v;
+  return rank;
+}
+
+int move_to_front(int m) {
+  int i;
+  for (i = 0; i < 64; i = i + 1) mtf[i] = i;
+  int sum = 0;
+  for (i = 0; i < m; i = i + 1) {
+    int v = encoded[i] % 64;
+    if (v < 0) v = v + 64;
+    sum = sum + mtf_one(v);
+  }
+  return sum;
+}
+
+int main() {
+  int seed = 42;
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    seed = lcg(seed);
+    input[i] = (seed >> 8) % 7;      // small alphabet: runs appear
+  }
+  int m = rle_encode(512);
+  int check = move_to_front(m) + m;
+  print_int(check);
+  return check;
+}
+"""
+
+EXPR = """
+// gcc-like: a little stack bytecode interpreter (dispatch-heavy).
+int code[256];
+int stack[64];
+int memory[32];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int run(int len, int trips) {
+  int check = 0;
+  int t;
+  for (t = 0; t < trips; t = t + 1) {
+    int sp = 0;
+    int pc = 0;
+    while (pc < len) {
+      int op = code[pc] % 8;
+      if (op < 0) op = op + 8;
+      int arg = code[pc] / 8 % 32;
+      if (arg < 0) arg = arg + 32;
+      if (op == 0) {                  // push immediate
+        stack[sp] = arg;
+        sp = sp + 1;
+      } else if (op == 1) {           // load
+        stack[sp] = memory[arg];
+        sp = sp + 1;
+      } else if (op == 2) {           // store (overwrites interpreter state)
+        if (sp > 0) {
+          sp = sp - 1;
+          memory[arg] = stack[sp];
+        }
+      } else if (op == 3) {
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }
+      } else if (op == 4) {
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }
+      } else if (op == 5) {
+        if (sp > 1) { stack[sp - 2] = stack[sp - 2] * stack[sp - 1]; sp = sp - 1; }
+      } else if (op == 6) {
+        if (sp > 0) stack[sp - 1] = stack[sp - 1] ^ (stack[sp - 1] >> 1);
+      } else {
+        if (sp > 0) { check = check + stack[sp - 1]; }
+      }
+      pc = pc + 1;
+    }
+    check = (check + memory[t % 32]) % 1000003;
+  }
+  return check;
+}
+
+int main() {
+  int seed = 7;
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    seed = lcg(seed);
+    code[i] = seed >> 4;
+  }
+  for (i = 0; i < 32; i = i + 1) memory[i] = i * 3 + 1;
+  int check = run(256, 30);
+  print_int(check);
+  return check;
+}
+"""
+
+MCF = """
+// mcf-like: Bellman-Ford relaxation over a sparse grid network, in place.
+int dist[256];
+int first_edge[257];
+int edge_to[1024];
+int edge_w[1024];
+
+int relax_node(int i) {
+  // relax this node's outgoing arcs against the persistent distance
+  // labels (read-then-overwrite in place: semantic clobbers).
+  int changed = 0;
+  int e;
+  int d = dist[i];
+  for (e = first_edge[i]; e < first_edge[i + 1]; e = e + 1) {
+    int nd = d + edge_w[e];
+    if (nd < dist[edge_to[e]]) {
+      dist[edge_to[e]] = nd;
+      changed = 1;
+    }
+  }
+  return changed;
+}
+
+int main() {
+  int n = 256;
+  int m = 0;
+  int i;
+  // grid edges: right and down neighbours, weights from an LCG
+  int seed = 99;
+  for (i = 0; i < n; i = i + 1) {
+    int r = i / 16;
+    int c = i % 16;
+    first_edge[i] = m;
+    if (c < 15) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      edge_to[m] = i + 1; edge_w[m] = 1 + (seed >> 8) % 9;
+      m = m + 1;
+    }
+    if (r < 15) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      edge_to[m] = i + 16; edge_w[m] = 1 + (seed >> 7) % 9;
+      m = m + 1;
+    }
+  }
+  first_edge[n] = m;
+  int check = 0;
+  int src;
+  for (src = 0; src < 4; src = src + 1) {
+    for (i = 0; i < n; i = i + 1) dist[i] = 1000000;
+    dist[src * 17] = 0;
+    int changed = 1;
+    int rounds = 0;
+    while (changed && rounds < 40) {
+      changed = 0;
+      for (i = 0; i < n; i = i + 1) {
+        if (relax_node(i)) changed = 1;
+      }
+      rounds = rounds + 1;
+    }
+    for (i = 0; i < n; i = i + 1) check = (check + dist[i]) % 1000003;
+    check = check + rounds;
+  }
+  print_int(check);
+  return check;
+}
+"""
+
+GOBMK = """
+// gobmk-like: board influence propagation with branchy in-place updates.
+int board[361];
+int influence[361];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int propagate(int passes) {
+  int p;
+  int check = 0;
+  for (p = 0; p < passes; p = p + 1) {
+    int i;
+    for (i = 0; i < 361; i = i + 1) {
+      int r = i / 19;
+      int c = i % 19;
+      int acc = influence[i] * 2;
+      int cnt = 2;
+      if (r > 0)  { acc = acc + influence[i - 19]; cnt = cnt + 1; }
+      if (r < 18) { acc = acc + influence[i + 19]; cnt = cnt + 1; }
+      if (c > 0)  { acc = acc + influence[i - 1];  cnt = cnt + 1; }
+      if (c < 18) { acc = acc + influence[i + 1];  cnt = cnt + 1; }
+      if (board[i] == 1) acc = acc + 64;
+      else if (board[i] == 2) acc = acc - 64;
+      influence[i] = acc / cnt;        // in-place update of the field
+    }
+    check = (check + influence[(p * 37) % 361]) % 1000003;
+  }
+  return check;
+}
+
+int main() {
+  int seed = 5;
+  int i;
+  for (i = 0; i < 361; i = i + 1) {
+    seed = lcg(seed);
+    int v = (seed >> 9) % 8;
+    if (v == 1) board[i] = 1;
+    else if (v == 2) board[i] = 2;
+    else board[i] = 0;
+    influence[i] = 0;
+  }
+  int check = propagate(18);
+  print_int(check);
+  return check;
+}
+"""
+
+HMMER = """
+// hmmer-like: Viterbi dynamic programming over an integer profile HMM.
+int match_score[800];
+int insert_score[800];
+int vit_m[100];
+int vit_i[100];
+int vit_d[100];
+int seq[120];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int viterbi(int states, int seqlen) {
+  int t;
+  int check = 0;
+  int i;
+  for (i = 0; i < states; i = i + 1) { vit_m[i] = -10000; vit_i[i] = -10000; vit_d[i] = -10000; }
+  vit_m[0] = 0;
+  for (t = 0; t < seqlen; t = t + 1) {
+    int sym = seq[t] % 8;
+    if (sym < 0) sym = sym + 8;
+    int prev_m = vit_m[0];
+    int prev_i = vit_i[0];
+    int prev_d = vit_d[0];
+    for (i = 1; i < states; i = i + 1) {
+      int cur_m = vit_m[i];
+      int cur_i = vit_i[i];
+      int cur_d = vit_d[i];
+      int best = prev_m;
+      if (prev_i > best) best = prev_i;
+      if (prev_d > best) best = prev_d;
+      vit_m[i] = best + match_score[(i * 8 + sym) % 800];   // in-place DP rows
+      int bi = cur_m - 3;
+      if (cur_i - 1 > bi) bi = cur_i - 1;
+      vit_i[i] = bi + insert_score[(i * 8 + sym) % 800];
+      int bd = vit_m[i - 1] - 4;
+      if (vit_d[i - 1] - 1 > bd) bd = vit_d[i - 1] - 1;
+      vit_d[i] = bd;
+      prev_m = cur_m; prev_i = cur_i; prev_d = cur_d;
+    }
+    check = (check + vit_m[states - 1]) % 1000003;
+  }
+  return check;
+}
+
+int main() {
+  int seed = 11;
+  int i;
+  for (i = 0; i < 800; i = i + 1) {
+    seed = lcg(seed);
+    match_score[i] = (seed >> 8) % 11 - 3;
+    seed = lcg(seed);
+    insert_score[i] = (seed >> 8) % 7 - 4;
+  }
+  for (i = 0; i < 120; i = i + 1) { seed = lcg(seed); seq[i] = seed >> 6; }
+  int check = viterbi(100, 80);
+  print_int(check);
+  return check;
+}
+"""
+
+SJENG = """
+// sjeng-like: alpha-beta minimax over a deterministic synthetic game tree.
+int eval_table[4096];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int alphabeta(int node, int depth, int alpha, int beta) {
+  if (depth == 0) {
+    int idx = node % 4096;
+    if (idx < 0) idx = idx + 4096;
+    return eval_table[idx];
+  }
+  int best = -100000;
+  int m;
+  for (m = 0; m < 4; m = m + 1) {
+    int child = node * 5 + m * 2 + 1;
+    int score = 0 - alphabeta(child, depth - 1, 0 - beta, 0 - alpha);
+    if (score > best) best = score;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) m = 4;        // cutoff
+  }
+  return best;
+}
+
+int main() {
+  int seed = 23;
+  int i;
+  for (i = 0; i < 4096; i = i + 1) {
+    seed = lcg(seed);
+    eval_table[i] = (seed >> 8) % 201 - 100;
+  }
+  int check = 0;
+  for (i = 0; i < 6; i = i + 1) {
+    check = (check * 31 + alphabeta(i * 7, 5, -100000, 100000)) % 1000003;
+  }
+  if (check < 0) check = check + 1000003;
+  print_int(check);
+  return check;
+}
+"""
+
+H264 = """
+// h264ref-like: sum-of-absolute-differences motion search over blocks.
+int frame_ref[1024];   // 32x32 reference
+int frame_cur[1024];   // 32x32 current
+int best_mv[64];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+int sad8(int cx, int cy, int rx, int ry) {
+  int acc = 0;
+  int y;
+  for (y = 0; y < 8; y = y + 1) {
+    int x;
+    for (x = 0; x < 8; x = x + 1) {
+      int a = frame_cur[(cy + y) * 32 + cx + x];
+      int b = frame_ref[(ry + y) * 32 + rx + x];
+      int d = a - b;
+      if (d < 0) d = 0 - d;
+      acc = acc + d;
+    }
+  }
+  return acc;
+}
+
+int main() {
+  int seed = 77;
+  int i;
+  for (i = 0; i < 1024; i = i + 1) {
+    seed = lcg(seed);
+    frame_ref[i] = (seed >> 8) % 256;
+    frame_cur[i] = (frame_ref[i] + (seed >> 16) % 9 - 4) % 256;
+    if (frame_cur[i] < 0) frame_cur[i] = frame_cur[i] + 256;
+  }
+  int check = 0;
+  int by;
+  int block = 0;
+  for (by = 0; by < 3; by = by + 1) {
+    int bx;
+    for (bx = 0; bx < 3; bx = bx + 1) {
+      int cx = 8 + bx * 5;
+      int cy = 8 + by * 5;
+      int best = 1000000;
+      int bestmv = 0;
+      int dy;
+      for (dy = -4; dy <= 4; dy = dy + 2) {
+        int dx;
+        for (dx = -4; dx <= 4; dx = dx + 2) {
+          int s = sad8(cx, cy, cx + dx, cy + dy);
+          if (s < best) { best = s; bestmv = (dy + 4) * 16 + dx + 4; }
+        }
+      }
+      best_mv[block] = bestmv;
+      block = block + 1;
+      check = (check + best * 7 + bestmv) % 1000003;
+    }
+  }
+  print_int(check);
+  return check;
+}
+"""
+
+ASTAR = """
+// astar-like: grid pathfinding with an open list and in-place g-scores.
+int grid[144];      // 12x12 costs
+int gscore[144];
+int open_set[144];
+int came[144];
+
+int lcg(int s) { return (s * 1103515245 + 12345) % 2147483648; }
+
+void expand_node(int best) {
+  // relax the neighbours of one expanded node against the persistent
+  // score tables (in-place improvements: semantic clobbers).
+  open_set[best] = 0;
+  int r = best / 12;
+  int c = best % 12;
+  int d;
+  for (d = 0; d < 4; d = d + 1) {
+    int nb = -1;
+    if (d == 0 && r > 0) nb = best - 12;
+    if (d == 1 && r < 11) nb = best + 12;
+    if (d == 2 && c > 0) nb = best - 1;
+    if (d == 3 && c < 11) nb = best + 1;
+    if (nb >= 0) {
+      int ng = gscore[best] + grid[nb];
+      if (ng < gscore[nb]) {
+        gscore[nb] = ng;
+        came[nb] = best;
+        open_set[nb] = 1;
+      }
+    }
+  }
+}
+
+int search(int start, int goal) {
+  int i;
+  int goal_r = goal / 12;
+  int goal_c = goal % 12;
+  for (i = 0; i < 144; i = i + 1) { gscore[i] = 1000000; open_set[i] = 0; came[i] = -1; }
+  gscore[start] = 0;
+  open_set[start] = 1;
+  int expanded = 0;
+  while (1) {
+    int best = -1;
+    int bestf = 10000000;
+    for (i = 0; i < 144; i = i + 1) {
+      if (open_set[i]) {
+        int dr = i / 12 - goal_r;  if (dr < 0) dr = 0 - dr;
+        int dc = i % 12 - goal_c;  if (dc < 0) dc = 0 - dc;
+        int f = gscore[i] + dr + dc;
+        if (f < bestf) { bestf = f; best = i; }
+      }
+    }
+    if (best < 0) return -1;
+    if (best == goal) return gscore[goal] + expanded;
+    expand_node(best);
+    expanded = expanded + 1;
+  }
+  return -1;
+}
+
+int main() {
+  int seed = 3;
+  int i;
+  for (i = 0; i < 144; i = i + 1) {
+    seed = lcg(seed);
+    grid[i] = 1 + (seed >> 8) % 9;
+  }
+  int check = 0;
+  for (i = 0; i < 2; i = i + 1) {
+    int c = search(i * 13, 143 - i * 12);
+    check = (check * 131 + c) % 1000003;
+  }
+  if (check < 0) check = check + 1000003;
+  print_int(check);
+  return check;
+}
+"""
+
+SOURCES = {
+    "bzip2": BZIP2,
+    "expr": EXPR,
+    "mcf": MCF,
+    "gobmk": GOBMK,
+    "hmmer": HMMER,
+    "sjeng": SJENG,
+    "h264": H264,
+    "astar": ASTAR,
+}

@@ -1,0 +1,98 @@
+"""Shared fixtures and IR snippets for the test suite."""
+
+from repro.ir import parse_module
+
+#: The paper's running example (Fig. 1a): list_push, lowered by hand to the
+#: load/store IR exactly as Figure 1(b) does (S1..S10 with pseudoregisters).
+LIST_PUSH_IR = """
+global @other_list 18
+
+func @list_push(%list: ptr, %e: int) -> int {
+entry:
+  %size.addr = gep %list, 1
+  %size = load int, %size.addr
+  %cap = load int, %list
+  %full = icmp ge %size, %cap
+  br %full, overflow, push
+overflow:
+  ret 0
+push:
+  %buf = gep %list, 2
+  %slot = gep %buf, %size
+  store %e, %slot
+  %size2 = add %size, 1
+  store %size2, %size.addr
+  ret 1
+}
+"""
+
+#: Simple reduction with alloca'd locals (clang -O0 shape).
+SUM_IR = """
+func @sum(%p: ptr, %n: int) -> int {
+entry:
+  %acc0 = alloca 1
+  store 0, %acc0
+  %i0 = alloca 1
+  store 0, %i0
+  jmp loop
+loop:
+  %i = load int, %i0
+  %done = icmp ge %i, %n
+  br %done, exit, body
+body:
+  %addr = gep %p, %i
+  %v = load int, %addr
+  %acc = load int, %acc0
+  %acc2 = add %acc, %v
+  store %acc2, %acc0
+  %i2 = add %i, 1
+  store %i2, %i0
+  jmp loop
+exit:
+  %r = load int, %acc0
+  ret %r
+}
+"""
+
+#: In-place read-modify-write loop: one semantic clobber per iteration.
+SCALE_IR = """
+func @scale(%p: ptr, %n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, body]
+  %done = icmp ge %i, %n
+  br %done, exit, body
+body:
+  %addr = gep %p, %i
+  %v = load int, %addr
+  %v2 = mul %v, 3
+  store %v2, %addr
+  %i2 = add %i, 1
+  jmp loop
+exit:
+  ret
+}
+"""
+
+MINIC_QUICK = """
+int acc[4];
+
+int step(int x) {
+  acc[x % 4] = acc[x % 4] + x;
+  return acc[x % 4];
+}
+
+int main() {
+  int total = 0;
+  for (int i = 0; i < 20; i = i + 1) {
+    total = total + step(i);
+  }
+  print_int(total);
+  return total;
+}
+"""
+
+
+def parse(source: str):
+    return parse_module(source)

@@ -1,0 +1,15 @@
+"""Smoke test for the combined experiment runner."""
+
+import io
+
+from repro.experiments.all_figures import DRIVERS, run_all
+
+
+def test_run_all_on_one_workload():
+    stream = io.StringIO()
+    run_all(["soplex"], stream=stream)
+    report = stream.getvalue()
+    for title, _ in DRIVERS:
+        assert title in report
+    assert report.rstrip().endswith("DONE")
+    assert "soplex" in report

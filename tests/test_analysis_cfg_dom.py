@@ -1,0 +1,285 @@
+"""CFG, dominator, liveness, and loop analysis tests."""
+
+import pytest
+
+from repro.analysis import (
+    CFG,
+    DominatorTree,
+    Liveness,
+    LoopInfo,
+    compute_dominance_frontiers,
+    remove_unreachable_blocks,
+)
+from repro.ir import parse_module, verify_module
+from tests.helpers import LIST_PUSH_IR, SCALE_IR, SUM_IR
+
+DIAMOND = """
+func @diamond(%c: int) -> int {
+entry:
+  br %c, left, right
+left:
+  %a = add 1, 2
+  jmp join
+right:
+  %b = add 3, 4
+  jmp join
+join:
+  %m = phi int [%a, left], [%b, right]
+  ret %m
+}
+"""
+
+NESTED_LOOPS = """
+func @nested(%n: int) -> int {
+entry:
+  jmp outer
+outer:
+  %i = phi int [0, entry], [%i2, outer.latch]
+  %odone = icmp ge %i, %n
+  br %odone, exit, inner
+inner:
+  %j = phi int [0, outer], [%j2, inner]
+  %j2 = add %j, 1
+  %idone = icmp ge %j2, %n
+  br %idone, outer.latch, inner
+outer.latch:
+  %i2 = add %i, 1
+  jmp outer
+exit:
+  ret %i
+}
+"""
+
+
+def blocks_of(func):
+    return {b.name: b for b in func.blocks}
+
+
+class TestCFG:
+    def test_rpo_starts_at_entry(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        cfg = CFG(func)
+        rpo = cfg.reverse_post_order
+        assert rpo[0].name == "entry"
+        assert rpo[-1].name == "join"
+
+    def test_rpo_visits_pred_before_succ_in_dag(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        cfg = CFG(func)
+        index = {b.name: cfg.rpo_index(b) for b in cfg.reachable_blocks}
+        assert index["entry"] < index["left"]
+        assert index["entry"] < index["right"]
+        assert index["left"] < index["join"]
+
+    def test_preds_and_succs(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        cfg = CFG(func)
+        b = blocks_of(func)
+        assert set(cfg.succs(b["entry"])) == {b["left"], b["right"]}
+        assert set(cfg.preds(b["join"])) == {b["left"], b["right"]}
+
+    def test_unreachable_excluded_from_rpo(self):
+        source = """
+func @f() -> int {
+entry:
+  ret 1
+island:
+  ret 2
+}
+"""
+        func = parse_module(source).functions["f"]
+        cfg = CFG(func)
+        assert not cfg.is_reachable(blocks_of(func)["island"])
+
+    def test_remove_unreachable_blocks(self):
+        source = """
+func @f() -> int {
+entry:
+  jmp out
+dead:
+  %x = add 1, 2
+  jmp out
+out:
+  %p = phi int [0, entry], [%x, dead]
+  ret %p
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        removed = remove_unreachable_blocks(func)
+        assert removed == 1
+        verify_module(module, ssa=True)
+        assert len(func.blocks) == 2
+
+    def test_remove_unreachable_noop_when_clean(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        assert remove_unreachable_blocks(func) == 0
+
+
+class TestDominators:
+    def test_diamond(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        tree = DominatorTree.compute(func)
+        b = blocks_of(func)
+        assert tree.immediate_dominator(b["left"]) is b["entry"]
+        assert tree.immediate_dominator(b["right"]) is b["entry"]
+        assert tree.immediate_dominator(b["join"]) is b["entry"]
+        assert tree.dominates(b["entry"], b["join"])
+        assert not tree.dominates(b["left"], b["join"])
+        assert tree.dominates(b["join"], b["join"])  # reflexive
+
+    def test_loop_header_dominates_body(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        tree = DominatorTree.compute(func)
+        b = blocks_of(func)
+        assert tree.dominates(b["loop"], b["body"])
+        assert tree.dominates(b["loop"], b["exit"])
+        assert not tree.dominates(b["body"], b["loop"])
+
+    def test_brute_force_equivalence(self):
+        """idom results agree with path-enumeration dominance."""
+        for source in (DIAMOND, SUM_IR, NESTED_LOOPS, LIST_PUSH_IR):
+            module = parse_module(source)
+            for func in module.defined_functions:
+                tree = DominatorTree.compute(func)
+                cfg = tree.cfg
+                reachable = cfg.reachable_blocks
+                for a in reachable:
+                    for b_block in reachable:
+                        assert tree.dominates(a, b_block) == _dominates_brute(
+                            cfg, a, b_block
+                        ), (func.name, a.name, b_block.name)
+
+    def test_dominators_of_walk(self):
+        func = parse_module(NESTED_LOOPS).functions["nested"]
+        tree = DominatorTree.compute(func)
+        b = blocks_of(func)
+        chain = [blk.name for blk in tree.dominators_of(b["inner"])]
+        assert chain == ["inner", "outer", "entry"]
+
+    def test_dominance_frontiers_diamond(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        tree = DominatorTree.compute(func)
+        frontiers = compute_dominance_frontiers(tree)
+        b = blocks_of(func)
+        assert frontiers[b["left"]] == {b["join"]}
+        assert frontiers[b["right"]] == {b["join"]}
+        assert frontiers[b["entry"]] == set()
+
+    def test_dominance_frontier_loop_header(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        tree = DominatorTree.compute(func)
+        frontiers = compute_dominance_frontiers(tree)
+        b = blocks_of(func)
+        assert b["loop"] in frontiers[b["body"]]
+
+
+def _dominates_brute(cfg, a, b) -> bool:
+    """a dominates b iff removing a makes b unreachable (or a is b)."""
+    if a is b:
+        return True
+    entry = cfg.func.entry
+    if a is entry:
+        return True
+    seen = set()
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        if node is a or node in seen:
+            continue
+        if node is b:
+            return False
+        seen.add(node)
+        stack.extend(cfg.succs(node))
+    return True
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  %b = add %a, %a
+  ret %b
+}
+"""
+        func = parse_module(source).functions["f"]
+        liveness = Liveness(func)
+        entry = func.entry
+        # Only the argument is live into the entry block.
+        assert liveness.live_in_at(entry) == {func.args[0]}
+        values = func.values_by_name()
+        assert values["a"] not in liveness.live_out_at(entry)
+
+    def test_loop_carried_value_live(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        liveness = Liveness(func)
+        b = blocks_of(func)
+        values = func.values_by_name()
+        # %i (the φ) is live through the body.
+        assert values["i"] in liveness.live_in_at(b["body"])
+        # %n (argument) is live into the loop header.
+        assert values["n"] in liveness.live_in_at(b["loop"])
+
+    def test_phi_operand_live_on_edge_only(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        liveness = Liveness(func)
+        b = blocks_of(func)
+        values = func.values_by_name()
+        assert values["a"] in liveness.live_out_at(b["left"])
+        assert values["a"] not in liveness.live_in_at(b["join"])
+
+    def test_live_before(self):
+        func = parse_module(SUM_IR).functions["sum"]
+        liveness = Liveness(func)
+        b = blocks_of(func)
+        values = func.values_by_name()
+        first_body = b["body"].instructions[0]
+        live = liveness.live_before(first_body)
+        assert values["i"] in live
+        assert values["acc0"] in live
+
+
+class TestLoops:
+    def test_single_loop(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        info = LoopInfo(func)
+        assert len(info.loops) == 1
+        loop = info.loops[0]
+        b = blocks_of(func)
+        assert loop.header is b["loop"]
+        assert b["body"] in loop.blocks
+        assert b["exit"] not in loop.blocks
+        assert loop.latches == [b["body"]]
+        assert loop.depth == 1
+
+    def test_nested_loops(self):
+        func = parse_module(NESTED_LOOPS).functions["nested"]
+        info = LoopInfo(func)
+        assert len(info.loops) == 2
+        b = blocks_of(func)
+        inner = info.loop_with_header(b["inner"])
+        outer = info.loop_with_header(b["outer"])
+        assert inner.parent is outer
+        assert inner.depth == 2 and outer.depth == 1
+        assert info.depth_of(b["inner"]) == 2
+        assert info.depth_of(b["outer.latch"]) == 1
+        assert info.depth_of(b["entry"]) == 0
+
+    def test_loop_exits(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        info = LoopInfo(func)
+        exits = info.loops[0].exits()
+        b = blocks_of(func)
+        assert exits == [(b["loop"], b["exit"])]
+
+    def test_no_loops_in_dag(self):
+        func = parse_module(DIAMOND).functions["diamond"]
+        assert LoopInfo(func).loops == []
+
+    def test_top_level_loops(self):
+        func = parse_module(NESTED_LOOPS).functions["nested"]
+        info = LoopInfo(func)
+        tops = info.top_level_loops
+        assert len(tops) == 1 and tops[0].header.name == "outer"

@@ -1,0 +1,156 @@
+"""Extra analysis coverage: dominance oracle, reachability, antidep
+candidate-set properties on realistic (workload) functions."""
+
+import pytest
+
+from repro.analysis import (
+    AntiDepAnalysis,
+    BlockReachability,
+    CFG,
+    DominanceOracle,
+    path_exists,
+)
+from repro.analysis.antideps import InstructionIndex
+from repro.frontend import compile_source
+from repro.ir import parse_module
+from repro.transforms import optimize_module
+from repro.workloads import get_workload
+
+
+class TestDominanceOracle:
+    SOURCE = """
+func @f(%c: int) -> int {
+entry:
+  %a = add 1, 2
+  %b = add %a, 3
+  br %c, left, right
+left:
+  %l = add %b, 1
+  jmp join
+right:
+  %r = add %b, 2
+  jmp join
+join:
+  %m = phi int [%l, left], [%r, right]
+  ret %m
+}
+"""
+
+    def test_same_block_ordering(self):
+        func = parse_module(self.SOURCE).functions["f"]
+        oracle = DominanceOracle(func)
+        values = func.values_by_name()
+        assert oracle.dominates(values["a"], values["b"])
+        assert not oracle.dominates(values["b"], values["a"])
+        assert oracle.dominates(values["a"], values["a"])  # reflexive
+
+    def test_cross_block(self):
+        func = parse_module(self.SOURCE).functions["f"]
+        oracle = DominanceOracle(func)
+        values = func.values_by_name()
+        assert oracle.dominates(values["b"], values["l"])
+        assert oracle.dominates(values["b"], values["m"])
+        assert not oracle.dominates(values["l"], values["m"])
+        assert not oracle.dominates(values["l"], values["r"])
+
+
+class TestReachability:
+    def test_diamond(self):
+        func = parse_module(TestDominanceOracle.SOURCE).functions["f"]
+        cfg = CFG(func)
+        reach = BlockReachability(cfg)
+        blocks = {b.name: b for b in func.blocks}
+        assert reach.reaches(blocks["entry"], blocks["join"])
+        assert not reach.reaches(blocks["left"], blocks["right"])
+        assert not reach.reaches(blocks["join"], blocks["entry"])
+
+    def test_loop_self_reachability(self):
+        source = """
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        cfg = CFG(func)
+        reach = BlockReachability(cfg)
+        loop = func.block_by_name("loop")
+        assert reach.reaches(loop, loop)
+
+    def test_path_exists_same_block(self):
+        func = parse_module(TestDominanceOracle.SOURCE).functions["f"]
+        index = InstructionIndex(func)
+        cfg = CFG(func)
+        reach = BlockReachability(cfg)
+        values = func.values_by_name()
+        assert path_exists(index, reach, values["a"], values["b"])
+        assert not path_exists(index, reach, values["b"], values["a"])
+
+
+class TestCandidateSetsOnWorkloads:
+    @pytest.mark.parametrize("name", ["mcf", "canneal", "soplex"])
+    def test_lemma1_every_candidate_on_every_path(self, name):
+        """Spot-check Lemma 1 dynamically: remove a candidate's block-run
+        and the write becomes unreachable from the read."""
+        module = compile_source(get_workload(name).source)
+        optimize_module(module)
+        checked = 0
+        for func in module.defined_functions:
+            analysis = AntiDepAnalysis(func)
+            for antidep in analysis.antideps[:5]:
+                candidates = analysis.candidate_cuts(antidep)
+                assert candidates
+                for block, idx in list(candidates)[:3]:
+                    assert _cut_separates(func, antidep, (block, idx)), (
+                        name, func.name, antidep
+                    )
+                    checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("name", ["mcf", "soplex"])
+    def test_candidates_within_function(self, name):
+        module = compile_source(get_workload(name).source)
+        optimize_module(module)
+        for func in module.defined_functions:
+            analysis = AntiDepAnalysis(func)
+            blocks = set(func.blocks)
+            for antidep in analysis.antideps:
+                for block, idx in analysis.candidate_cuts(antidep):
+                    assert block in blocks
+                    assert 0 <= idx < len(block.instructions)
+
+
+def _cut_separates(func, antidep, point) -> bool:
+    """Simulate placing a barrier at ``point``: is write unreachable from
+    read without crossing it? (Instruction-level DFS, as in core.verify.)"""
+    block_a = antidep.read.parent
+    start = block_a.instructions.index(antidep.read) + 1
+    barrier_block, barrier_idx = point
+    seen = set()
+    stack = [(block_a, start)]
+    while stack:
+        block, index = stack.pop()
+        key = (id(block), index)
+        if key in seen:
+            continue
+        seen.add(key)
+        i = index
+        blocked = False
+        while i < len(block.instructions):
+            if block is barrier_block and i == barrier_idx:
+                blocked = True
+                break
+            if block.instructions[i] is antidep.write:
+                return False  # reached the write without the barrier
+            i += 1
+        if not blocked:
+            for succ in block.successors:
+                stack.append((succ, 0))
+    return True

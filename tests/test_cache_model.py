@@ -1,0 +1,78 @@
+"""L1 cache timing-model tests."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.sim import CostModel, Simulator
+
+STREAMING = """
+int data[256];
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) data[i] = i;
+  int acc = 0;
+  for (i = 0; i < 256; i = i + 1) acc = acc + data[i];
+  return acc;
+}
+"""
+
+THRASHING = """
+int a[256];
+int b[256];
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 256; i = i + 1) { a[i] = i; b[i] = i; }
+  for (i = 0; i < 256; i = i + 1) acc = acc + a[i] + b[i];
+  return acc;
+}
+"""
+
+
+def _run(source, cost=None):
+    program = compile_minic(source, idempotent=False).program
+    sim = Simulator(program, cost_model=cost or CostModel())
+    result = sim.run("main")
+    return result, sim
+
+
+class TestCacheModel:
+    def test_disabled_by_default(self):
+        _, sim = _run(STREAMING)
+        assert sim.l1_hits == 0 and sim.l1_misses == 0
+
+    def test_functional_results_unaffected(self):
+        ref, _ = _run(STREAMING)
+        cached, _ = _run(STREAMING, CostModel(l1_lines=16))
+        assert ref == cached
+
+    def test_misses_cost_cycles(self):
+        _, perfect = _run(STREAMING)
+        _, cached = _run(STREAMING, CostModel(l1_lines=4, l1_miss_latency=30))
+        assert cached.l1_misses > 0
+        assert cached.cycles > perfect.cycles
+
+    def test_sequential_access_mostly_hits(self):
+        """16-word lines: a sequential sweep misses ~1/16 of accesses."""
+        _, sim = _run(STREAMING, CostModel(l1_lines=64))
+        total = sim.l1_hits + sim.l1_misses
+        assert total > 0
+        assert sim.l1_misses / total < 0.25
+
+    def test_bigger_cache_fewer_misses(self):
+        _, small = _run(THRASHING, CostModel(l1_lines=2))
+        _, large = _run(THRASHING, CostModel(l1_lines=256))
+        assert large.l1_misses <= small.l1_misses
+
+    def test_store_touches_line(self):
+        """A store warms the line for the following load."""
+        source = """
+int g[4];
+int main() {
+  g[1] = 7;
+  return g[2];   // same 16-word line as the store
+}
+"""
+        _, sim = _run(source, CostModel(l1_lines=8))
+        # The load next to the store hits (the store allocated the line).
+        assert sim.l1_hits >= 1

@@ -1,0 +1,93 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+int a[4];
+int main() {
+  for (int i = 0; i < 10; i = i + 1) a[i % 4] = a[i % 4] + i;
+  print_int(a[0] + a[1] + a[2] + a[3]);
+  return a[0];
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, demo_file, capsys):
+        assert main(["run", demo_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "45"
+        assert "result=" in captured.err
+
+    def test_run_original(self, demo_file, capsys):
+        assert main(["run", demo_file, "--original"]) == 0
+        assert capsys.readouterr().out.strip() == "45"
+
+    def test_run_with_region_bound(self, demo_file, capsys):
+        assert main(["run", demo_file, "--max-region-size", "5"]) == 0
+        assert capsys.readouterr().out.strip() == "45"
+
+
+class TestCompile:
+    def test_emit_ir_has_boundaries(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--emit", "ir"]) == 0
+        out = capsys.readouterr().out
+        assert "boundary" in out
+        assert "func @main" in out
+
+    def test_emit_ir_original_has_none(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--emit", "ir", "--original"]) == 0
+        assert "boundary" not in capsys.readouterr().out
+
+    def test_emit_asm(self, demo_file, capsys):
+        assert main(["compile", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "rcb" in out
+        assert "vregs=" in out
+
+    def test_heuristic_flag(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--emit", "ir",
+                     "--heuristic", "coverage"]) == 0
+
+
+class TestRegions:
+    def test_report_fields(self, demo_file, capsys):
+        assert main(["regions", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "@main:" in out
+        assert "hitting-set cuts:" in out
+        assert "regions:" in out
+
+
+class TestFaults:
+    def test_campaign_runs(self, demo_file, capsys):
+        assert main(["faults", demo_file, "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "idempotent" in out and "recovery" in out
+
+
+class TestWorkloads:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out and "blackscholes" in out
+        assert len(out.strip().splitlines()) == 19
+
+
+class TestExperiment:
+    def test_table2_subset(self, capsys):
+        assert main(["experiment", "table2", "mcf"]) == 0
+        assert "artificial" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig999"])

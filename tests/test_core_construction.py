@@ -1,0 +1,386 @@
+"""Region construction tests: hitting set, self-dep loops, decomposition,
+static verification, and the paper's running example (Figs. 1-3, 6-7)."""
+
+import pytest
+
+from repro.analysis import AntiDepAnalysis, LoopInfo
+from repro.core import (
+    ConstructionConfig,
+    HEURISTIC_COVERAGE,
+    HEURISTIC_LOOP,
+    HittingSetProblem,
+    RegionDecomposition,
+    construct_idempotent_regions,
+    construct_module_regions,
+    enforce_loop_cut_invariant,
+    find_idempotence_violations,
+    min_cuts_on_body_paths,
+    self_dependent_phis,
+    solve_hitting_set,
+    verify_idempotent_regions,
+)
+from repro.interp import Interpreter, run_module
+from repro.ir import Boundary, format_module, parse_module, verify_module
+from tests.helpers import LIST_PUSH_IR, SCALE_IR, SUM_IR
+
+
+class TestHittingSet:
+    def test_single_set(self):
+        module = parse_module(SUM_IR)
+        block = module.functions["sum"].entry
+        problem = HittingSetProblem([frozenset({(block, 1)})])
+        cuts = solve_hitting_set(problem, heuristic=HEURISTIC_COVERAGE)
+        assert cuts == [(block, 1)]
+
+    def test_shared_point_covers_all(self):
+        module = parse_module(SUM_IR)
+        block = module.functions["sum"].entry
+        shared = (block, 2)
+        sets = [
+            frozenset({(block, 1), shared}),
+            frozenset({shared, (block, 3)}),
+            frozenset({shared}),
+        ]
+        cuts = solve_hitting_set(HittingSetProblem(sets), heuristic=HEURISTIC_COVERAGE)
+        assert cuts == [shared]
+
+    def test_disjoint_sets_need_multiple_cuts(self):
+        module = parse_module(SUM_IR)
+        block = module.functions["sum"].entry
+        sets = [frozenset({(block, 1)}), frozenset({(block, 3)})]
+        cuts = solve_hitting_set(HittingSetProblem(sets), heuristic=HEURISTIC_COVERAGE)
+        assert len(cuts) == 2
+
+    def test_preselected_points_are_free(self):
+        module = parse_module(SUM_IR)
+        block = module.functions["sum"].entry
+        sets = [frozenset({(block, 1)}), frozenset({(block, 3)})]
+        cuts = solve_hitting_set(
+            HittingSetProblem(sets),
+            heuristic=HEURISTIC_COVERAGE,
+            preselected=[(block, 1)],
+        )
+        assert cuts == [(block, 3)]
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ValueError):
+            HittingSetProblem([frozenset()])
+
+    def test_every_set_hit(self):
+        module = parse_module(LIST_PUSH_IR)
+        func = module.functions["list_push"]
+        blocks = list(func.blocks)
+        sets = [
+            frozenset({(blocks[0], 1), (blocks[2], 0)}),
+            frozenset({(blocks[2], 0), (blocks[2], 2)}),
+            frozenset({(blocks[0], 3)}),
+        ]
+        for heuristic in (HEURISTIC_COVERAGE, HEURISTIC_LOOP):
+            cuts = set(
+                solve_hitting_set(HittingSetProblem(sets), heuristic=heuristic)
+            )
+            for candidate in sets:
+                assert candidate & cuts
+
+    def test_loop_heuristic_prefers_shallow_points(self):
+        """Given equal coverage, cut outside the loop (paper §4.3)."""
+        module = parse_module(SCALE_IR)
+        func = module.functions["scale"]
+        info = LoopInfo(func)
+        entry = func.block_by_name("entry")
+        body = func.block_by_name("body")
+        sets = [frozenset({(entry, 0), (body, 1)})]
+        cuts = solve_hitting_set(
+            HittingSetProblem(sets), loop_info=info, heuristic=HEURISTIC_LOOP
+        )
+        assert cuts == [(entry, 0)]
+        cuts_greedy = solve_hitting_set(
+            HittingSetProblem(sets), loop_info=info, heuristic=HEURISTIC_COVERAGE
+        )
+        assert len(cuts_greedy) == 1
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            solve_hitting_set(HittingSetProblem([]), heuristic="magic")
+
+
+class TestSelfDependentPhis:
+    def test_detects_induction_variable(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        loop = LoopInfo(func).loops[0]
+        phis = self_dependent_phis(loop)
+        assert [p.name for p in phis] == ["i"]
+
+    def test_independent_phi_not_flagged(self):
+        source = """
+global @g 8
+
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %fresh = phi int [0, entry], [%v, loop]
+  %slot = gep @g, %i
+  %v = load int, %slot
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        loop = LoopInfo(func).loops[0]
+        names = {p.name for p in self_dependent_phis(loop)}
+        assert names == {"i"}  # %fresh gets its value from memory
+
+    def test_min_cuts_counts_boundaries(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        loop = LoopInfo(func).loops[0]
+        assert min_cuts_on_body_paths(loop) == 0
+        body = func.block_by_name("body")
+        body.insert(0, Boundary())
+        assert min_cuts_on_body_paths(loop) == 1
+
+    def test_min_cuts_takes_minimum_over_paths(self):
+        source = """
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, latch]
+  %c = rem %i, 2
+  br %c, cutpath, freepath
+cutpath:
+  boundary
+  jmp latch
+freepath:
+  jmp latch
+latch:
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        loop = LoopInfo(func).loops[0]
+        assert min_cuts_on_body_paths(loop) == 0  # freepath has none
+
+    def test_invariant_case1_untouched(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        report = enforce_loop_cut_invariant(func, unroll=False)
+        assert report.case1_untouched == 1
+        assert report.forced_cuts == 0
+
+    def test_invariant_forces_header_and_latch_cuts(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        body = func.block_by_name("body")
+        body.insert(2, Boundary())  # a mid-body cut: case 3
+        report = enforce_loop_cut_invariant(func, unroll=False)
+        assert report.case3_fixed >= 1
+        assert report.forced_cuts == 2
+        loop = LoopInfo(func).loops[0]
+        assert min_cuts_on_body_paths(loop) >= 2
+
+    def test_invariant_unrolls_when_profitable(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        body = func.block_by_name("body")
+        body.insert(2, Boundary())
+        report = enforce_loop_cut_invariant(func, unroll=True)
+        assert report.loops_unrolled == 1
+        verify_module_of(func)
+
+
+def verify_module_of(func):
+    from repro.ir.verifier import verify_function
+
+    verify_function(func, ssa=True)
+
+
+class TestRegionDecomposition:
+    def test_headers_and_sizes(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  boundary
+  %b = add %a, 2
+  %c = add %b, 3
+  ret %c
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        assert len(decomp) == 2
+        assert decomp.boundary_count == 1
+        sizes = decomp.static_sizes()
+        assert sizes == [1, 3]  # [%a] and [%b, %c, ret]
+
+    def test_region_is_multi_path(self):
+        """Paper §2.3: a region is a collection of paths from one entry."""
+        source = """
+func @f(%c: int) -> int {
+entry:
+  boundary
+  br %c, a, b
+a:
+  %x = add 1, 1
+  jmp join
+b:
+  %y = add 2, 2
+  jmp join
+join:
+  %m = phi int [%x, a], [%y, b]
+  ret %m
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        region = decomp.regions[1]
+        names = {getattr(i, "name", i.opcode) for i in region.instructions}
+        assert {"x", "y", "m"} <= names  # both arms belong to the region
+
+    def test_loop_region_wraps_back_edge(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        decomp = RegionDecomposition(func)
+        entry_region = decomp.regions[0]
+        # Without cuts, the whole function is one region.
+        assert entry_region.size == func.instruction_count()
+
+    def test_membership(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  boundary
+  %b = add %a, 2
+  ret %b
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        values = func.values_by_name()
+        assert [r.index for r in decomp.regions_containing(values["a"])] == [0]
+        assert [r.index for r in decomp.regions_containing(values["b"])] == [1]
+
+
+class TestStaticVerification:
+    def test_flags_uncut_antidep(self):
+        source = """
+func @f(%p: ptr) -> int {
+entry:
+  %v = load int, %p
+  store 9, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        violations = find_idempotence_violations(func)
+        assert len(violations) == 1
+        with pytest.raises(AssertionError):
+            verify_idempotent_regions(func)
+
+    def test_cut_silences_violation(self):
+        source = """
+func @f(%p: ptr) -> int {
+entry:
+  %v = load int, %p
+  boundary
+  store 9, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert find_idempotence_violations(func) == []
+
+    def test_cut_must_be_on_every_path(self):
+        source = """
+func @f(%p: ptr, %c: int) -> int {
+entry:
+  %v = load int, %p
+  br %c, cut, free
+cut:
+  boundary
+  jmp join
+free:
+  jmp join
+join:
+  store 9, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert len(find_idempotence_violations(func)) == 1
+
+
+class TestConstruction:
+    def test_list_push_single_cut(self):
+        """Figures 1-3: one cut suffices for both semantic clobbers."""
+        module = parse_module(LIST_PUSH_IR)
+        result = construct_idempotent_regions(module.functions["list_push"])
+        assert result.hitting_set_cut_count == 1
+        verify_module(module, ssa=True)
+
+    def test_construction_verifies_by_default(self):
+        module = parse_module(LIST_PUSH_IR)
+        construct_idempotent_regions(module.functions["list_push"])
+        verify_idempotent_regions(module.functions["list_push"])
+
+    def test_streaming_loop_needs_no_memory_cuts(self):
+        module = parse_module(SUM_IR)
+        result = construct_idempotent_regions(module.functions["sum"])
+        assert result.hitting_set_cut_count == 0
+
+    def test_cut_before_every_return(self):
+        module = parse_module(SUM_IR)
+        result = construct_idempotent_regions(module.functions["sum"])
+        assert result.single_region_splits >= 1
+        for block in module.functions["sum"].blocks:
+            term = block.terminator
+            if term is not None and term.opcode == "ret":
+                assert isinstance(block.instructions[-2], Boundary)
+
+    def test_semantics_preserved(self):
+        source = """
+global @data 5 = [3, 1, 4, 1, 5]
+""" + SUM_IR + """
+func @main() -> int {
+entry:
+  %r = call int @sum(@data, 5)
+  ret %r
+}
+"""
+        module = parse_module(source)
+        before, _ = run_module(module, "main")
+        construct_module_regions(module)
+        after, _ = run_module(module, "main")
+        assert before == after == 14
+
+    def test_config_heuristics_both_valid(self):
+        for heuristic in (HEURISTIC_LOOP, HEURISTIC_COVERAGE):
+            module = parse_module(LIST_PUSH_IR)
+            config = ConstructionConfig(heuristic=heuristic)
+            construct_idempotent_regions(module.functions["list_push"], config)
+            verify_idempotent_regions(module.functions["list_push"])
+
+    def test_no_unroll_config(self):
+        module = parse_module(SCALE_IR)
+        config = ConstructionConfig(unroll_self_dep=False)
+        result = construct_idempotent_regions(module.functions["scale"], config)
+        assert result.loop_report.loops_unrolled == 0
+        verify_idempotent_regions(module.functions["scale"])
+
+    def test_declaration_is_noop(self):
+        module = parse_module("declare @ext() -> int")
+        result = construct_idempotent_regions(module.functions["ext"])
+        assert result.region_count == 0
+
+    def test_region_counts_match_decomposition(self):
+        module = parse_module(LIST_PUSH_IR)
+        result = construct_idempotent_regions(module.functions["list_push"])
+        decomp = RegionDecomposition(module.functions["list_push"])
+        assert result.region_count == len(decomp)
+        assert result.total_boundaries == decomp.boundary_count

@@ -1,0 +1,265 @@
+"""Tests for the §6.2/§8 extensions: region size control and
+restrict-style argument aliasing."""
+
+import pytest
+
+from repro.analysis import AliasAnalysis, AntiDepAnalysis, NO_ALIAS, MAY_ALIAS
+from repro.compiler import compile_minic
+from repro.core import (
+    ConstructionConfig,
+    RegionDecomposition,
+    bound_region_sizes,
+    construct_idempotent_regions,
+    verify_idempotent_regions,
+)
+from repro.interp import Interpreter, run_module
+from repro.ir import Boundary, parse_module, verify_module
+from repro.sim import Simulator
+from repro.sim.path_trace import trace_paths
+from tests.helpers import SCALE_IR, SUM_IR
+
+
+class TestSizeBound:
+    def test_straight_line_split(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  %b = add %a, 1
+  %c = add %b, 1
+  %d = add %c, 1
+  %e = add %d, 1
+  ret %e
+}
+"""
+        func = parse_module(source).functions["f"]
+        inserted = bound_region_sizes(func, max_size=2)
+        assert inserted >= 2
+        # No boundary-free run longer than 2 instructions.
+        run = 0
+        for inst in func.entry.instructions:
+            if isinstance(inst, Boundary):
+                run = 0
+            else:
+                run += 1
+                assert run <= 2
+
+    def test_cut_free_loop_gets_cut(self):
+        func = parse_module(SCALE_IR).functions["scale"]
+        inserted = bound_region_sizes(func, max_size=4)
+        assert inserted >= 1
+        assert any(
+            isinstance(i, Boundary)
+            for b in func.blocks
+            for i in b.instructions
+        )
+
+    def test_noop_when_already_small(self):
+        source = """
+func @f() -> int {
+entry:
+  %a = add 1, 2
+  ret %a
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert bound_region_sizes(func, max_size=10) == 0
+
+    def test_invalid_bound(self):
+        func = parse_module(SUM_IR).functions["sum"]
+        with pytest.raises(ValueError):
+            bound_region_sizes(func, max_size=0)
+
+    def test_construction_with_bound_verifies(self):
+        module = parse_module(SUM_IR)
+        config = ConstructionConfig(max_region_size=4)
+        result = construct_idempotent_regions(module.functions["sum"], config)
+        assert result.size_bound_cuts > 0
+        verify_module(module, ssa=True)
+        verify_idempotent_regions(module.functions["sum"])
+
+    def test_bound_shrinks_dynamic_paths(self):
+        source = """
+int data[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) data[i] = i * 3;
+  int acc = 0;
+  for (i = 0; i < 64; i = i + 1) acc = acc + data[i];
+  return acc;
+}
+"""
+        unbounded = compile_minic(source, idempotent=True)
+        bounded = compile_minic(
+            source, idempotent=True, config=ConstructionConfig(max_region_size=6)
+        )
+        long_paths = trace_paths(unbounded.program).average
+        short_paths = trace_paths(bounded.program).average
+        assert short_paths < long_paths
+
+        # Semantics preserved, at higher cost.
+        sim_u = Simulator(unbounded.program)
+        sim_b = Simulator(bounded.program)
+        assert sim_u.run("main") == sim_b.run("main")
+        assert sim_b.boundaries_crossed > sim_u.boundaries_crossed
+
+    def test_bounded_binary_still_recovers_faults(self):
+        source = """
+int hist[8];
+int main() {
+  int seed = 3;
+  for (int i = 0; i < 50; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int b = (seed >> 8) % 8;
+    if (b < 0) b = b + 8;
+    hist[b] = hist[b] + 1;
+  }
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) acc = acc * 31 + hist[i];
+  return acc;
+}
+"""
+        from repro.sim.faults import fault_campaign
+
+        build = compile_minic(
+            source, idempotent=True, config=ConstructionConfig(max_region_size=8)
+        )
+        sim = Simulator(build.program)
+        ref = sim.run("main")
+        campaign = fault_campaign(build.program, ref, [], trials=20)
+        assert campaign.injected > 0
+        assert campaign.recovered_correctly == campaign.injected
+
+
+class TestTrustArgumentNoalias:
+    TWO_PTR = """
+func @copy(%dst: ptr, %src: ptr, %n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %sp = gep %src, %i
+  %v = load int, %sp
+  %dp = gep %dst, %i
+  store %v, %dp
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+
+    def test_alias_query_changes(self):
+        func = parse_module(self.TWO_PTR).functions["copy"]
+        default = AliasAnalysis(func)
+        trusting = AliasAnalysis(func, trust_argument_noalias=True)
+        dst, src = func.args[0], func.args[1]
+        assert default.alias(dst, src) == MAY_ALIAS
+        assert trusting.alias(dst, src) == NO_ALIAS
+
+    def test_removes_cross_argument_antideps(self):
+        func = parse_module(self.TWO_PTR).functions["copy"]
+        assert AntiDepAnalysis(func).antideps  # load src vs store dst
+        trusting = AliasAnalysis(func, trust_argument_noalias=True)
+        assert AntiDepAnalysis(func, trusting).antideps == []
+
+    def test_same_argument_still_aliases_itself(self):
+        source = """
+func @f(%p: ptr) -> int {
+entry:
+  %v = load int, %p
+  store 1, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        trusting = AliasAnalysis(func, trust_argument_noalias=True)
+        assert len(AntiDepAnalysis(func, trusting).antideps) == 1
+
+    def test_construction_under_promise_verifies_and_runs(self):
+        source = """
+int a[16];
+int b[16];
+void copy(int *dst, int *src, int n) {
+  for (int i = 0; i < n; i = i + 1) dst[i] = src[i];
+}
+int main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) a[i] = i * i;
+  copy(b, a, 16);
+  return b[15];
+}
+"""
+        from repro.frontend import compile_source
+
+        expected, _ = run_module(compile_source(source))
+        config = ConstructionConfig(trust_argument_noalias=True)
+        build = compile_minic(source, idempotent=True, config=config)
+        sim = Simulator(build.program)
+        assert sim.run("main") == expected == 225
+
+    def test_violated_promise_breaks_recovery(self):
+        """Like C's ``restrict``: pass aliasing pointers under the promise
+        and fault recovery can silently corrupt results. Documents the
+        sharp edge; the functional (fault-free) result is unaffected."""
+        source = """
+int buf[32];
+void shift(int *dst, int *src, int n) {
+  for (int i = 0; i < n; i = i + 1) dst[i] = src[i] + 1;
+}
+int main() {
+  int i;
+  for (i = 0; i < 32; i = i + 1) buf[i] = i * 7 + 3;
+  shift(&buf[0], &buf[1], 30);   // overlapping: promise violated
+  int acc = 0;
+  for (i = 0; i < 32; i = i + 1) acc = acc * 31 + buf[i];
+  return acc;
+}
+"""
+        from repro.sim.faults import fault_campaign
+
+        config = ConstructionConfig(trust_argument_noalias=True)
+        build = compile_minic(source, idempotent=True, config=config)
+        sim = Simulator(build.program)
+        reference = sim.run("main")
+        # Fault-free execution is correct either way.
+        honest = compile_minic(source, idempotent=True)
+        assert Simulator(honest.program).run("main") == reference
+
+        broken = fault_campaign(build.program, reference, [], trials=40)
+        safe = fault_campaign(honest.program, reference, [], trials=40)
+        assert safe.recovered_correctly == safe.injected
+        # Under the violated promise at least some recoveries corrupt.
+        assert broken.wrong_result + broken.crashed > 0
+
+    def test_promise_grows_regions(self):
+        source = """
+float ga[256];
+float gb[256];
+void relax(float *dst, float *src) {
+  for (int i = 1; i < 255; i = i + 1) {
+    dst[i] = 0.5 * (src[i - 1] + src[i + 1]);
+  }
+}
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) ga[i] = (float) i;
+  for (i = 0; i < 10; i = i + 1) { relax(gb, ga); relax(ga, gb); }
+  return (int) ga[128];
+}
+"""
+        default_build = compile_minic(source, idempotent=True)
+        trusted_build = compile_minic(
+            source,
+            idempotent=True,
+            config=ConstructionConfig(trust_argument_noalias=True),
+        )
+        default_paths = trace_paths(default_build.program).average
+        trusted_paths = trace_paths(trusted_build.program).average
+        assert trusted_paths > default_paths * 2
+        # Same answer either way.
+        assert (
+            Simulator(default_build.program).run("main")
+            == Simulator(trusted_build.program).run("main")
+        )

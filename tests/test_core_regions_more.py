@@ -1,0 +1,175 @@
+"""Additional region-decomposition and verifier edge cases."""
+
+import pytest
+
+from repro.core import RegionDecomposition, find_idempotence_violations
+from repro.ir import Boundary, parse_module
+
+
+class TestDecompositionEdges:
+    def test_consecutive_boundaries_make_empty_region(self):
+        source = """
+func @f() -> int {
+entry:
+  boundary
+  boundary
+  ret 1
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        assert len(decomp) == 3
+        sizes = decomp.static_sizes()
+        assert 0 in sizes
+
+    def test_boundary_as_first_instruction(self):
+        source = """
+func @f() -> int {
+entry:
+  boundary
+  %a = add 1, 2
+  ret %a
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        # Implicit entry region (empty) + the post-boundary region.
+        assert len(decomp) == 2
+        assert decomp.static_sizes() == [0, 2]
+
+    def test_loop_region_includes_back_edge_blocks(self):
+        source = """
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  boundary
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        # The post-boundary region wraps the back edge and re-includes the
+        # loop header's φ.
+        post = decomp.regions[1]
+        names = {getattr(i, "name", i.opcode) for i in post.instructions}
+        assert "i" in names and "i2" in names
+
+    def test_instruction_in_multiple_regions(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  br %c, a, b
+a:
+  boundary
+  jmp join
+b:
+  jmp join
+join:
+  %r = add 1, 2
+  ret %r
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        values = func.values_by_name()
+        owners = decomp.regions_containing(values["r"])
+        # %r is reachable from the entry region (via b) and from the cut
+        # region (via a).
+        assert len(owners) == 2
+
+    def test_headers_in_program_order(self):
+        source = """
+func @f() -> int {
+entry:
+  %a = add 1, 1
+  boundary
+  %b = add %a, 1
+  boundary
+  ret %b
+}
+"""
+        func = parse_module(source).functions["f"]
+        decomp = RegionDecomposition(func)
+        indices = [header[1] for header in decomp.headers()]
+        assert indices == sorted(indices)
+
+
+class TestVerifierEdges:
+    def test_loop_carried_war_needs_in_loop_cut(self):
+        source = """
+global @g 1
+
+func @f(%n: int) {
+entry:
+  boundary
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %v = load int, @g
+  store %i, @g
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        # The pre-loop boundary does not cut the loop-carried WAR
+        # (load iteration i+1 happens after the store of iteration i).
+        violations = find_idempotence_violations(func)
+        assert violations
+
+    def test_in_loop_cut_between_read_and_write_suffices(self):
+        source = """
+global @g 1
+
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %v = load int, @g
+  boundary
+  store %i, @g
+  boundary
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert find_idempotence_violations(func) == []
+
+    def test_single_in_loop_cut_after_write_insufficient(self):
+        """One cut after the store: the read->write path around the back
+        edge crosses it, but the same-iteration read->write does not...
+        actually the same-iteration pair (v then store) is boundary-free."""
+        source = """
+global @g 1
+
+func @f(%n: int) {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %v = load int, @g
+  store %i, @g
+  boundary
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert find_idempotence_violations(func)

@@ -1,0 +1,173 @@
+"""Limit study and path tracing tests (Figs. 4, 8, 9 infrastructure)."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.sim.limit_study import (
+    CATEGORIES,
+    CATEGORY_ARTIFICIAL,
+    CATEGORY_SEMANTIC,
+    CATEGORY_SEMANTIC_CALLS,
+    PathStats,
+    run_limit_study,
+)
+from repro.sim.path_trace import region_size_summary, trace_paths
+
+RMW_LOOP = """
+int a[4];
+int main() {
+  int t;
+  for (t = 0; t < 50; t = t + 1) {
+    a[t % 4] = a[t % 4] + t;      // read-modify-write on persistent state
+  }
+  return a[0] + a[1] + a[2] + a[3];
+}
+"""
+
+STREAMING = """
+int src[64];
+int dst[64];
+int main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) src[i] = i * 3;
+  for (i = 0; i < 64; i = i + 1) dst[i] = src[i] + 1;  // no overwrites of inputs
+  return dst[63];
+}
+"""
+
+CALL_HEAVY = """
+int g = 0;
+int bump() { g = g + 1; return g; }
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 40; i = i + 1) acc = acc + bump();
+  return acc;
+}
+"""
+
+
+class TestPathStats:
+    def test_record_and_average(self):
+        stats = PathStats()
+        stats.record(10)
+        stats.record(10)
+        stats.record(40)
+        assert stats.count == 3
+        assert stats.total_instructions == 60
+        assert stats.average == 20.0
+
+    def test_zero_lengths_ignored(self):
+        stats = PathStats()
+        stats.record(0)
+        assert stats.count == 0
+
+    def test_weighted_cdf_monotone(self):
+        stats = PathStats()
+        for length in (5, 10, 10, 100):
+            stats.record(length)
+        cdf = stats.weighted_cdf()
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_weighted_cdf_weighting(self):
+        stats = PathStats()
+        stats.record(1)
+        stats.record(99)
+        cdf = dict(stats.weighted_cdf())
+        assert cdf[1] == pytest.approx(0.01)
+
+    def test_empty_cdf(self):
+        assert PathStats().weighted_cdf() == []
+
+
+class TestLimitStudy:
+    def test_categories_present(self):
+        program = compile_minic(RMW_LOOP, idempotent=False).program
+        stats = run_limit_study(program)
+        assert set(stats) == set(CATEGORIES)
+
+    def test_artificial_paths_shortest(self):
+        """Register clobbers always cut at least as often as memory ones."""
+        program = compile_minic(RMW_LOOP, idempotent=False).program
+        stats = run_limit_study(program)
+        assert (
+            stats[CATEGORY_ARTIFICIAL].average
+            <= stats[CATEGORY_SEMANTIC_CALLS].average
+        )
+
+    def test_interprocedural_at_least_intraprocedural_cuts(self):
+        """Call splits only shorten paths when clobbers are equal — with
+        persistent state mutation, the call-split category cannot have
+        *longer* total instruction coverage than inter."""
+        program = compile_minic(CALL_HEAVY, idempotent=False).program
+        stats = run_limit_study(program)
+        assert (
+            stats[CATEGORY_SEMANTIC_CALLS].count
+            >= stats[CATEGORY_SEMANTIC].count
+        )
+
+    def test_rmw_loop_has_semantic_clobbers(self):
+        program = compile_minic(RMW_LOOP, idempotent=False).program
+        stats = run_limit_study(program, warmup_fraction=0.1)
+        # Many short semantic paths: each trip overwrites state it read.
+        assert stats[CATEGORY_SEMANTIC_CALLS].count > 5
+
+    def test_streaming_loop_has_long_semantic_paths(self):
+        program = compile_minic(STREAMING, idempotent=False).program
+        stats = run_limit_study(program, warmup_fraction=0.1)
+        # A pure streaming kernel never overwrites its inputs: the whole
+        # measured window is one semantic path.
+        assert stats[CATEGORY_SEMANTIC_CALLS].average > 500
+        assert (
+            stats[CATEGORY_ARTIFICIAL].average
+            <= stats[CATEGORY_SEMANTIC_CALLS].average
+        )
+
+    def test_warmup_skips_setup(self):
+        program = compile_minic(STREAMING, idempotent=False).program
+        with_warmup = run_limit_study(program, warmup_fraction=0.3)
+        without = run_limit_study(program, warmup_fraction=0.0)
+        assert (
+            with_warmup[CATEGORY_SEMANTIC].total_instructions
+            < without[CATEGORY_SEMANTIC].total_instructions
+        )
+
+
+class TestPathTrace:
+    def test_idempotent_binary_has_paths(self):
+        program = compile_minic(RMW_LOOP, idempotent=True).program
+        stats = trace_paths(program)
+        assert stats.count > 1
+        assert stats.average > 0
+
+    def test_paths_cover_almost_all_instructions(self):
+        program = compile_minic(RMW_LOOP, idempotent=True).program
+        from repro.sim import Simulator
+
+        sim = Simulator(program)
+        sim.run("main")
+        stats = trace_paths(program)
+        # Boundary ops themselves are not counted in path lengths.
+        assert stats.total_instructions <= sim.instructions
+        assert stats.total_instructions >= sim.instructions * 0.5
+
+    def test_original_binary_single_giant_paths(self):
+        """Without rcb markers only calls/returns split paths."""
+        program = compile_minic(STREAMING, idempotent=False).program
+        stats = trace_paths(program)
+        assert stats.count <= 3
+
+    def test_summary_fields(self):
+        program = compile_minic(RMW_LOOP, idempotent=True).program
+        summary = region_size_summary(trace_paths(program))
+        assert set(summary) == {"paths", "average", "p50_time_weighted", "p90_time_weighted"}
+        assert summary["p50_time_weighted"] <= summary["p90_time_weighted"]
+
+    def test_constructed_paths_shorter_than_ideal(self):
+        """Constructed regions cannot beat the dynamic limit (Fig. 9)."""
+        idem = compile_minic(RMW_LOOP, idempotent=True).program
+        orig = compile_minic(RMW_LOOP, idempotent=False).program
+        constructed = trace_paths(idem).average
+        ideal = run_limit_study(orig)[CATEGORY_SEMANTIC_CALLS].average
+        assert constructed <= ideal * 1.5  # small tolerance: different binaries

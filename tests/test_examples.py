@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Region construction" in proc.stdout
+        assert "idempotent" in proc.stdout
+        # Both binaries print result=16 (16 successful pushes).
+        assert proc.stdout.count("result=16") == 2
+
+    def test_compiler_explorer_demo(self):
+        proc = _run("compiler_explorer.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "boundary" in proc.stdout
+        assert "machine code" in proc.stdout
+        assert "result=93" in proc.stdout
+
+    def test_compiler_explorer_custom_file(self, tmp_path):
+        source = tmp_path / "tiny.c"
+        source.write_text("int main() { print_int(7); return 7; }")
+        proc = _run("compiler_explorer.py", str(source))
+        assert proc.returncode == 0, proc.stderr
+        assert "result=7" in proc.stdout
+
+    def test_limit_study_small(self):
+        proc = _run("limit_study.py", "soplex", timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "geomeans" in proc.stdout

@@ -1,0 +1,178 @@
+"""Smoke tests for the experiment drivers, on small workload subsets.
+
+Full-suite runs are the benchmark harness's job (see benchmarks/); these
+tests check that each driver runs, produces structurally sound results,
+and that the paper's qualitative claims hold on the sampled workloads.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig4_limit_study,
+    fig8_path_cdf,
+    fig9_avg_paths,
+    fig10_overheads,
+    fig12_recovery,
+    table2_classification,
+)
+from repro.experiments.common import build_pair, format_table, geomean, group_by_suite
+from repro.recovery.schemes import SCHEME_CHECKPOINT_LOG, SCHEME_IDEMPOTENCE, SCHEME_TMR
+from repro.sim.limit_study import (
+    CATEGORY_ARTIFICIAL,
+    CATEGORY_SEMANTIC,
+    CATEGORY_SEMANTIC_CALLS,
+)
+
+FAST_INT = ["bzip2", "mcf"]
+FAST_FP = ["soplex"]
+FAST_PARSEC = ["blackscholes"]
+FAST = FAST_INT + FAST_FP + FAST_PARSEC
+
+
+class TestCommon:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in table
+
+    def test_build_pair_cached(self):
+        first = build_pair("bzip2")
+        second = build_pair("bzip2")
+        assert first[0] is second[0]
+
+    def test_group_by_suite(self):
+        grouped = group_by_suite({"bzip2": 2.0, "mcf": 8.0, "soplex": 3.0})
+        assert grouped["specint"] == pytest.approx(4.0)
+        assert grouped["specfp"] == pytest.approx(3.0)
+        assert "all" in grouped
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_limit_study.run(FAST)
+
+    def test_all_categories_measured(self, result):
+        for name in FAST:
+            assert set(result.stats[name]) == {
+                CATEGORY_SEMANTIC,
+                CATEGORY_SEMANTIC_CALLS,
+                CATEGORY_ARTIFICIAL,
+            }
+
+    def test_artificial_shortest(self, result):
+        """The paper's core Fig. 4 claim, per workload."""
+        for name in FAST:
+            stats = result.stats[name]
+            assert (
+                stats[CATEGORY_ARTIFICIAL].average
+                <= stats[CATEGORY_SEMANTIC_CALLS].average + 1e-9
+            )
+
+    def test_inter_at_least_intra_geomean(self, result):
+        gm = result.geomeans()
+        assert gm[CATEGORY_SEMANTIC] >= gm[CATEGORY_SEMANTIC_CALLS] * 0.9
+
+    def test_report_renders(self, result):
+        report = fig4_limit_study.format_report(result)
+        assert "geomeans" in report and "bzip2" in report
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_path_cdf.run(FAST)
+
+    def test_cdf_fractions_monotone(self, result):
+        for name in FAST:
+            last = 0.0
+            for bucket in (5, 10, 50, 1000):
+                frac = result.time_fraction_at_or_below(name, bucket)
+                assert frac >= last - 1e-12
+                last = frac
+
+    def test_report_renders(self, result):
+        assert "avg" in fig8_path_cdf.format_report(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_avg_paths.run(FAST)
+
+    def test_constructed_not_longer_than_ideal(self, result):
+        """Constructed regions cannot beat the runtime-information limit
+        by more than measurement noise (different binaries)."""
+        for name in FAST:
+            assert result.constructed[name] <= result.ideal[name] * 2.0
+
+    def test_report_has_gap(self, result):
+        assert "gap=" in fig9_avg_paths.format_report(result)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_overheads.run(FAST)
+
+    def test_overheads_in_plausible_band(self, result):
+        """Paper: 'typical performance overheads are in the range of just
+        2-12%'. Allow slack for our small kernels."""
+        for name, row in result.rows.items():
+            assert -0.05 <= row.cycle_overhead <= 0.45, name
+            assert row.instruction_overhead >= 0.0, name
+
+    def test_boundaries_executed(self, result):
+        for row in result.rows.values():
+            assert row.boundaries > 0
+
+    def test_suite_summary_keys(self, result):
+        summary = result.suite_summary()
+        assert set(summary) == {"cycles", "instructions"}
+
+    def test_report_renders(self, result):
+        assert "exec-time" in fig10_overheads.format_report(result)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_recovery.run(FAST)
+
+    def test_idempotence_beats_tmr_everywhere(self, result):
+        for name in FAST:
+            assert result.overhead(name, SCHEME_IDEMPOTENCE) < result.overhead(
+                name, SCHEME_TMR
+            )
+
+    def test_idempotence_wins_geomean(self, result):
+        summary = result.suite_summary()
+        idem = summary[SCHEME_IDEMPOTENCE]["all"]
+        tmr = summary[SCHEME_TMR]["all"]
+        log = summary[SCHEME_CHECKPOINT_LOG]["all"]
+        assert idem < tmr and idem < log
+
+    def test_report_renders(self, result):
+        assert "idempotence" in fig12_recovery.format_report(result)
+
+
+class TestTable2:
+    def test_ssa_eliminates_artificial(self):
+        result = table2_classification.run(FAST_INT)
+        for name, counts in result.counts.items():
+            assert counts["before"]["artificial"] > 0, name
+            assert counts["after"]["artificial"] == 0, name
+
+    def test_semantic_survive(self):
+        result = table2_classification.run(["bzip2"])
+        counts = result.counts["bzip2"]
+        assert counts["after"]["semantic"] > 0
+
+    def test_report_renders(self):
+        result = table2_classification.run(["mcf"])
+        assert "artificial" in table2_classification.format_report(result)

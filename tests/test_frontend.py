@@ -1,0 +1,379 @@
+"""MiniC frontend tests: lexing, parsing, sema diagnostics, lowering
+semantics (checked by executing the lowered IR)."""
+
+import pytest
+
+from repro.frontend import (
+    CINT,
+    CFLOAT,
+    CPtrType,
+    LexError,
+    ParseError,
+    SemaError,
+    compile_source,
+    parse_source,
+    tokenize,
+)
+from repro.frontend.ctypes_ import CArrayType, words_of
+from repro.interp import Interpreter, run_module
+from repro.ir import verify_module
+
+
+def run_main(source):
+    module = compile_source(source)
+    verify_module(module)
+    return run_module(module)
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int intx for forx")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds == [
+            ("kw", "int"),
+            ("ident", "intx"),
+            ("kw", "for"),
+            ("ident", "forx"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("12 1.5 .5 2e3 0x1F")
+        assert [t.kind for t in tokens[:-1]] == ["int", "float", "float", "float", "int"]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a<<=b ++ += <")
+        assert [t.text for t in tokens[:-1]] == ["a", "<<=", "b", "++", "+=", "<"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n/* block\nstill */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_types(self):
+        program = parse_source("int f(int a, float b, int *p, float *q) { return a; }")
+        params = program.functions[0].params
+        assert params[0].ctype == CINT
+        assert params[1].ctype == CFLOAT
+        assert params[2].ctype == CPtrType(CINT)
+        assert params[3].ctype == CPtrType(CFLOAT)
+
+    def test_global_array_with_init(self):
+        program = parse_source("int a[4] = {1, 2, -3};")
+        decl = program.globals[0]
+        assert isinstance(decl.ctype, CArrayType)
+        assert decl.ctype.size == 4 and words_of(decl.ctype) == 4
+
+    def test_precedence(self):
+        _, output = run_main("int main() { print_int(2 + 3 * 4); return 0; }")
+        assert output == [14]
+
+    def test_associativity(self):
+        _, output = run_main("int main() { print_int(20 - 5 - 3); return 0; }")
+        assert output == [12]
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_source("int main( { return 0; }")
+        with pytest.raises(ParseError):
+            parse_source("int main() { return 0 }")
+        with pytest.raises(ParseError):
+            parse_source("banana main() { return 0; }")
+
+    def test_dangling_else(self):
+        result, _ = run_main(
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        )
+        assert result == 2  # else binds to the inner if
+
+
+class TestSema:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("int main() { return x; }", "undeclared"),
+            ("int main() { int x; int x; return 0; }", "redeclaration"),
+            ("int main() { int x; return x(); }", "undeclared function"),
+            ("int main() { print_int(); return 0; }", "expects"),
+            ("int main() { 1 = 2; return 0; }", "lvalue"),
+            ("int main() { int a[3]; a = 0; return 0; }", "lvalue"),
+            ("int main() { break; }", "break"),
+            ("int main() { continue; }", "continue"),
+            ("void f() { return 1; } int main() { return 0; }", "void function"),
+            ("int f() { return; } int main() { return 0; }", "needs a return value"),
+            ("int main() { int *p; return *p + p; }", "cannot convert"),
+            ("int main() { int x; return ~1.5; }", "'~'"),
+            ("int main(int a, int a) { return 0; }", "redeclaration"),
+            ("int g; int g; int main() { return 0; }", "duplicate"),
+        ],
+    )
+    def test_diagnostics(self, source, fragment):
+        with pytest.raises(SemaError) as excinfo:
+            compile_source(source)
+        assert fragment in str(excinfo.value)
+
+    def test_scoping_shadows(self):
+        result, _ = run_main(
+            """
+int main() {
+  int x = 1;
+  { int x = 2; print_int(x); }
+  print_int(x);
+  return 0;
+}
+"""
+        )
+
+    def test_for_init_scope(self):
+        with pytest.raises(SemaError):
+            compile_source(
+                "int main() { for (int i = 0; i < 3; i = i + 1) {} return i; }"
+            )
+
+    def test_implicit_int_to_float(self):
+        result, output = run_main(
+            "int main() { float x = 3; print_float(x / 2); return 0; }"
+        )
+        assert output == [1.5]
+
+    def test_implicit_float_to_int(self):
+        result, _ = run_main("int main() { int x = 3.9; return x; }")
+        assert result == 3
+
+
+class TestLoweringSemantics:
+    def test_arithmetic_and_output(self):
+        result, output = run_main(
+            """
+int main() {
+  int a = 7;
+  int b = -3;
+  print_int(a / b);
+  print_int(a % b);
+  print_int(a << 2);
+  print_int(a & b);
+  return a * b;
+}
+"""
+        )
+        assert output == [-2, 1, 28, 5]
+        assert result == -21
+
+    def test_short_circuit_and(self):
+        result, output = run_main(
+            """
+int g = 0;
+int touch() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && touch();
+  int b = 1 && touch();
+  print_int(g);
+  return a * 10 + b;
+}
+"""
+        )
+        assert output == [1]  # touch called exactly once
+        assert result == 1
+
+    def test_short_circuit_or(self):
+        _, output = run_main(
+            """
+int g = 0;
+int touch() { g = g + 1; return 0; }
+int main() {
+  int a = 1 || touch();
+  int b = 0 || touch();
+  print_int(g);
+  print_int(a + b);
+  return 0;
+}
+"""
+        )
+        assert output == [1, 1]
+
+    def test_ternary(self):
+        result, _ = run_main("int main() { int x = 5; return x > 3 ? 10 : 20; }")
+        assert result == 10
+
+    def test_ternary_evaluates_one_arm(self):
+        _, output = run_main(
+            """
+int g = 0;
+int bump(int v) { g = g + 1; return v; }
+int main() {
+  int x = 1 ? bump(5) : bump(7);
+  print_int(g);
+  print_int(x);
+  return 0;
+}
+"""
+        )
+        assert output == [1, 5]
+
+    def test_while_break_continue(self):
+        result, _ = run_main(
+            """
+int main() {
+  int total = 0;
+  int i = 0;
+  while (1) {
+    i = i + 1;
+    if (i > 10) break;
+    if (i % 2 == 0) continue;
+    total = total + i;
+  }
+  return total;
+}
+"""
+        )
+        assert result == 1 + 3 + 5 + 7 + 9
+
+    def test_for_all_clauses_optional(self):
+        result, _ = run_main(
+            """
+int main() {
+  int total = 0;
+  int i = 0;
+  for (;;) {
+    if (i >= 3) break;
+    total = total + i;
+    i = i + 1;
+  }
+  for (i = 10; i < 13; i = i + 1) total = total + i;
+  return total;
+}
+"""
+        )
+        assert result == 0 + 1 + 2 + 10 + 11 + 12
+
+    def test_arrays_and_pointers(self):
+        result, output = run_main(
+            """
+int a[5];
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) a[i] = i * i;
+  int *p = &a[1];
+  print_int(*p);
+  print_int(p[2]);
+  *(p + 3) = 99;
+  print_int(a[4]);
+  return a[0];
+}
+"""
+        )
+        assert output == [1, 9, 99]
+        assert result == 0
+
+    def test_local_array(self):
+        result, _ = run_main(
+            """
+int main() {
+  int buf[4];
+  buf[0] = 2;
+  buf[3] = 40;
+  return buf[0] + buf[3];
+}
+"""
+        )
+        assert result == 42
+
+    def test_address_of_scalar(self):
+        result, _ = run_main(
+            """
+void bump(int *p) { *p = *p + 1; }
+int main() {
+  int x = 41;
+  bump(&x);
+  return x;
+}
+"""
+        )
+        assert result == 42
+
+    def test_malloc_cast(self):
+        result, _ = run_main(
+            """
+int main() {
+  float *v = (float*) malloc(3);
+  v[0] = 1.5;
+  v[1] = 2.5;
+  v[2] = v[0] + v[1];
+  return (int) v[2];
+}
+"""
+        )
+        assert result == 4
+
+    def test_recursion_fib(self):
+        result, _ = run_main(
+            """
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+"""
+        )
+        assert result == 144
+
+    def test_missing_return_defaults_to_zero(self):
+        result, _ = run_main("int main() { int x = 5; }")
+        assert result == 0
+
+    def test_unreachable_code_after_return(self):
+        result, _ = run_main(
+            "int main() { return 1; print_int(9); return 2; }"
+        )
+        assert result == 1
+
+    def test_negative_unary_and_not(self):
+        result, output = run_main(
+            """
+int main() {
+  print_int(-(3 + 4));
+  print_int(!0);
+  print_int(!7);
+  print_int(~0);
+  return 0;
+}
+"""
+        )
+        assert output == [-7, 1, 0, -1]
+
+    def test_float_comparison_condition(self):
+        result, _ = run_main(
+            "int main() { float x = 0.5; if (x) return 1; return 2; }"
+        )
+        assert result == 1
+
+    def test_globals_zero_initialized(self):
+        result, _ = run_main("int g; int main() { return g; }")
+        assert result == 0
+
+    def test_global_scalar_init(self):
+        result, _ = run_main("int g = 41; int main() { return g + 1; }")
+        assert result == 42
+
+    def test_pointer_comparison(self):
+        result, _ = run_main(
+            """
+int a[2];
+int main() {
+  int *p = &a[0];
+  int *q = &a[1];
+  if (p == q) return 1;
+  if (p != q) return 2;
+  return 3;
+}
+"""
+        )
+        assert result == 2

@@ -1,0 +1,193 @@
+"""Compound assignment and increment/decrement tests."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.frontend import SemaError, compile_source
+from repro.interp import run_module
+from repro.sim import Simulator
+
+
+def run_main(source):
+    return run_module(compile_source(source))
+
+
+class TestCompoundAssign:
+    @pytest.mark.parametrize(
+        "op, start, operand, expected",
+        [
+            ("+=", 10, 3, 13),
+            ("-=", 10, 3, 7),
+            ("*=", 10, 3, 30),
+            ("/=", 10, 3, 3),
+            ("%=", 10, 3, 1),
+            ("&=", 12, 10, 8),
+            ("|=", 12, 10, 14),
+            ("^=", 12, 10, 6),
+            ("<<=", 3, 2, 12),
+            (">>=", 12, 2, 3),
+        ],
+    )
+    def test_int_ops(self, op, start, operand, expected):
+        source = f"int main() {{ int x = {start}; x {op} {operand}; return x; }}"
+        result, _ = run_main(source)
+        assert result == expected
+
+    def test_float_compound(self):
+        result, output = run_main(
+            """
+int main() {
+  float f = 2.0;
+  f += 1;
+  f *= 3.0;
+  f /= 2.0;
+  print_float(f);
+  return (int) f;
+}
+"""
+        )
+        assert output == [4.5]
+        assert result == 4
+
+    def test_int_target_float_value_converts_back(self):
+        """``i += f`` computes in float, stores back as int (C rules)."""
+        result, _ = run_main("int main() { int i = 3; i += 1.75; return i; }")
+        assert result == 4  # 3 + 1.75 = 4.75 -> truncates to 4
+
+    def test_pointer_compound(self):
+        result, _ = run_main(
+            """
+int a[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) a[i] = i * 10;
+  int *p = a;
+  p += 3;
+  int x = *p;
+  p -= 2;
+  return x + *p;
+}
+"""
+        )
+        assert result == 30 + 10
+
+    def test_lvalue_evaluated_once(self):
+        """``a[f()] += 1`` calls f exactly once."""
+        result, output = run_main(
+            """
+int a[4];
+int calls = 0;
+int pick() { calls = calls + 1; return 2; }
+int main() {
+  a[2] = 5;
+  a[pick()] += 10;
+  print_int(calls);
+  return a[2];
+}
+"""
+        )
+        assert output == [1]
+        assert result == 15
+
+    def test_compound_is_an_expression(self):
+        result, _ = run_main("int main() { int x = 1; int y = (x += 4); return x * 10 + y; }")
+        assert result == 55
+
+    def test_errors(self):
+        with pytest.raises(SemaError):
+            compile_source("int main() { 5 += 1; return 0; }")
+        with pytest.raises(SemaError):
+            compile_source("int main() { float f; f %= 2.0; return 0; }")
+        with pytest.raises(SemaError):
+            compile_source("int main() { int *p; p *= 2; return 0; }")
+
+
+class TestIncDec:
+    def test_postfix_returns_old(self):
+        result, _ = run_main("int main() { int i = 5; int j = i++; return i * 10 + j; }")
+        assert result == 65
+
+    def test_prefix_returns_new(self):
+        result, _ = run_main("int main() { int i = 5; int j = ++i; return i * 10 + j; }")
+        assert result == 66
+
+    def test_decrement(self):
+        result, _ = run_main(
+            "int main() { int i = 5; int a = i--; int b = --i; return i * 100 + a * 10 + b; }"
+        )
+        assert result == 3 * 100 + 5 * 10 + 3
+
+    def test_loop_idiom(self):
+        result, _ = run_main(
+            """
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) acc += i;
+  return acc;
+}
+"""
+        )
+        assert result == 45
+
+    def test_array_element(self):
+        result, _ = run_main(
+            """
+int a[3];
+int main() {
+  a[1]++;
+  a[1]++;
+  --a[1];
+  return a[1];
+}
+"""
+        )
+        assert result == 1
+
+    def test_pointer_walk(self):
+        result, _ = run_main(
+            """
+int a[4];
+int main() {
+  int i;
+  for (i = 0; i < 4; i = i + 1) a[i] = i + 1;
+  int *p = a;
+  int total = 0;
+  for (i = 0; i < 4; i = i + 1) total += *p++;
+  return total;
+}
+"""
+        )
+        assert result == 10
+
+    def test_float_increment(self):
+        result, _ = run_main(
+            "int main() { float f = 1.5; f++; ++f; return (int) (f * 10.0); }"
+        )
+        assert result == 35
+
+    def test_non_lvalue_rejected(self):
+        with pytest.raises(SemaError):
+            compile_source("int main() { return (1 + 2)++; }")
+
+
+class TestThroughFullPipeline:
+    def test_simulator_agreement(self):
+        source = """
+int hist[8];
+int main() {
+  int seed = 3;
+  for (int i = 0; i < 40; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int b = (seed >> 8) % 8;
+    if (b < 0) b += 8;
+    hist[b] += 1;
+  }
+  int acc = 0;
+  for (int i = 0; i < 8; i++) acc = acc * 31 + hist[i];
+  return acc;
+}
+"""
+        expected, _ = run_module(compile_source(source))
+        for idem in (False, True):
+            sim = Simulator(compile_minic(source, idempotent=idem).program)
+            assert sim.run("main") == expected

@@ -1,0 +1,226 @@
+"""Function inlining tests (paper §3: removing call boundaries)."""
+
+import pytest
+
+from repro.compiler import compile_ir_module
+from repro.frontend import compile_source
+from repro.interp import Interpreter, run_module
+from repro.ir import Call, parse_module, verify_module
+from repro.sim import Simulator
+from repro.transforms.inline import (
+    InlineError,
+    can_inline,
+    inline_call,
+    inline_small_functions,
+)
+
+HELPER_PROGRAM = """
+int g[4];
+
+int bump(int i, int v) {
+  g[i % 4] = g[i % 4] + v;
+  return g[i % 4];
+}
+
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 12; i = i + 1) {
+    acc = acc + bump(i, i * 2);
+  }
+  return acc;
+}
+"""
+
+
+def _first_call(func, callee):
+    for inst in func.instructions():
+        if isinstance(inst, Call) and inst.callee == callee:
+            return inst
+    raise AssertionError(f"no call to {callee}")
+
+
+class TestCanInline:
+    def test_simple_callee(self):
+        module = compile_source(HELPER_PROGRAM)
+        assert can_inline(module, module.functions["main"], "bump")
+
+    def test_recursive_rejected(self):
+        module = compile_source(
+            """
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(5); }
+"""
+        )
+        assert not can_inline(module, module.functions["main"], "fib")
+
+    def test_mutual_recursion_rejected(self):
+        # MiniC has no forward declarations; build the call cycle in IR.
+        source = """
+func @a(%n: int) -> int {
+entry:
+  %c = icmp le %n, 0
+  br %c, base, rec
+base:
+  ret 0
+rec:
+  %n1 = sub %n, 1
+  %r = call int @b(%n1)
+  ret %r
+}
+
+func @b(%n: int) -> int {
+entry:
+  %r = call int @a(%n)
+  ret %r
+}
+
+func @main() -> int {
+entry:
+  %r = call int @a(3)
+  ret %r
+}
+"""
+        module = parse_module(source)
+        assert not can_inline(module, module.functions["main"], "a")
+        assert not can_inline(module, module.functions["main"], "b")
+
+    def test_declaration_rejected(self):
+        module = parse_module(
+            "declare @ext() -> int\nfunc @main() -> int {\nentry:\n  %r = call int @ext()\n  ret %r\n}"
+        )
+        assert not can_inline(module, module.functions["main"], "ext")
+
+    def test_builtin_rejected(self):
+        module = compile_source("int main() { return abs(-3); }")
+        assert not can_inline(module, module.functions["main"], "abs")
+
+
+class TestInlineCall:
+    def test_semantics_preserved(self):
+        expected, _ = run_module(compile_source(HELPER_PROGRAM))
+        module = compile_source(HELPER_PROGRAM)
+        main = module.functions["main"]
+        inline_call(module, main, _first_call(main, "bump"))
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == expected
+
+    def test_multi_return_callee(self):
+        source = """
+int pick(int c) {
+  if (c > 0) return 10;
+  return 20;
+}
+int main() { return pick(1) + pick(-1); }
+"""
+        expected, _ = run_module(compile_source(source))
+        module = compile_source(source)
+        main = module.functions["main"]
+        inline_call(module, main, _first_call(main, "pick"))
+        inline_call(module, main, _first_call(main, "pick"))
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == expected == 30
+        # No calls to pick remain in main.
+        assert not any(
+            isinstance(i, Call) and i.callee == "pick" for i in main.instructions()
+        )
+
+    def test_void_callee(self):
+        source = """
+int g = 0;
+void poke(int v) { g = g + v; }
+int main() { poke(4); poke(5); return g; }
+"""
+        expected, _ = run_module(compile_source(source))
+        module = compile_source(source)
+        main = module.functions["main"]
+        inline_call(module, main, _first_call(main, "poke"))
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == expected == 9
+
+    def test_callee_with_locals(self):
+        source = """
+int square_plus(int x, int y) {
+  int sq = x * x;
+  int out = sq + y;
+  return out;
+}
+int main() { return square_plus(5, 3); }
+"""
+        module = compile_source(source)
+        main = module.functions["main"]
+        inline_call(module, main, _first_call(main, "square_plus"))
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == 28
+
+    def test_callee_with_loop(self):
+        source = """
+int tri(int n) {
+  int acc = 0;
+  for (int i = 1; i <= n; i = i + 1) acc = acc + i;
+  return acc;
+}
+int main() { return tri(6) * tri(3); }
+"""
+        module = compile_source(source)
+        main = module.functions["main"]
+        inline_call(module, main, _first_call(main, "tri"))
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == 21 * 6
+
+
+class TestInlineSmallFunctions:
+    def test_inlines_all_bump_calls(self):
+        module = compile_source(HELPER_PROGRAM)
+        count = inline_small_functions(module)
+        assert count >= 1
+        verify_module(module)
+        main = module.functions["main"]
+        assert not any(
+            isinstance(i, Call) and i.callee == "bump" for i in main.instructions()
+        )
+        expected, _ = run_module(compile_source(HELPER_PROGRAM))
+        result, _ = run_module(module)
+        assert result == expected
+
+    def test_size_threshold_respected(self):
+        module = compile_source(HELPER_PROGRAM)
+        count = inline_small_functions(module, max_instructions=1)
+        assert count == 0
+
+    def test_recursive_untouched(self):
+        source = """
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(8); }
+"""
+        module = compile_source(source)
+        inline_small_functions(module)
+        result, _ = run_module(module)
+        assert result == 21
+
+    def test_full_pipeline_after_inlining(self):
+        """Inlined module survives construction + codegen + simulation."""
+        expected, _ = run_module(compile_source(HELPER_PROGRAM))
+        module = compile_source(HELPER_PROGRAM)
+        inline_small_functions(module)
+        build = compile_ir_module(module, idempotent=True)
+        sim = Simulator(build.program)
+        assert sim.run("main") == expected
+
+    def test_inlining_grows_dynamic_paths(self):
+        """Removing call boundaries lengthens idempotent paths (§3)."""
+        from repro.sim.path_trace import trace_paths
+
+        plain_module = compile_source(HELPER_PROGRAM)
+        plain = compile_ir_module(plain_module, idempotent=True)
+        inlined_module = compile_source(HELPER_PROGRAM)
+        inline_small_functions(inlined_module)
+        inlined = compile_ir_module(inlined_module, idempotent=True)
+        assert (
+            trace_paths(inlined.program).average
+            > trace_paths(plain.program).average
+        )

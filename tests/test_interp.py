@@ -1,0 +1,408 @@
+"""Interpreter semantics tests: arithmetic, memory, control, builtins."""
+
+import pytest
+
+from repro.interp import (
+    ExecutionError,
+    Interpreter,
+    Memory,
+    MemoryError_,
+    SEGMENT_GLOBAL,
+    SEGMENT_HEAP,
+    SEGMENT_STACK,
+    StepLimitExceeded,
+    run_module,
+    wrap64,
+)
+from repro.ir import parse_module
+
+
+def run_f(source, args=(), func="f"):
+    interp = Interpreter(parse_module(source))
+    return interp.run(func, args)
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert wrap64(42) == 42
+        assert wrap64(-42) == -42
+
+    def test_wraps_positive_overflow(self):
+        assert wrap64(2**63) == -(2**63)
+        assert wrap64(2**64) == 0
+
+    def test_wraps_negative_overflow(self):
+        assert wrap64(-(2**63) - 1) == 2**63 - 1
+
+    def test_bounds(self):
+        assert wrap64(2**63 - 1) == 2**63 - 1
+        assert wrap64(-(2**63)) == -(2**63)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("mul", -4, 3, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -3),   # C truncation toward zero
+            ("rem", 7, 2, 1),
+            ("rem", -7, 2, -1),   # C remainder sign
+            ("and", 12, 10, 8),
+            ("or", 12, 10, 14),
+            ("xor", 12, 10, 6),
+            ("shl", 3, 2, 12),
+            ("shr", 12, 2, 3),
+        ],
+    )
+    def test_int_ops(self, op, a, b, expected):
+        source = f"""
+func @f(%a: int, %b: int) -> int {{
+entry:
+  %r = {op} %a, %b
+  ret %r
+}}
+"""
+        assert run_f(source, [a, b]) == expected
+
+    def test_mul_wraps(self):
+        source = """
+func @f(%a: int) -> int {
+entry:
+  %r = mul %a, %a
+  ret %r
+}
+"""
+        assert run_f(source, [2**40]) == wrap64(2**80)
+
+    def test_div_by_zero_raises(self):
+        source = """
+func @f(%a: int) -> int {
+entry:
+  %r = div %a, 0
+  ret %r
+}
+"""
+        with pytest.raises(ExecutionError, match="division by zero"):
+            run_f(source, [1])
+
+    def test_float_ops(self):
+        source = """
+func @f(%a: float, %b: float) -> float {
+entry:
+  %s = fadd %a, %b
+  %m = fmul %s, 2.0
+  %d = fdiv %m, 4.0
+  ret %d
+}
+"""
+        assert run_f(source, [1.5, 2.5]) == pytest.approx(2.0)
+
+    def test_conversions(self):
+        source = """
+func @f(%a: int) -> int {
+entry:
+  %x = itof %a
+  %h = fdiv %x, 2.0
+  %r = ftoi %h
+  ret %r
+}
+"""
+        assert run_f(source, [7]) == 3  # 3.5 truncates
+
+    def test_comparisons_produce_01(self):
+        source = """
+func @f(%a: int, %b: int) -> int {
+entry:
+  %lt = icmp lt %a, %b
+  %eq = icmp eq %a, %b
+  %r = add %lt, %eq
+  ret %r
+}
+"""
+        assert run_f(source, [1, 2]) == 1
+        assert run_f(source, [2, 2]) == 1
+        assert run_f(source, [3, 2]) == 0
+
+    def test_select(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  %r = select %c, 10, 20
+  ret %r
+}
+"""
+        assert run_f(source, [1]) == 10
+        assert run_f(source, [0]) == 20
+
+
+class TestMemorySemantics:
+    def test_alloca_load_store(self):
+        source = """
+func @f() -> int {
+entry:
+  %t = alloca 2
+  %t1 = gep %t, 1
+  store 11, %t
+  store 22, %t1
+  %a = load int, %t
+  %b = load int, %t1
+  %s = add %a, %b
+  ret %s
+}
+"""
+        assert run_f(source) == 33
+
+    def test_globals_initialized(self):
+        source = """
+global @g 4 = [10, 20]
+
+func @f() -> int {
+entry:
+  %p1 = gep @g, 1
+  %p3 = gep @g, 3
+  %a = load int, @g
+  %b = load int, %p1
+  %c = load int, %p3
+  %s1 = add %a, %b
+  %s = add %s1, %c
+  ret %s
+}
+"""
+        assert run_f(source) == 30  # trailing words zero-filled
+
+    def test_malloc_fresh_memory(self):
+        source = """
+func @f() -> int {
+entry:
+  %p = call ptr @malloc(4)
+  %q = call ptr @malloc(4)
+  store 1, %p
+  store 2, %q
+  %a = load int, %p
+  %b = load int, %q
+  %ne = icmp ne %p, %q
+  %s = add %a, %b
+  %r = add %s, %ne
+  ret %r
+}
+"""
+        assert run_f(source) == 4
+
+    def test_unmapped_load_raises(self):
+        source = """
+func @f() -> int {
+entry:
+  %p = call ptr @malloc(1)
+  %q = gep %p, 100
+  %v = load int, %q
+  ret %v
+}
+"""
+        with pytest.raises(MemoryError_):
+            run_f(source)
+
+    def test_stack_freed_on_return(self):
+        source = """
+func @leaf() -> int {
+entry:
+  %t = alloca 4
+  store 1, %t
+  ret 0
+}
+
+func @f() -> int {
+entry:
+  %a = call int @leaf()
+  %b = call int @leaf()
+  ret 0
+}
+"""
+        interp = Interpreter(parse_module(source))
+        interp.run("f")
+        # Stack fully popped afterwards.
+        from repro.interp.memory import STACK_BASE
+
+        assert interp.memory.stack_top == STACK_BASE
+
+    def test_memory_segments(self):
+        memory = Memory()
+        g = memory.alloc_global(4)
+        h = memory.alloc_heap(4)
+        s = memory.alloc_stack(4)
+        assert memory.segment_of(g) == SEGMENT_GLOBAL
+        assert memory.segment_of(h) == SEGMENT_HEAP
+        assert memory.segment_of(s) == SEGMENT_STACK
+
+
+class TestControlFlow:
+    def test_loop_and_phi(self):
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %acc = phi int [0, entry], [%acc2, loop]
+  %acc2 = add %acc, %i
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret %acc2
+}
+"""
+        # Accumulates i over iterations i = 0 .. n-1.
+        assert run_f(source, [5]) == 10
+        assert run_f(source, [10]) == 45
+        assert run_f(source, [2]) == 1
+
+    def test_parallel_phi_swap(self):
+        """φs read their inputs simultaneously (classic swap test)."""
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %a = phi int [1, entry], [%b, loop]
+  %b = phi int [2, entry], [%a, loop]
+  %i = phi int [0, entry], [%i2, loop]
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  %r = mul %a, 10
+  %r2 = add %r, %b
+  ret %r2
+}
+"""
+        assert run_f(source, [1]) == 12  # one iteration: a=1,b=2
+        assert run_f(source, [2]) == 21  # swapped once
+
+    def test_recursion(self):
+        source = """
+func @fact(%n: int) -> int {
+entry:
+  %base = icmp le %n, 1
+  br %base, one, rec
+one:
+  ret 1
+rec:
+  %n1 = sub %n, 1
+  %f = call int @fact(%n1)
+  %r = mul %n, %f
+  ret %r
+}
+"""
+        assert run_f(source, [6], func="fact") == 720
+
+    def test_step_limit(self):
+        source = """
+func @f() -> int {
+entry:
+  jmp loop
+loop:
+  jmp loop
+}
+"""
+        interp = Interpreter(parse_module(source), max_steps=1000)
+        with pytest.raises(StepLimitExceeded):
+            interp.run("f")
+
+    def test_boundary_is_noop(self):
+        source = """
+func @f() -> int {
+entry:
+  boundary
+  boundary
+  ret 7
+}
+"""
+        assert run_f(source) == 7
+
+
+class TestBuiltins:
+    def test_print_collects_output(self):
+        source = """
+func @f() {
+entry:
+  call void @print_int(42)
+  call void @print_float(1.5)
+  ret
+}
+"""
+        interp = Interpreter(parse_module(source))
+        interp.run("f")
+        assert interp.output == [42, 1.5]
+
+    def test_math_builtins(self):
+        source = """
+func @f() -> float {
+entry:
+  %s = call float @sqrt(16.0)
+  %e = call float @exp(0.0)
+  %l = call float @log(1.0)
+  %m1 = fadd %s, %e
+  %m2 = fadd %m1, %l
+  ret %m2
+}
+"""
+        assert run_f(source) == pytest.approx(5.0)
+
+    def test_min_max_abs(self):
+        source = """
+func @f(%a: int, %b: int) -> int {
+entry:
+  %mn = call int @min(%a, %b)
+  %mx = call int @max(%a, %b)
+  %ab = call int @abs(-7)
+  %s1 = add %mn, %mx
+  %s = add %s1, %ab
+  ret %s
+}
+"""
+        assert run_f(source, [3, 5]) == 15
+
+    def test_unknown_function_raises(self):
+        source = """
+declare @missing() -> int
+
+func @f() -> int {
+entry:
+  %x = call int @missing()
+  ret %x
+}
+"""
+        with pytest.raises(ExecutionError, match="undefined function"):
+            run_f(source)
+
+    def test_arity_mismatch(self):
+        source = """
+func @g(%x: int) -> int {
+entry:
+  ret %x
+}
+
+func @f() -> int {
+entry:
+  %r = call int @g()
+  ret %r
+}
+"""
+        with pytest.raises(ExecutionError, match="expects"):
+            run_f(source)
+
+
+class TestRunModule:
+    def test_returns_result_and_output(self):
+        source = """
+func @main() -> int {
+entry:
+  call void @print_int(1)
+  ret 9
+}
+"""
+        result, output = run_module(parse_module(source))
+        assert result == 9 and output == [1]

@@ -1,0 +1,332 @@
+"""Unit tests for the IR object model: types, values, use lists, blocks."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BinaryOp,
+    Boundary,
+    Br,
+    Call,
+    Constant,
+    FLOAT,
+    Function,
+    Gep,
+    GlobalVariable,
+    Icmp,
+    INT,
+    IRBuilder,
+    Jump,
+    Load,
+    Module,
+    Phi,
+    PTR,
+    Ret,
+    Select,
+    Store,
+    Undef,
+    VOID,
+    const_float,
+    const_int,
+    type_from_name,
+)
+
+
+class TestTypes:
+    def test_singletons_by_name(self):
+        assert type_from_name("int") is INT
+        assert type_from_name("float") is FLOAT
+        assert type_from_name("ptr") is PTR
+        assert type_from_name("void") is VOID
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            type_from_name("double")
+
+    def test_classification(self):
+        assert INT.is_int and not INT.is_float
+        assert FLOAT.is_float and not FLOAT.is_ptr
+        assert PTR.is_ptr and PTR.is_value_type
+        assert VOID.is_void and not VOID.is_value_type
+
+    def test_str(self):
+        assert str(INT) == "int"
+        assert str(VOID) == "void"
+
+
+class TestConstants:
+    def test_int_constant(self):
+        c = const_int(42)
+        assert c.value == 42 and c.type is INT
+        assert c.ref() == "42"
+
+    def test_float_constant_ref_roundtrips_as_float(self):
+        assert "." in const_float(3.0).ref() or "e" in const_float(3.0).ref()
+
+    def test_negative(self):
+        assert const_int(-5).ref() == "-5"
+
+    def test_equality(self):
+        assert const_int(1) == const_int(1)
+        assert const_int(1) != const_int(2)
+        assert const_int(1) != const_float(1.0)
+
+    def test_hashable(self):
+        assert len({const_int(1), const_int(1), const_int(2)}) == 2
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a = const_int(1)
+        b = const_int(2)
+        add = BinaryOp("add", a, b)
+        assert add in a.users and add in b.users
+        assert add.operands == [a, b]
+
+    def test_set_operand_moves_use(self):
+        a, b, c = const_int(1), const_int(2), const_int(3)
+        add = BinaryOp("add", a, b)
+        add.set_operand(0, c)
+        assert add not in a.users
+        assert add in c.users
+        assert add.operands == [c, b]
+
+    def test_replace_all_uses_with(self):
+        a, b = const_int(1), const_int(2)
+        add1 = BinaryOp("add", a, a)
+        add2 = BinaryOp("add", a, b)
+        replacement = const_int(9)
+        a.replace_all_uses_with(replacement)
+        assert add1.operands == [replacement, replacement]
+        assert add2.operands == [replacement, b]
+        assert not a.is_used
+
+    def test_drop_operands(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        add.drop_operands()
+        assert not a.is_used
+        assert add.num_operands == 0
+
+    def test_erase_refuses_while_used(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        user = BinaryOp("add", add, a)
+        with pytest.raises(ValueError):
+            add.erase()
+        assert user in add.users
+
+
+class TestInstructions:
+    def test_binop_types(self):
+        assert BinaryOp("add", const_int(1), const_int(2)).type is INT
+        assert BinaryOp("fadd", const_float(1.0), const_float(2.0)).type is FLOAT
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("pow", const_int(1), const_int(2))
+
+    def test_icmp_produces_int(self):
+        cmp = Icmp("lt", const_int(1), const_int(2))
+        assert cmp.type is INT and cmp.pred == "lt"
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            Icmp("approx", const_int(1), const_int(2))
+
+    def test_select_type_follows_arms(self):
+        sel = Select(const_int(1), const_float(1.0), const_float(2.0))
+        assert sel.type is FLOAT
+
+    def test_load_store_accessors(self):
+        g = GlobalVariable("g", 4)
+        load = Load(INT, g)
+        store = Store(const_int(7), g)
+        assert load.ptr is g
+        assert store.value.value == 7 and store.ptr is g
+        assert store.type is VOID
+
+    def test_terminator_classification(self):
+        block = BasicBlock("b")
+        assert Jump(block).is_terminator
+        assert Ret().is_terminator
+        assert Br(const_int(1), block, block).is_terminator
+        assert not Boundary().is_terminator
+
+    def test_call_purity(self):
+        assert Call(FLOAT, "sqrt", [const_float(2.0)]).is_pure_builtin
+        assert not Call(PTR, "malloc", [const_int(4)]).is_pure_builtin
+        assert not Call(INT, "user_fn", []).is_pure_builtin
+
+    def test_side_effects(self):
+        g = GlobalVariable("g", 1)
+        assert Store(const_int(1), g).has_side_effects
+        assert Boundary().has_side_effects
+        assert not BinaryOp("add", const_int(1), const_int(2)).has_side_effects
+
+
+class TestPhi:
+    def _two_blocks(self):
+        return BasicBlock("a"), BasicBlock("b")
+
+    def test_incoming_management(self):
+        a, b = self._two_blocks()
+        phi = Phi(INT, [(const_int(1), a), (const_int(2), b)])
+        assert phi.incoming_for(a).value == 1
+        assert phi.incoming_for(b).value == 2
+
+    def test_add_and_remove_incoming(self):
+        a, b = self._two_blocks()
+        phi = Phi(INT, [(const_int(1), a)])
+        phi.add_incoming(const_int(2), b)
+        assert len(phi.incoming) == 2
+        phi.remove_incoming(a)
+        assert phi.incoming_blocks == [b]
+        assert phi.operands == [const_int(2)]
+
+    def test_remove_incoming_reindexes_uses(self):
+        a, b = self._two_blocks()
+        v = const_int(7)
+        phi = Phi(INT, [(const_int(1), a), (v, b)])
+        phi.remove_incoming(a)
+        phi.set_incoming_for(b, const_int(9))
+        assert phi.incoming_for(b).value == 9
+        assert not v.is_used
+
+    def test_missing_incoming_raises(self):
+        a, b = self._two_blocks()
+        phi = Phi(INT, [(const_int(1), a)])
+        with pytest.raises(KeyError):
+            phi.incoming_for(b)
+
+    def test_replace_incoming_block(self):
+        a, b = self._two_blocks()
+        phi = Phi(INT, [(const_int(1), a)])
+        phi.replace_incoming_block(a, b)
+        assert phi.incoming_blocks == [b]
+
+
+class TestBlocksAndFunctions:
+    def test_terminator_and_successors(self):
+        func = Function("f")
+        b1 = func.add_block("b1")
+        b2 = func.add_block("b2")
+        b1.append(Jump(b2))
+        b2.append(Ret())
+        assert b1.terminator.opcode == "jmp"
+        assert b1.successors == [b2]
+        assert b2.successors == []
+        assert b2.predecessors == [b1]
+
+    def test_insert_after_phis(self):
+        func = Function("f")
+        block = func.add_block("b")
+        phi = Phi(INT, [], name="p")
+        block.append(phi)
+        block.append(Ret())
+        marker = Boundary()
+        block.insert_after_phis(marker)
+        assert block.instructions[1] is marker
+
+    def test_unique_value_names(self):
+        func = Function("f", [("x", INT)])
+        n1 = func.unique_value_name("t")
+        n2 = func.unique_value_name("t")
+        assert n1 != n2
+        assert func.unique_value_name("x") != "x"
+
+    def test_unique_block_names(self):
+        func = Function("f")
+        b1 = func.add_block("loop")
+        b2 = func.add_block("loop")
+        assert b1.name != b2.name
+
+    def test_entry_requires_blocks(self):
+        func = Function("f")
+        with pytest.raises(ValueError):
+            _ = func.entry
+
+    def test_block_by_name(self):
+        func = Function("f")
+        block = func.add_block("body")
+        assert func.block_by_name("body") is block
+        with pytest.raises(KeyError):
+            func.block_by_name("nope")
+
+
+class TestModule:
+    def test_add_global_and_function(self):
+        module = Module("m")
+        g = module.add_global("data", 8, [1, 2, 3])
+        f = module.add_function("f", [("x", INT)], INT)
+        assert module.global_by_name("data") is g
+        assert module.function_by_name("f") is f
+        assert f.is_declaration
+
+    def test_duplicate_names_rejected(self):
+        module = Module("m")
+        module.add_global("g", 1)
+        with pytest.raises(ValueError):
+            module.add_global("g", 1)
+        module.add_function("f")
+        with pytest.raises(ValueError):
+            module.add_function("f")
+
+    def test_global_validation(self):
+        module = Module("m")
+        with pytest.raises(ValueError):
+            module.add_global("bad", 0)
+        with pytest.raises(ValueError):
+            module.add_global("short", 1, [1, 2])
+
+    def test_defined_functions_excludes_declarations(self):
+        module = Module("m")
+        module.add_function("decl")
+        f = module.add_function("defn")
+        f.add_block("entry").append(Ret())
+        assert module.defined_functions == [f]
+
+
+class TestBuilder:
+    def test_builds_straight_line(self):
+        module = Module("m")
+        func = module.add_function("double_plus", [("x", INT)], INT)
+        b = IRBuilder(func)
+        b.set_block(b.new_block("entry"))
+        doubled = b.mul(func.args[0], b.const(2))
+        result = b.add(doubled, b.const(1))
+        b.ret(result)
+        assert func.instruction_count() == 3
+        assert func.entry.terminator.value is result
+
+    def test_const_dispatch(self):
+        assert IRBuilder.const(1).type is INT
+        assert IRBuilder.const(1.5).type is FLOAT
+        assert IRBuilder.const(True).type is INT
+        with pytest.raises(TypeError):
+            IRBuilder.const("x")
+
+    def test_emit_requires_block(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        with pytest.raises(ValueError):
+            b.add(const_int(1), const_int(2))
+
+    def test_gep_accepts_python_int(self):
+        module = Module("m")
+        g = module.add_global("g", 4)
+        func = module.add_function("f", [], VOID)
+        b = IRBuilder(func)
+        b.set_block(b.new_block("entry"))
+        gep = b.gep(g, 2)
+        assert isinstance(gep, Gep)
+        assert gep.index.value == 2
+
+
+class TestUndef:
+    def test_undef_ref(self):
+        assert Undef(INT).ref() == "undef"
+
+    def test_undef_as_operand(self):
+        add = BinaryOp("add", Undef(INT), const_int(1))
+        assert isinstance(add.lhs, Undef)

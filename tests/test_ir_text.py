@@ -1,0 +1,174 @@
+"""Parser/printer tests: round-trips, grammar corners, diagnostics."""
+
+import pytest
+
+from repro.ir import (
+    format_module,
+    IRSyntaxError,
+    parse_module,
+    verify_module,
+)
+from tests.helpers import LIST_PUSH_IR, SCALE_IR, SUM_IR
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [LIST_PUSH_IR, SUM_IR, SCALE_IR])
+    def test_parse_print_parse_fixpoint(self, source):
+        module = parse_module(source)
+        text = format_module(module)
+        module2 = parse_module(text)
+        assert format_module(module2) == text
+
+    @pytest.mark.parametrize("source", [LIST_PUSH_IR, SUM_IR, SCALE_IR])
+    def test_roundtrip_verifies(self, source):
+        module = parse_module(format_module(parse_module(source)))
+        verify_module(module, ssa=True)
+
+
+class TestGrammar:
+    def test_globals_with_and_without_init(self):
+        module = parse_module(
+            "global @a 4\nglobal @b 3 = [1, 2.5, -3]\n"
+        )
+        assert module.globals["a"].initializer is None
+        assert module.globals["b"].initializer == [1, 2.5, -3]
+
+    def test_declare(self):
+        module = parse_module("declare @ext(%x: int) -> float")
+        func = module.functions["ext"]
+        assert func.is_declaration
+        assert func.return_type.is_float
+
+    def test_void_function_without_arrow(self):
+        module = parse_module("func @f() {\nentry:\n  ret\n}")
+        assert module.functions["f"].return_type.is_void
+
+    def test_all_instruction_kinds(self):
+        source = """
+global @g 4
+
+func @kinds(%p: ptr, %x: int, %f: float) -> int {
+entry:
+  %a = add %x, 1
+  %s = sub %a, 2
+  %m = mul %s, %s
+  %d = div %m, 3
+  %r = rem %d, 5
+  %an = and %r, 7
+  %o = or %an, 1
+  %x2 = xor %o, 2
+  %sl = shl %x2, 1
+  %sr = shr %sl, 1
+  %fa = fadd %f, 1.5
+  %fs = fsub %fa, 0.5
+  %fm = fmul %fs, 2.0
+  %fd = fdiv %fm, 4.0
+  %c1 = icmp lt %sr, 100
+  %c2 = fcmp ge %fd, 0.0
+  %sel = select %c1, %sr, %x
+  %fi = itof %sel
+  %if = ftoi %fi
+  %al = alloca 2
+  store %if, %al
+  %ld = load int, %al
+  %gp = gep @g, %ld
+  %gv = load int, %gp
+  boundary
+  %call = call int @kinds(%p, %gv, %fd)
+  call void @print_int(%call)
+  br %c2, t, e
+t:
+  jmp e
+e:
+  %phi = phi int [%call, entry], [0, t]
+  ret %phi
+}
+"""
+        module = parse_module(source)
+        text = format_module(module)
+        assert format_module(parse_module(text)) == text
+
+    def test_undef_operand(self):
+        module = parse_module(
+            "func @f() -> int {\nentry:\n  %x = add undef:int, 1\n  ret %x\n}"
+        )
+        text = format_module(module)
+        assert "undef:int" in text
+
+    def test_forward_reference_through_phi(self):
+        source = """
+func @count(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%next, loop.body]
+  %done = icmp ge %i, %n
+  br %done, out, loop.body
+loop.body:
+  %next = add %i, 1
+  jmp loop
+out:
+  ret %i
+}
+"""
+        module = parse_module(source)
+        verify_module(module, ssa=True)
+
+    def test_comments_and_whitespace(self):
+        source = """
+# a comment
+func @f() -> int {   ; trailing comment
+entry:
+  %x = add 1, 2   # inline
+  ret %x
+}
+"""
+        module = parse_module(source)
+        assert module.functions["f"].instruction_count() == 2
+
+    def test_hex_like_not_supported_but_negative_is(self):
+        module = parse_module(
+            "func @f() -> int {\nentry:\n  %x = add -3, -4\n  ret %x\n}"
+        )
+        inst = module.functions["f"].entry.instructions[0]
+        assert inst.lhs.value == -3 and inst.rhs.value == -4
+
+    def test_float_literals(self):
+        module = parse_module(
+            "func @f() -> float {\nentry:\n  %x = fadd 1.5, 2e3\n  ret %x\n}"
+        )
+        inst = module.functions["f"].entry.instructions[0]
+        assert inst.lhs.value == 1.5 and inst.rhs.value == 2000.0
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("func @f() { entry: ret", "expected"),
+            ("func @f() {\nentry:\n  %x = frob 1, 2\n  ret\n}", "unknown opcode"),
+            ("func @f() {\nentry:\n  store 1, @nope\n  ret\n}", "unknown global"),
+            ("func @f() {\nentry:\n  %x = add 1, 2\n  %x = add 1, 2\n  ret\n}", "defined twice"),
+            ("func @f() {\nentry:\n  jmp missing\n}", "undefined block"),
+            ("func @f() {\nentry:\n  ret %ghost\n}", "undefined value"),
+            ("global @g -1", "positive size"),
+            ("blah", "expected"),
+        ],
+    )
+    def test_errors_mention_problem(self, source, fragment):
+        with pytest.raises(ValueError) as excinfo:
+            parse_module(source)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(IRSyntaxError) as excinfo:
+            parse_module("func @f() {\nentry:\n  %x = frob 1\n  ret\n}")
+        assert excinfo.value.line == 3
+
+    def test_duplicate_function(self):
+        with pytest.raises(ValueError):
+            parse_module("declare @f()\ndeclare @f()")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("func @f() {\n  ret\n}")

@@ -1,0 +1,220 @@
+"""Verifier tests: every class of malformed IR must be rejected."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    FLOAT,
+    INT,
+    Jump,
+    Module,
+    Phi,
+    Ret,
+    Store,
+    VerificationError,
+    const_float,
+    const_int,
+    parse_module,
+    verify_function,
+    verify_module,
+)
+from tests.helpers import LIST_PUSH_IR, SUM_IR
+
+
+def _empty_func(module=None, name="f"):
+    module = module or Module("m")
+    func = module.add_function(name, [("x", INT)], INT)
+    return module, func
+
+
+class TestStructural:
+    def test_clean_module_passes(self):
+        verify_module(parse_module(LIST_PUSH_IR), ssa=True)
+        verify_module(parse_module(SUM_IR), ssa=True)
+
+    def test_missing_terminator(self):
+        _, func = _empty_func()
+        block = func.add_block("entry")
+        block.append(BinaryOp("add", const_int(1), const_int(2), "t"))
+        with pytest.raises(VerificationError, match="lacks a terminator"):
+            verify_function(func)
+
+    def test_terminator_mid_block(self):
+        _, func = _empty_func()
+        block = func.add_block("entry")
+        block.append(Ret(const_int(0)))
+        block.append(Ret(const_int(1)))
+        with pytest.raises(VerificationError, match="not at block end"):
+            verify_function(func)
+
+    def test_phi_not_at_head(self):
+        _, func = _empty_func()
+        a = func.add_block("a")
+        b = func.add_block("b")
+        a.append(Jump(b))
+        b.append(BinaryOp("add", const_int(1), const_int(1), "t"))
+        phi = Phi(INT, [], name="p")
+        phi.add_incoming(const_int(0), a)
+        b.append(phi)
+        b.append(Ret(const_int(0)))
+        with pytest.raises(VerificationError, match="not at block head"):
+            verify_function(func)
+
+    def test_phi_incoming_mismatch(self):
+        _, func = _empty_func()
+        a = func.add_block("a")
+        b = func.add_block("b")
+        a.append(Jump(b))
+        phi = Phi(INT, [], name="p")  # no incoming for predecessor a
+        b.insert(0, phi)
+        b.append(Ret(const_int(0)))
+        with pytest.raises(VerificationError, match="incoming blocks"):
+            verify_function(func)
+
+    def test_alloca_outside_entry(self):
+        _, func = _empty_func()
+        a = func.add_block("entry")
+        b = func.add_block("later")
+        a.append(Jump(b))
+        b.append(Alloca(1, "slot"))
+        b.append(Ret(const_int(0)))
+        with pytest.raises(VerificationError, match="outside entry"):
+            verify_function(func)
+
+
+class TestTypes:
+    def test_int_binop_with_float_operand(self):
+        _, func = _empty_func()
+        block = func.add_block("entry")
+        block.append(BinaryOp("add", const_int(1), const_int(1), "t"))
+        block.instructions[0].set_operand(1, const_float(1.0))
+        block.append(Ret(const_int(0)))
+        with pytest.raises(VerificationError, match="has type float"):
+            verify_function(func)
+
+    def test_branch_on_float(self):
+        module = Module("m")
+        func = module.add_function("f", [("c", FLOAT)], INT)
+        a = func.add_block("entry")
+        b = func.add_block("t")
+        a.append(Br(func.args[0], b, b))
+        b.append(Ret(const_int(0)))
+        with pytest.raises(VerificationError):
+            verify_function(func)
+
+    def test_void_return_mismatch(self):
+        module = Module("m")
+        func = module.add_function("f", [], INT)
+        func.add_block("entry").append(Ret())
+        with pytest.raises(VerificationError, match="missing return value"):
+            verify_function(func)
+
+    def test_value_return_from_void(self):
+        module = Module("m")
+        func = module.add_function("f", [])
+        func.add_block("entry").append(Ret(const_int(1)))
+        with pytest.raises(VerificationError, match="void function"):
+            verify_function(func)
+
+
+class TestSSADominance:
+    def test_use_before_def_in_block(self):
+        source = """
+func @f() -> int {
+entry:
+  %y = add %x, 1
+  %x = add 1, 1
+  ret %y
+}
+"""
+        module = parse_module(source)
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_module(module, ssa=True)
+
+    def test_use_not_dominating_across_branches(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  br %c, a, b
+a:
+  %x = add 1, 2
+  jmp join
+b:
+  jmp join
+join:
+  ret %x
+}
+"""
+        module = parse_module(source)
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_module(module, ssa=True)
+        # The same function with a φ is fine.
+        fixed = """
+func @f(%c: int) -> int {
+entry:
+  br %c, a, b
+a:
+  %x = add 1, 2
+  jmp join
+b:
+  jmp join
+join:
+  %m = phi int [%x, a], [0, b]
+  ret %m
+}
+"""
+        verify_module(parse_module(fixed), ssa=True)
+
+    def test_loop_phi_is_legal(self):
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret %i2
+}
+"""
+        verify_module(parse_module(source), ssa=True)
+
+
+class TestModuleLevel:
+    def test_unknown_callee(self):
+        source = """
+func @f() -> int {
+entry:
+  %x = call int @missing()
+  ret %x
+}
+"""
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(parse_module(source))
+
+    def test_builtin_callee_ok(self):
+        source = """
+func @f() -> float {
+entry:
+  %x = call float @sqrt(4.0)
+  ret %x
+}
+"""
+        verify_module(parse_module(source))
+
+    def test_declared_callee_ok(self):
+        source = """
+declare @ext() -> int
+
+func @f() -> int {
+entry:
+  %x = call int @ext()
+  ret %x
+}
+"""
+        verify_module(parse_module(source))

@@ -1,0 +1,182 @@
+"""White-box unit tests for the dynamic clobber tracker (limit study)."""
+
+import pytest
+
+from repro.codegen.machine import CLASS_INT, MachineInstr, preg
+from repro.sim.limit_study import _ClobberTracker
+
+
+class _FakeFrame:
+    def __init__(self, base):
+        self.base = base
+        self.func = None
+
+
+class _FakeSim:
+    """Just enough Simulator surface for _ClobberTracker.step."""
+
+    def __init__(self):
+        self.regs = {}
+        self.frames = [_FakeFrame(base=0x1000_0000)]
+
+    def get_reg(self, reg):
+        return self.regs.get((reg.rclass, reg.index), 0)
+
+    def set_reg(self, reg, value):
+        self.regs[(reg.rclass, reg.index)] = value
+
+
+def _ld(addr_reg):
+    return MachineInstr("ld", dst=preg(CLASS_INT, 1), srcs=[addr_reg])
+
+
+def _st(val_reg, addr_reg):
+    return MachineInstr("st", srcs=[val_reg, addr_reg])
+
+
+def _alu(dst, *srcs):
+    return MachineInstr("add", dst=dst, srcs=list(srcs))
+
+
+R0 = preg(CLASS_INT, 0)
+R1 = preg(CLASS_INT, 1)
+R2 = preg(CLASS_INT, 2)
+
+
+def make_tracker(**kwargs):
+    defaults = dict(track_registers=False, track_stack=False, split_at_calls=False)
+    defaults.update(kwargs)
+    return _ClobberTracker(**defaults)
+
+
+class TestMemoryClobbers:
+    def test_read_then_write_same_addr_clobbers(self):
+        sim = _FakeSim()
+        sim.set_reg(R0, 0x2000)
+        tracker = make_tracker()
+        tracker.step(sim, _ld(R0))     # read 0x2000
+        tracker.step(sim, _st(R1, R0))  # write 0x2000: clobber
+        stats = tracker.finish()
+        assert stats.count == 2  # path before the cut + the tail
+
+    def test_write_then_read_is_fine(self):
+        sim = _FakeSim()
+        sim.set_reg(R0, 0x2000)
+        tracker = make_tracker()
+        tracker.step(sim, _st(R1, R0))
+        tracker.step(sim, _ld(R0))
+        tracker.step(sim, _st(R1, R0))  # preceded by a flow dependence
+        stats = tracker.finish()
+        assert stats.count == 1
+
+    def test_different_addresses_independent(self):
+        sim = _FakeSim()
+        tracker = make_tracker()
+        sim.set_reg(R0, 0x2000)
+        tracker.step(sim, _ld(R0))
+        sim.set_reg(R0, 0x3000)
+        tracker.step(sim, _st(R1, R0))  # writes a different address
+        stats = tracker.finish()
+        assert stats.count == 1
+
+    def test_stack_untracked_by_default(self):
+        sim = _FakeSim()
+        tracker = make_tracker()
+        sim.set_reg(R0, 0x1000_0008)  # stack segment
+        tracker.step(sim, _ld(R0))
+        tracker.step(sim, _st(R1, R0))
+        stats = tracker.finish()
+        assert stats.count == 1  # no clobber recorded
+
+    def test_stack_tracked_when_enabled(self):
+        sim = _FakeSim()
+        tracker = make_tracker(track_stack=True)
+        sim.set_reg(R0, 0x1000_0008)
+        tracker.step(sim, _ld(R0))
+        tracker.step(sim, _st(R1, R0))
+        stats = tracker.finish()
+        assert stats.count == 2
+
+
+class TestRegisterClobbers:
+    def test_register_war_clobbers(self):
+        sim = _FakeSim()
+        tracker = make_tracker(track_registers=True)
+        tracker.step(sim, _alu(R1, R0))  # reads r0
+        tracker.step(sim, _alu(R0, R1))  # writes r0: clobber
+        stats = tracker.finish()
+        assert stats.count == 2
+
+    def test_register_def_before_use_fine(self):
+        sim = _FakeSim()
+        tracker = make_tracker(track_registers=True)
+        tracker.step(sim, _alu(R0, R1))  # writes r0 first
+        tracker.step(sim, _alu(R2, R0))  # then reads it
+        stats = tracker.finish()
+        assert stats.count == 1
+
+    def test_registers_ignored_without_flag(self):
+        sim = _FakeSim()
+        tracker = make_tracker(track_registers=False)
+        tracker.step(sim, _alu(R1, R0))
+        tracker.step(sim, _alu(R0, R1))
+        stats = tracker.finish()
+        assert stats.count == 1
+
+
+class TestCallSplitting:
+    def test_call_ends_path(self):
+        sim = _FakeSim()
+        tracker = make_tracker(split_at_calls=True)
+        tracker.step(sim, _alu(R1, R0))
+        tracker.step(sim, MachineInstr("call", callee="f"))
+        tracker.step(sim, _alu(R1, R0))
+        stats = tracker.finish()
+        assert stats.count >= 2
+
+    def test_call_resets_tracking_state(self):
+        """State read before a call and written after is NOT a clobber in
+        the call-split categories (the paths are separate)."""
+        sim = _FakeSim()
+        sim.set_reg(R0, 0x2000)
+        tracker = make_tracker(split_at_calls=True)
+        tracker.step(sim, _ld(R0))
+        tracker.step(sim, MachineInstr("ret"))
+        tracker.step(sim, _st(R1, R0))
+        stats = tracker.finish()
+        lengths = sorted(stats.lengths)
+        # Three short paths, no clobber-driven cut beyond the splits.
+        assert stats.count == 2 or stats.count == 3
+
+    def test_no_split_without_flag(self):
+        sim = _FakeSim()
+        sim.set_reg(R0, 0x2000)
+        tracker = make_tracker(split_at_calls=False)
+        tracker.step(sim, _ld(R0))
+        tracker.step(sim, MachineInstr("call", callee="f"))
+        tracker.step(sim, _st(R1, R0))  # clobber ACROSS the call
+        stats = tracker.finish()
+        assert stats.count == 2
+
+
+class TestPathAccounting:
+    def test_lengths_sum_to_steps(self):
+        sim = _FakeSim()
+        tracker = make_tracker(track_registers=True)
+        n = 10
+        for i in range(n):
+            tracker.step(sim, _alu(R1, R0))
+            tracker.step(sim, _alu(R0, R1))
+        stats = tracker.finish()
+        assert stats.total_instructions == 2 * n
+
+    def test_clobbering_write_starts_next_path(self):
+        sim = _FakeSim()
+        sim.set_reg(R0, 0x2000)
+        tracker = make_tracker()
+        tracker.step(sim, _ld(R0))      # path 1: the load
+        tracker.step(sim, _st(R1, R0))  # cut; store opens path 2
+        tracker.step(sim, _ld(R0))      # still path 2 (flow dep)
+        tracker.step(sim, _st(R1, R0))  # write after its own flow dep: fine
+        stats = tracker.finish()
+        assert stats.lengths == {1: 1, 3: 1}

@@ -1,0 +1,164 @@
+"""Walkthrough of the paper's running example (Figures 1, 2, 3, 5).
+
+``list_push`` (Fig. 1a) written in MiniC, traced through the pipeline:
+artificial clobber antidependences appear in the -O0 lowering (Fig. 1c),
+SSA conversion removes them (Fig. 2/3), redundancy elimination removes
+non-clobber memory antidependences (Fig. 5), the hitting set places a
+single cut (Fig. 3/6), and re-execution semantics hold dynamically.
+"""
+
+import pytest
+
+from repro.analysis import AntiDepAnalysis, summarize_antideps
+from repro.core import (
+    RegionDecomposition,
+    construct_idempotent_regions,
+    verify_idempotent_regions,
+)
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import Boundary, parse_module, verify_module
+from repro.transforms import forward_stores_to_loads, promote_to_ssa
+from tests.helpers import LIST_PUSH_IR
+
+LIST_PUSH_MINIC = """
+// list layout: [capacity, size, buffer...], as in Figure 1(a).
+int list[18];
+
+int list_push(int *l, int e) {
+  if (l[1] >= l[0]) return 0;   // overflow check
+  l[l[1] + 2] = e;              // buf[size] = e
+  l[1] = l[1] + 1;              // size++  <- the semantic clobber
+  return 1;
+}
+
+int main() {
+  list[0] = 16;   // capacity
+  int i;
+  int pushed = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    pushed = pushed + list_push(list, i * 10);
+  }
+  print_int(pushed);
+  print_int(list[1]);
+  print_int(list[2]);
+  print_int(list[17]);
+  return pushed;
+}
+"""
+
+
+class TestFig1HandLoweredIR:
+    def test_semantic_clobbers_on_size_increment(self):
+        """Fig. 1c: the store of size+1 clobbers the reads of size/cap."""
+        func = parse_module(LIST_PUSH_IR).functions["list_push"]
+        analysis = AntiDepAnalysis(func)
+        summary = summarize_antideps(analysis)
+        assert summary["semantic_clobber"] >= 2
+        # The writes involved are stores through the list pointer.
+        for antidep in analysis.semantic_clobbers:
+            assert antidep.write.opcode == "store"
+
+    def test_single_cut_separates_all(self):
+        """Fig. 3: one cut (before S8/S9/S10) suffices."""
+        module = parse_module(LIST_PUSH_IR)
+        result = construct_idempotent_regions(module.functions["list_push"])
+        assert result.hitting_set_cut_count == 1
+        verify_idempotent_regions(module.functions["list_push"])
+
+    def test_three_regions_in_paper_terms(self):
+        """Entry region + post-cut region (+ return splits)."""
+        module = parse_module(LIST_PUSH_IR)
+        construct_idempotent_regions(module.functions["list_push"])
+        decomp = RegionDecomposition(module.functions["list_push"])
+        assert len(decomp) >= 2
+
+
+class TestFig2SSARenaming:
+    def test_minic_lowering_has_artificial_antideps(self):
+        """The -O0 lowering re-uses pseudoregister slots (Fig. 1's t0):
+        local-stack WARs exist before SSA conversion. (They are mostly
+        non-clobber *statically* because -O0 emits a dominating
+        initializing store for every slot; the clobbers the paper measures
+        appear dynamically once physical registers are reused — Fig. 4's
+        artificial category.)"""
+        module = compile_source(LIST_PUSH_MINIC)
+        func = module.functions["main"]
+        analysis = AntiDepAnalysis(func)
+        artificial = [ad for ad in analysis.antideps if ad.is_artificial]
+        assert artificial
+
+    def test_ssa_conversion_removes_artificial_antideps(self):
+        """Fig. 2/3: renaming eliminates every pseudoregister WAR."""
+        module = compile_source(LIST_PUSH_MINIC)
+        for func in module.defined_functions:
+            promote_to_ssa(func)
+            analysis = AntiDepAnalysis(func)
+            assert not any(ad.is_artificial for ad in analysis.antideps), func.name
+
+
+class TestFig5RedundancyElimination:
+    def test_non_clobber_memory_antidep_removed(self):
+        source = """
+func @fig5(%x: ptr, %a: int, %c: int) -> int {
+entry:
+  store %a, %x
+  %b = load int, %x
+  store %c, %x
+  ret %b
+}
+"""
+        func = parse_module(source).functions["fig5"]
+        before = AntiDepAnalysis(func)
+        assert len(before.antideps) == 1 and not before.antideps[0].is_clobber
+        assert forward_stores_to_loads(func) == 1
+        assert AntiDepAnalysis(func).antideps == []
+
+
+class TestEndToEndSemantics:
+    def test_list_push_results(self):
+        module = compile_source(LIST_PUSH_MINIC)
+        interp = Interpreter(module)
+        result = interp.run("main")
+        # 20 pushes against capacity 16: 16 succeed.
+        assert result == 16
+        assert interp.output == [16, 16, 0, 150]
+
+    def test_construction_preserves_list_push(self):
+        from repro.core import construct_module_regions
+
+        module = compile_source(LIST_PUSH_MINIC)
+        construct_module_regions(module)
+        verify_module(module, ssa=True)
+        interp = Interpreter(module)
+        assert interp.run("main") == 16
+        assert interp.output == [16, 16, 0, 150]
+
+    def test_region_reexecution_is_safe_but_function_is_not(self):
+        """The function as a whole is *not* idempotent (pushing twice
+        appends twice) — the regions the construction finds are."""
+        module = compile_source(LIST_PUSH_MINIC)
+        interp = Interpreter(module)
+        interp.run("main")
+        # Manually re-run list_push on the already-full list: rejected, so
+        # state stays consistent; but re-running after clearing size shows
+        # the append-twice hazard the boundary placement guards against.
+        addr = interp.globals["list"]
+        interp.memory.poke(addr + 1, 0)  # reset size
+        interp.run("list_push", [addr, 999])
+        interp.run("list_push", [addr, 999])
+        assert interp.memory.peek(addr + 1) == 2  # two appends, not one
+
+    def test_machine_recovery_on_list_push(self):
+        from repro.compiler import compile_minic
+        from repro.sim.faults import FaultPlan, run_with_fault
+        from repro.sim import Simulator
+
+        build = compile_minic(LIST_PUSH_MINIC, idempotent=True)
+        clean = Simulator(build.program)
+        ref = clean.run("main")
+        ref_out = list(clean.output)
+        for target in (200, 900, 1700):
+            outcome = run_with_fault(build.program, FaultPlan(target))
+            if outcome.injected:
+                assert outcome.result == ref and outcome.output == ref_out

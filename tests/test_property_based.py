@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+- random MiniC integer expressions: interpreter == machine simulator, for
+  both the original and the idempotent binary (end-to-end differential);
+- random CFGs: fast dominator algorithm == brute-force path enumeration;
+- random hitting-set instances: the greedy solution hits every set;
+- random straight-line IR: textual round-trip is a fixpoint;
+- wrap64 algebra.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import CFG, DominatorTree
+from repro.compiler import compile_minic
+from repro.core import HittingSetProblem, solve_hitting_set
+from repro.core.cuts import HEURISTIC_COVERAGE
+from repro.frontend import compile_source
+from repro.interp import run_module, wrap64
+from repro.ir import (
+    Br,
+    Function,
+    INT,
+    IRBuilder,
+    Jump,
+    Module,
+    Ret,
+    const_int,
+    format_module,
+    parse_module,
+)
+from repro.sim import Simulator
+
+# ----------------------------------------------------------------------
+# wrap64
+# ----------------------------------------------------------------------
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+any_ints = st.integers(min_value=-(2**80), max_value=2**80)
+
+
+class TestWrap64:
+    @given(any_ints)
+    def test_range(self, x):
+        w = wrap64(x)
+        assert -(2**63) <= w < 2**63
+
+    @given(int64s)
+    def test_identity_on_range(self, x):
+        assert wrap64(x) == x
+
+    @given(any_ints)
+    def test_idempotent(self, x):
+        assert wrap64(wrap64(x)) == wrap64(x)
+
+    @given(any_ints, any_ints)
+    def test_additive_homomorphism(self, a, b):
+        assert wrap64(wrap64(a) + wrap64(b)) == wrap64(a + b)
+
+    @given(any_ints, any_ints)
+    def test_multiplicative_homomorphism(self, a, b):
+        assert wrap64(wrap64(a) * wrap64(b)) == wrap64(a * b)
+
+
+# ----------------------------------------------------------------------
+# Random MiniC expressions: end-to-end differential
+# ----------------------------------------------------------------------
+def _expr_strategy():
+    leaves = st.sampled_from(["a", "b", "7", "3", "-2", "100"])
+
+    def extend(children):
+        binop = st.tuples(
+            st.sampled_from(["+", "-", "*", "&", "|", "^"]), children, children
+        ).map(lambda t: f"({t[1]} {t[0]} {t[2]})")
+        shift = st.tuples(
+            children, st.sampled_from(["<<", ">>"]), st.integers(0, 8)
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        cmp_ = st.tuples(
+            children, st.sampled_from(["<", "<=", "==", "!="]), children
+        ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+        ternary = st.tuples(cmp_, children, children).map(
+            lambda t: f"({t[0]} ? {t[1]} : {t[2]})"
+        )
+        div = st.tuples(children, st.sampled_from(["11", "5", "-3"])).map(
+            lambda t: f"({t[0]} / {t[1]})"
+        )
+        # NB space after '-': "-(-2)" must not lex as the '--' operator.
+        neg = children.map(lambda c: f"(- {c})")
+        return st.one_of(binop, shift, cmp_, ternary, div, neg)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestRandomExpressions:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(expr=_expr_strategy(), a=st.integers(-1000, 1000), b=st.integers(-1000, 1000))
+    def test_interp_equals_simulator_both_binaries(self, expr, a, b):
+        source = f"int f(int a, int b) {{ return {expr}; }}"
+        interp_module = compile_source(source)
+        from repro.interp import Interpreter
+
+        interp = Interpreter(interp_module)
+        expected = interp.run("f", [a, b])
+        for idem in (False, True):
+            program = compile_minic(source, idempotent=idem).program
+            sim = Simulator(program)
+            assert sim.run("f", (a, b)) == expected, (expr, a, b, idem)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 3), st.sampled_from(["+", "*", "^"]),
+                      st.integers(-5, 5)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_random_global_mutation_programs(self, updates):
+        body = "\n".join(
+            f"  g[{idx}] = g[{idx}] {op} {val};" for idx, op, val in updates
+        )
+        source = f"""
+int g[4];
+int main() {{
+  for (int t = 0; t < 5; t = t + 1) {{
+{body}
+  }}
+  return g[0] + g[1] * 3 + g[2] * 5 + g[3] * 7;
+}}
+"""
+        expected, _ = run_module(compile_source(source))
+        for idem in (False, True):
+            sim = Simulator(compile_minic(source, idempotent=idem).program)
+            assert sim.run("main") == expected
+
+
+# ----------------------------------------------------------------------
+# Random CFGs: dominators agree with brute force
+# ----------------------------------------------------------------------
+def _random_cfg(edge_choices):
+    """Build a function whose CFG shape is driven by hypothesis data."""
+    module = Module("m")
+    func = module.add_function("f", [("c", INT)], INT)
+    n = len(edge_choices)
+    blocks = [func.add_block(f"b{i}") for i in range(n)]
+    for i, choice in enumerate(edge_choices):
+        kind = choice[0] % 3
+        if kind == 0 or i == n - 1:
+            blocks[i].append(Ret(const_int(0)))
+        elif kind == 1:
+            blocks[i].append(Jump(blocks[choice[1] % n]))
+        else:
+            blocks[i].append(
+                Br(func.args[0], blocks[choice[1] % n], blocks[choice[2] % n])
+            )
+    return func
+
+
+class TestDominatorProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 30), st.integers(0, 30)),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_matches_brute_force(self, edge_choices):
+        func = _random_cfg(edge_choices)
+        tree = DominatorTree.compute(func)
+        cfg = tree.cfg
+        reachable = cfg.reachable_blocks
+
+        def brute(a, b):
+            if a is b:
+                return True
+            seen = set()
+            stack = [func.entry]
+            while stack:
+                node = stack.pop()
+                if node is a or node in seen:
+                    continue
+                if node is b:
+                    return False
+                seen.add(node)
+                stack.extend(cfg.succs(node))
+            return True
+
+        for a in reachable:
+            for b in reachable:
+                assert tree.dominates(a, b) == brute(a, b)
+
+
+# ----------------------------------------------------------------------
+# Hitting set
+# ----------------------------------------------------------------------
+class TestHittingSetProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 15), min_size=1, max_size=5),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_solution_hits_every_set(self, raw_sets):
+        module = Module("m")
+        func = module.add_function("f", [], INT)
+        block = func.add_block("entry")
+        sets = [frozenset((block, i) for i in s) for s in raw_sets]
+        cuts = set(
+            solve_hitting_set(HittingSetProblem(sets), heuristic=HEURISTIC_COVERAGE)
+        )
+        for candidate in sets:
+            assert candidate & cuts
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 10), min_size=1, max_size=4),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_no_redundant_singleton_miss(self, raw_sets):
+        """Greedy never returns more cuts than the number of sets."""
+        module = Module("m")
+        func = module.add_function("f", [], INT)
+        block = func.add_block("entry")
+        sets = [frozenset((block, i) for i in s) for s in raw_sets]
+        cuts = solve_hitting_set(HittingSetProblem(sets), heuristic=HEURISTIC_COVERAGE)
+        assert len(cuts) <= len(sets)
+
+
+# ----------------------------------------------------------------------
+# IR textual round-trip on random straight-line functions
+# ----------------------------------------------------------------------
+_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "shr"]
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(_OPS), st.integers(-100, 100)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_builder_print_parse_fixpoint(self, ops):
+        module = Module("m")
+        func = module.add_function("f", [("x", INT)], INT)
+        builder = IRBuilder(func)
+        builder.set_block(builder.new_block("entry"))
+        value = func.args[0]
+        for opcode, imm in ops:
+            value = builder.binop(opcode, value, const_int(imm))
+        builder.ret(value)
+        text = format_module(module)
+        assert format_module(parse_module(text)) == text

@@ -1,0 +1,125 @@
+"""Cross-cutting recovery dynamics: multiple faults, latency, workloads."""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.core import ConstructionConfig
+from repro.sim import Simulator
+from repro.sim.faults import (
+    FAULT_CONTROL,
+    FAULT_VALUE,
+    FaultPlan,
+    fault_campaign,
+    run_with_fault,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def mcf_build():
+    source = get_workload("mcf").source
+    build = compile_minic(source, idempotent=True)
+    sim = Simulator(build.program)
+    reference = sim.run("main")
+    return build.program, reference, list(sim.output), sim.instructions
+
+
+class TestWorkloadRecovery:
+    def test_value_faults_on_mcf(self, mcf_build):
+        program, reference, output, _ = mcf_build
+        campaign = fault_campaign(program, reference, output, trials=12)
+        assert campaign.injected > 0
+        assert campaign.recovery_rate == 1.0
+
+    def test_control_faults_on_mcf(self, mcf_build):
+        program, reference, output, _ = mcf_build
+        campaign = fault_campaign(
+            program, reference, output, trials=12, kind=FAULT_CONTROL, seed=99
+        )
+        assert campaign.injected > 0
+        assert campaign.recovery_rate == 1.0
+
+    def test_fault_near_start_and_end(self, mcf_build):
+        program, reference, output, total = mcf_build
+        for target in (5, total - 50):
+            outcome = run_with_fault(program, FaultPlan(target))
+            if outcome.injected:
+                assert outcome.result == reference
+                assert outcome.output == output
+
+
+class TestDetectionLatency:
+    KERNEL = """
+int hist[8];
+int main() {
+  int seed = 3;
+  int acc = 0;
+  for (int i = 0; i < 60; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int b = (seed >> 8) % 8;
+    if (b < 0) b += 8;
+    hist[b] += 1;
+    acc = (acc * 31 + hist[b]) % 1000003;
+  }
+  return acc;
+}
+"""
+
+    def test_zero_latency_always_recovers(self):
+        build = compile_minic(self.KERNEL, idempotent=True)
+        sim = Simulator(build.program)
+        reference = sim.run("main")
+        campaign = fault_campaign(
+            build.program, reference, [], trials=20, detection_latency=0
+        )
+        assert campaign.recovery_rate == 1.0
+
+    def test_latency_degrades_recovery(self):
+        build = compile_minic(self.KERNEL, idempotent=True)
+        sim = Simulator(build.program)
+        reference = sim.run("main")
+        rates = []
+        for latency in (0, 10, 100):
+            campaign = fault_campaign(
+                build.program, reference, [], trials=25, detection_latency=latency
+            )
+            rates.append(campaign.recovery_rate)
+        assert rates[0] == 1.0
+        assert rates[-1] < rates[0]
+
+    def test_larger_regions_tolerate_latency_better(self):
+        tight = compile_minic(
+            self.KERNEL,
+            idempotent=True,
+            config=ConstructionConfig(max_region_size=5),
+        )
+        loose = compile_minic(self.KERNEL, idempotent=True)
+        results = {}
+        for label, build in (("tight", tight), ("loose", loose)):
+            sim = Simulator(build.program)
+            reference = sim.run("main")
+            campaign = fault_campaign(
+                build.program, reference, [], trials=30, detection_latency=8
+            )
+            results[label] = campaign.recovery_rate
+        assert results["loose"] >= results["tight"]
+
+
+class TestRecoveryCost:
+    def test_reexecution_cost_bounded_by_region_size(self):
+        """With one fault, extra instructions executed stay within the
+        largest region's path length plus detection latency."""
+        build = compile_minic(TestDetectionLatency.KERNEL, idempotent=True)
+        clean = Simulator(build.program)
+        reference = clean.run("main")
+        from repro.sim.path_trace import trace_paths
+
+        longest = max(trace_paths(build.program).lengths)
+        for target in (100, 500, 900):
+            outcome = run_with_fault(build.program, FaultPlan(target))
+            if not outcome.injected:
+                continue
+            assert outcome.result == reference
+            extra = outcome.instructions - clean.instructions
+            # One re-executed region (plus boundary ops slack).
+            assert 0 <= extra <= longest + 20

@@ -1,0 +1,528 @@
+"""Transform tests: mem2reg, store-to-load forwarding, DCE, cloning, unroll.
+
+Every transform is checked two ways: structurally (the expected shape
+appears) and semantically (interpreter results are unchanged).
+"""
+
+import pytest
+
+from repro.analysis import AntiDepAnalysis, LoopInfo
+from repro.interp import Interpreter, run_module
+from repro.ir import (
+    Alloca,
+    Load,
+    Phi,
+    Store,
+    format_module,
+    parse_module,
+    verify_module,
+)
+from repro.transforms import (
+    UnrollNotSupported,
+    can_unroll_once,
+    clone_blocks,
+    eliminate_dead_code,
+    forward_stores_to_loads,
+    optimize_function,
+    promotable_allocas,
+    promote_to_ssa,
+    split_edge,
+    unroll_once,
+)
+from tests.helpers import SUM_IR
+
+DATA_MODULE_PREFIX = "global @data 6 = [5, 1, 4, 1, 5, 9]\n"
+
+SUM_MAIN = DATA_MODULE_PREFIX + SUM_IR + """
+func @main() -> int {
+entry:
+  %r = call int @sum(@data, 6)
+  ret %r
+}
+"""
+
+
+def run_main(module):
+    return run_module(module, "main")[0]
+
+
+class TestMem2Reg:
+    def test_promotes_scalars(self):
+        module = parse_module(SUM_MAIN)
+        func = module.functions["sum"]
+        assert len(promotable_allocas(func)) == 2
+        promoted = promote_to_ssa(func)
+        assert promoted == 2
+        assert not any(isinstance(i, Alloca) for i in func.instructions())
+        verify_module(module, ssa=True)
+
+    def test_inserts_phis_at_loop_header(self):
+        module = parse_module(SUM_MAIN)
+        func = module.functions["sum"]
+        promote_to_ssa(func)
+        loop = func.block_by_name("loop")
+        phis = list(loop.phis())
+        assert len(phis) == 2  # acc and i
+
+    def test_preserves_semantics(self):
+        module = parse_module(SUM_MAIN)
+        before = run_main(module)
+        promote_to_ssa(module.functions["sum"])
+        assert run_main(module) == before == 25
+
+    def test_skips_escaping_alloca(self):
+        source = """
+func @f() -> int {
+entry:
+  %t = alloca 1
+  store 3, %t
+  call void @observe(%t)
+  %v = load int, %t
+  ret %v
+}
+
+declare @observe(%p: ptr)
+"""
+        func = parse_module(source).functions["f"]
+        assert promotable_allocas(func) == []
+        assert promote_to_ssa(func) == 0
+
+    def test_skips_arrays(self):
+        source = """
+func @f() -> int {
+entry:
+  %arr = alloca 4
+  %p = gep %arr, 2
+  store 3, %p
+  %v = load int, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert promote_to_ssa(func) == 0
+
+    def test_diamond_merge(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  %t = alloca 1
+  br %c, a, b
+a:
+  store 1, %t
+  jmp join
+b:
+  store 2, %t
+  jmp join
+join:
+  %v = load int, %t
+  ret %v
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        promote_to_ssa(func)
+        verify_module(module, ssa=True)
+        join = func.block_by_name("join")
+        assert len(list(join.phis())) == 1
+        interp = Interpreter(module)
+        assert interp.run("f", [1]) == 1
+        interp2 = Interpreter(module)
+        assert interp2.run("f", [0]) == 2
+
+    def test_load_before_store_yields_undef_not_crash(self):
+        source = """
+func @f() -> int {
+entry:
+  %t = alloca 1
+  %v = load int, %t
+  store 1, %t
+  ret %v
+}
+"""
+        module = parse_module(source)
+        promote_to_ssa(module.functions["f"])
+        verify_module(module)
+
+
+class TestForwarding:
+    def test_eliminates_redundant_load(self):
+        """Figure 5: store x; load x → reuse the stored pseudoregister."""
+        source = """
+func @f(%p: ptr, %a: int) -> int {
+entry:
+  store %a, %p
+  %b = load int, %p
+  store 9, %p
+  ret %b
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        analysis_before = AntiDepAnalysis(func)
+        assert len(analysis_before.antideps) == 1  # the non-clobber WAR
+        removed = forward_stores_to_loads(func)
+        assert removed == 1
+        # The antidependence disappeared with the load.
+        assert AntiDepAnalysis(func).antideps == []
+        assert func.entry.terminator.value is func.args[1]
+
+    def test_may_alias_store_blocks_forwarding(self):
+        source = """
+func @f(%p: ptr, %q: ptr) -> int {
+entry:
+  store 1, %p
+  store 2, %q
+  %v = load int, %p
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 0
+
+    def test_distinct_objects_do_not_block(self):
+        source = """
+global @g1 1
+global @g2 1
+
+func @f() -> int {
+entry:
+  store 1, @g1
+  store 2, @g2
+  %v = load int, @g1
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 1
+
+    def test_call_kills_availability(self):
+        source = """
+global @g 1
+
+func @f() -> int {
+entry:
+  store 1, @g
+  call void @mutate()
+  %v = load int, @g
+  ret %v
+}
+
+declare @mutate()
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 0
+
+    def test_pure_builtin_does_not_kill(self):
+        source = """
+global @g 1
+
+func @f() -> int {
+entry:
+  store 1, @g
+  %s = call float @sqrt(4.0)
+  %v = load int, @g
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 1
+
+    def test_cross_block_forwarding(self):
+        source = """
+global @g 1
+
+func @f(%c: int) -> int {
+entry:
+  store 7, @g
+  br %c, a, b
+a:
+  jmp join
+b:
+  jmp join
+join:
+  %v = load int, @g
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 1
+
+    def test_divergent_values_not_forwarded(self):
+        source = """
+global @g 1
+
+func @f(%c: int) -> int {
+entry:
+  br %c, a, b
+a:
+  store 1, @g
+  jmp join
+b:
+  store 2, @g
+  jmp join
+join:
+  %v = load int, @g
+  ret %v
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 0
+
+    def test_load_load_cse(self):
+        source = """
+func @f(%p: ptr) -> int {
+entry:
+  %a = load int, %p
+  %b = load int, %p
+  %s = add %a, %b
+  ret %s
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert forward_stores_to_loads(func) == 1
+
+    def test_loop_store_not_forwarded_around_backedge(self):
+        """In-place loop update: the load must survive (value changes)."""
+        source = DATA_MODULE_PREFIX + """
+func @main() -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %v = load int, @data
+  %v2 = add %v, 1
+  store %v2, @data
+  %i2 = add %i, 1
+  %done = icmp ge %i2, 3
+  br %done, out, loop
+out:
+  %r = load int, @data
+  ret %r
+}
+"""
+        module = parse_module(source)
+        before = run_main(module)
+        forward_stores_to_loads(module.functions["main"])
+        verify_module(module, ssa=True)
+        assert run_main(module) == before == 8
+
+
+class TestDCE:
+    def test_removes_unused_chain(self):
+        source = """
+func @f() -> int {
+entry:
+  %a = add 1, 2
+  %b = mul %a, 3
+  ret 0
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert eliminate_dead_code(func) == 2
+        assert func.instruction_count() == 1
+
+    def test_keeps_side_effects(self):
+        source = """
+global @g 1
+
+func @f() -> int {
+entry:
+  store 1, @g
+  call void @print_int(5)
+  ret 0
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert eliminate_dead_code(func) == 0
+
+    def test_removes_self_only_phi(self):
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %dead = phi int [0, entry], [%dead, loop]
+  %i = phi int [0, entry], [%i2, loop]
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret %i2
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        eliminate_dead_code(func)
+        verify_module(module, ssa=True)
+        assert "dead" not in func.values_by_name()
+
+    def test_removes_unused_loads_but_not_stores(self):
+        source = """
+global @g 1
+
+func @f() -> int {
+entry:
+  %v = load int, @g
+  ret 0
+}
+"""
+        func = parse_module(source).functions["f"]
+        assert eliminate_dead_code(func) == 1
+
+
+class TestCloneAndSplit:
+    def test_split_edge_updates_phis(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  br %c, a, join
+a:
+  jmp join
+join:
+  %m = phi int [1, entry], [2, a]
+  ret %m
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        entry = func.block_by_name("entry")
+        join = func.block_by_name("join")
+        middle = split_edge(func, entry, join)
+        verify_module(module, ssa=True)
+        assert middle in join.predecessors
+        # entry -> join now flows through the split block; value preserved.
+        assert Interpreter(module).run("f", [0]) == 1
+        assert Interpreter(module).run("f", [1]) == 2
+
+    def test_clone_blocks_remaps_internal_values(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  %b = mul %a, 2
+  ret %b
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        bmap, vmap = clone_blocks(func, [func.entry], "copy")
+        clone = bmap[func.entry]
+        # The cloned mul uses the cloned add, not the original.
+        cloned_mul = clone.instructions[1]
+        assert cloned_mul.operands[0] is vmap[func.entry.instructions[0]]
+        # External operands (the argument) are shared.
+        cloned_add = clone.instructions[0]
+        assert cloned_add.operands[0] is func.args[0]
+
+
+class TestUnroll:
+    UNROLLABLE = """
+global @out 16
+
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %sq = mul %i, %i
+  %slot = gep @out, %i
+  store %sq, %slot
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  %last = gep @out, 7
+  %v = load int, %last
+  ret %v
+}
+"""
+
+    def test_unroll_preserves_semantics(self):
+        module = parse_module(self.UNROLLABLE)
+        func = module.functions["f"]
+        interp = Interpreter(module)
+        before = interp.run("f", [8])
+        info = LoopInfo(func)
+        assert can_unroll_once(info.loops[0])
+        unroll_once(func, info.loops[0])
+        verify_module(module, ssa=True)
+        interp2 = Interpreter(parse_module(format_module(module)))
+        assert interp2.run("f", [8]) == before == 49
+
+    def test_unroll_odd_trip_count(self):
+        module = parse_module(self.UNROLLABLE)
+        func = module.functions["f"]
+        info = LoopInfo(func)
+        unroll_once(func, info.loops[0])
+        verify_module(module, ssa=True)
+        interp = Interpreter(module)
+        assert interp.run("f", [9]) == 49
+
+    def test_unroll_doubles_loop_body(self):
+        module = parse_module(self.UNROLLABLE)
+        func = module.functions["f"]
+        before_blocks = len(func.blocks)
+        unroll_once(func, LoopInfo(func).loops[0])
+        assert len(func.blocks) > before_blocks
+
+    def test_unroll_with_escaping_value(self):
+        """A value defined in the loop and used after it (LCSSA path)."""
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%i2, loop]
+  %tripled = mul %i, 3
+  %i2 = add %i, 1
+  %done = icmp ge %i2, %n
+  br %done, out, loop
+out:
+  ret %tripled
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        interp = Interpreter(module)
+        before = interp.run("f", [5])
+        unroll_once(func, LoopInfo(func).loops[0])
+        verify_module(module, ssa=True)
+        interp2 = Interpreter(module)
+        assert interp2.run("f", [5]) == before == 12
+
+    def test_multi_latch_rejected(self):
+        source = """
+func @f(%n: int) -> int {
+entry:
+  jmp loop
+loop:
+  %i = phi int [0, entry], [%ia, a], [%ib, b]
+  %c = rem %i, 2
+  %done = icmp ge %i, %n
+  br %done, out, pick
+pick:
+  br %c, a, b
+a:
+  %ia = add %i, 1
+  jmp loop
+b:
+  %ib = add %i, 2
+  jmp loop
+out:
+  ret %i
+}
+"""
+        func = parse_module(source).functions["f"]
+        loop = LoopInfo(func).loops[0]
+        assert not can_unroll_once(loop)
+        with pytest.raises(UnrollNotSupported):
+            unroll_once(func, loop)
+
+
+class TestPipeline:
+    def test_optimize_function_stats(self):
+        module = parse_module(SUM_MAIN)
+        stats = optimize_function(module.functions["sum"])
+        assert stats["promoted_allocas"] == 2
+        verify_module(module, ssa=True)
+        assert run_main(module) == 25

@@ -1,0 +1,321 @@
+"""Level-2 optimization tests: constant folding and CFG simplification."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, run_module
+from repro.ir import Constant, Jump, parse_module, verify_module
+from repro.transforms import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_module,
+    simplify_cfg,
+)
+from repro.analysis.cfg import remove_unreachable_blocks
+
+
+def fold_and_ret(source, func="f"):
+    module = parse_module(source)
+    fold_constants(module.functions[func])
+    eliminate_dead_code(module.functions[func])
+    verify_module(module)
+    return module.functions[func]
+
+
+class TestConstFold:
+    def test_folds_arithmetic_chain(self):
+        func = fold_and_ret(
+            """
+func @f() -> int {
+entry:
+  %a = add 2, 3
+  %b = mul %a, 4
+  %c = sub %b, 6
+  ret %c
+}
+"""
+        )
+        ret = func.entry.terminator
+        assert isinstance(ret.value, Constant) and ret.value.value == 14
+        assert func.instruction_count() == 1
+
+    def test_matches_interpreter_wrapping(self):
+        big = 2**62
+        source = f"""
+func @f() -> int {{
+entry:
+  %a = mul {big}, 4
+  ret %a
+}}
+"""
+        module = parse_module(source)
+        expected = Interpreter(parse_module(source)).run("f")
+        fold_constants(module.functions["f"])
+        assert Interpreter(module).run("f") == expected
+
+    def test_division_semantics(self):
+        func = fold_and_ret(
+            """
+func @f() -> int {
+entry:
+  %a = div -7, 2
+  %b = rem -7, 2
+  %c = sub %a, %b
+  ret %c
+}
+"""
+        )
+        assert func.entry.terminator.value.value == -3 - (-1)
+
+    def test_division_by_zero_not_folded(self):
+        func = fold_and_ret(
+            """
+func @f(%x: int) -> int {
+entry:
+  %a = div %x, 0
+  ret %a
+}
+"""
+        )
+        assert func.instruction_count() == 2  # div survives
+
+    @pytest.mark.parametrize(
+        "expr, expected_insts",
+        [
+            ("%r = add %x, 0", 1),
+            ("%r = mul %x, 1", 1),
+            ("%r = mul %x, 0", 1),   # replaced by constant 0
+            ("%r = sub %x, 0", 1),
+            ("%r = xor %x, 0", 1),
+            ("%r = shl %x, 0", 1),
+            ("%r = and %x, 0", 1),
+            ("%r = or %x, 0", 1),
+        ],
+    )
+    def test_identities(self, expr, expected_insts):
+        source = f"""
+func @f(%x: int) -> int {{
+entry:
+  {expr}
+  ret %r
+}}
+"""
+        func = fold_and_ret(source)
+        assert func.instruction_count() == expected_insts
+
+    def test_identity_semantics_preserved(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 0
+  %b = mul %a, 1
+  %c = mul %b, 0
+  %d = or %c, %x
+  ret %d
+}
+"""
+        module = parse_module(source)
+        expected = Interpreter(parse_module(source)).run("f", [41])
+        fold_constants(module.functions["f"])
+        assert Interpreter(module).run("f", [41]) == expected == 41
+
+    def test_folds_comparison_and_select(self):
+        func = fold_and_ret(
+            """
+func @f() -> int {
+entry:
+  %c = icmp lt 2, 5
+  %r = select %c, 10, 20
+  ret %r
+}
+"""
+        )
+        assert func.entry.terminator.value.value == 10
+
+    def test_folds_conversions(self):
+        func = fold_and_ret(
+            """
+func @f() -> int {
+entry:
+  %a = itof 3
+  %b = fadd %a, 0.5
+  %c = ftoi %b
+  ret %c
+}
+"""
+        )
+        assert func.entry.terminator.value.value == 3
+
+    def test_constant_branch_becomes_jump(self):
+        source = """
+func @f() -> int {
+entry:
+  %c = icmp gt 5, 2
+  br %c, yes, no
+yes:
+  ret 1
+no:
+  ret 0
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        fold_constants(func)
+        remove_unreachable_blocks(func)
+        verify_module(module)
+        assert isinstance(func.entry.terminator, Jump)
+        assert Interpreter(module).run("f") == 1
+
+    def test_constant_branch_fixes_phis(self):
+        source = """
+func @f() -> int {
+entry:
+  br 1, yes, join
+yes:
+  jmp join
+join:
+  %m = phi int [5, entry], [7, yes]
+  ret %m
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        fold_constants(func)
+        remove_unreachable_blocks(func)
+        verify_module(module, ssa=True)
+        assert Interpreter(module).run("f") == 7
+
+
+class TestSimplifyCFG:
+    def test_threads_forwarding_block(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  br %c, hop, out
+hop:
+  jmp out
+out:
+  %m = phi int [1, entry], [2, hop]
+  ret %m
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        removed = simplify_cfg(func)
+        # hop cannot be bypassed (entry already reaches out directly) —
+        # the φ would be ambiguous, so nothing changes.
+        assert removed == 0
+        verify_module(module, ssa=True)
+
+    def test_threads_when_unambiguous(self):
+        source = """
+func @f(%c: int) -> int {
+entry:
+  br %c, hop, other
+hop:
+  jmp out
+other:
+  jmp out
+out:
+  %m = phi int [2, hop], [3, other]
+  ret %m
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        removed = simplify_cfg(func)
+        assert removed >= 1
+        verify_module(module, ssa=True)
+        assert Interpreter(module).run("f", [1]) == 2
+        assert Interpreter(module).run("f", [0]) == 3
+
+    def test_merges_linear_chain(self):
+        source = """
+func @f(%x: int) -> int {
+entry:
+  %a = add %x, 1
+  jmp mid
+mid:
+  %b = add %a, 2
+  jmp tail
+tail:
+  %c = add %b, 3
+  ret %c
+}
+"""
+        module = parse_module(source)
+        func = module.functions["f"]
+        removed = simplify_cfg(func)
+        assert removed == 2
+        assert len(func.blocks) == 1
+        verify_module(module, ssa=True)
+        assert Interpreter(module).run("f", [10]) == 16
+
+    def test_keeps_loops_intact(self):
+        from tests.helpers import SCALE_IR
+
+        module = parse_module(SCALE_IR)
+        func = module.functions["scale"]
+        blocks_before = len(func.blocks)
+        simplify_cfg(func)
+        verify_module(module, ssa=True)
+        # Loop structure survives (header φ still present).
+        assert any(list(b.phis()) for b in func.blocks)
+
+
+class TestLevel2Pipeline:
+    @pytest.mark.parametrize("name_source", [
+        ("const heavy", """
+int main() {
+  int x = (3 + 4) * 2;
+  if (x > 10) return x - 4;
+  return 0;
+}
+"""),
+        ("branchy", """
+int g = 2;
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) acc = acc + g * 1;
+    else acc = acc + 0 + i;
+  }
+  return acc;
+}
+"""),
+    ])
+    def test_semantics_preserved(self, name_source):
+        _, source = name_source
+        expected, expected_out = run_module(compile_source(source))
+        module = compile_source(source)
+        stats = optimize_module(module, level=2)
+        verify_module(module, ssa=True)
+        result, output = run_module(module)
+        assert (result, output) == (expected, expected_out)
+
+    def test_level2_reduces_instruction_count(self):
+        source = """
+int main() {
+  int x = (3 + 4) * (2 + 2);
+  return x + 0;
+}
+"""
+        base = compile_source(source)
+        optimize_module(base, level=1)
+        strong = compile_source(source)
+        optimize_module(strong, level=2)
+        assert (
+            strong.functions["main"].instruction_count()
+            <= base.functions["main"].instruction_count()
+        )
+
+    def test_full_pipeline_on_workload(self):
+        from repro.workloads import get_workload
+
+        source = get_workload("mcf").source
+        expected, expected_out = run_module(compile_source(source))
+        module = compile_source(source)
+        optimize_module(module, level=2)
+        verify_module(module, ssa=True)
+        result, output = run_module(module)
+        assert (result, output) == (expected, expected_out)

@@ -1,0 +1,48 @@
+"""Golden checksums for the workload suite.
+
+Each workload's result is frozen here. A change means either a workload
+edit (update deliberately) or — far worse — a semantics regression
+somewhere in the frontend/transform/interpreter stack. The interpreter is
+the reference; simulator agreement is covered by
+``tests/test_workloads.py`` and the Fig. 10 harness.
+"""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.workloads import get_workload, workload_names
+
+GOLDEN = {
+    "bzip2": 2928,
+    "expr": 12117,
+    "mcf": 39306,
+    "gobmk": -27,
+    "hmmer": -926,
+    "sjeng": 299991,
+    "h264": 8900,
+    "astar": 28103,
+    "lbm": 470974,
+    "milc": 152837,
+    "namd": 57284,
+    "dealii": 12713,
+    "soplex": -1526,
+    "sphinx": 1264,
+    "blackscholes": 9068,
+    "streamcluster": 14540,
+    "swaptions": 3915,
+    "fluidanimate": 19329,
+    "canneal": 814607,
+}
+
+
+def test_golden_covers_every_workload():
+    assert set(GOLDEN) == set(workload_names())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_workload_checksum(name):
+    interp = Interpreter(get_workload(name).compile_ir())
+    result = interp.run("main")
+    assert result == GOLDEN[name]
+    # Each workload prints exactly its checksum.
+    assert interp.output == [GOLDEN[name]]

@@ -1,0 +1,115 @@
+"""Workload suite tests.
+
+Every workload must compile through the full pipeline in both flavours;
+a representative subset (one per suite plus the paper-critical kernels)
+is differentially executed end-to-end. Full-suite execution lives in the
+benchmark harness, not here.
+"""
+
+import pytest
+
+from repro.compiler import compile_minic
+from repro.interp import Interpreter
+from repro.sim import Simulator
+from repro.workloads import (
+    SUITES,
+    all_workloads,
+    by_suite,
+    get_workload,
+    workload_names,
+)
+
+DIFFERENTIAL = ["bzip2", "mcf", "sjeng", "milc", "soplex", "blackscholes", "canneal"]
+
+
+class TestRegistry:
+    def test_nineteen_workloads(self):
+        assert len(all_workloads()) == 19
+
+    def test_suite_partition(self):
+        names = set()
+        for suite in SUITES:
+            suite_names = {w.name for w in by_suite(suite)}
+            assert suite_names, suite
+            assert not (names & suite_names)
+            names |= suite_names
+        assert names == set(workload_names())
+
+    def test_suite_sizes(self):
+        assert len(by_suite("specint")) == 8
+        assert len(by_suite("specfp")) == 6
+        assert len(by_suite("parsec")) == 5
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+        with pytest.raises(KeyError):
+            by_suite("specweb")
+
+    def test_sources_nonempty_and_have_main(self):
+        for workload in all_workloads():
+            assert "int main()" in workload.source
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_compiles_both_flavours(self, name):
+        workload = get_workload(name)
+        original = compile_minic(workload.source, idempotent=False, name=name)
+        idempotent = compile_minic(workload.source, idempotent=True, name=name)
+        # The idempotent binary carries boundary markers; original doesn't.
+        idem_rcbs = sum(
+            1
+            for f in idempotent.program.functions.values()
+            for i in f.instructions()
+            if i.opcode == "rcb"
+        )
+        orig_rcbs = sum(
+            1
+            for f in original.program.functions.values()
+            for i in f.instructions()
+            if i.opcode == "rcb"
+        )
+        assert idem_rcbs > 0 and orig_rcbs == 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_construction_statistics_recorded(self, name):
+        workload = get_workload(name)
+        result = compile_minic(workload.source, idempotent=True, name=name)
+        assert result.construction
+        assert any(r.region_count > 0 for r in result.construction.values())
+
+
+class TestDifferentialExecution:
+    @pytest.mark.parametrize("name", DIFFERENTIAL)
+    def test_interp_orig_idem_agree(self, name):
+        workload = get_workload(name)
+        interp = Interpreter(workload.compile_ir())
+        expected = interp.run("main")
+        expected_output = list(interp.output)
+
+        for idem in (False, True):
+            program = compile_minic(workload.source, idempotent=idem).program
+            sim = Simulator(program)
+            result = sim.run("main")
+            assert result == expected, (name, idem)
+            assert sim.output == expected_output, (name, idem)
+
+    @pytest.mark.parametrize(
+        "name, bound",
+        [
+            ("lbm", 1.4),
+            ("gobmk", 1.4),
+            # hmmer is the paper's aliasing-limited outlier (§6.2): tiny
+            # regions inside a high-pressure DP loop. Bounded, not cheap.
+            ("hmmer", 2.0),
+        ],
+    )
+    def test_idempotent_overhead_is_bounded(self, name, bound):
+        """Idempotence costs percent-level overhead, not multiples."""
+        workload = get_workload(name)
+        orig = Simulator(compile_minic(workload.source, idempotent=False).program)
+        orig.run("main")
+        idem = Simulator(compile_minic(workload.source, idempotent=True).program)
+        idem.run("main")
+        assert idem.cycles < orig.cycles * bound
