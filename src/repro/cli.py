@@ -7,13 +7,22 @@ Commands:
 - ``regions FILE``    — region construction report for each function
 - ``faults FILE``     — fault-injection campaign against both binaries
 - ``experiment NAME`` — regenerate a paper figure/table (fig4, fig8,
-  fig9, fig10, fig12, table2)
+  fig9, fig10, fig12, table2, or ``all``), with ``--jobs N`` sharding
+  and the persistent artifact cache (``--no-cache`` to bypass)
+- ``campaign``        — suite-wide fault-injection campaign: sharded,
+  resumable via a JSON-lines manifest, deterministic under any sharding
 - ``workloads``       — list the benchmark suite
+
+The ``experiment`` and ``campaign`` commands print a telemetry summary
+(wall time, per-phase breakdown, cache effectiveness) to stderr, so
+stdout stays byte-identical across serial, parallel, and warm-cache
+invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -135,19 +144,70 @@ def cmd_faults(args) -> int:
 
 def cmd_experiment(args) -> int:
     from repro import experiments
+    from repro.experiments.common import configure
+    from repro.harness.cache import default_cache
+    from repro.harness.report import Telemetry
 
-    drivers = {
-        "table2": experiments.table2_classification,
-        "fig4": experiments.fig4_limit_study,
-        "fig8": experiments.fig8_path_cdf,
-        "fig9": experiments.fig9_avg_paths,
-        "fig10": experiments.fig10_overheads,
-        "fig12": experiments.fig12_recovery,
-    }
-    driver = drivers[args.name]
+    configure(jobs=args.jobs, use_cache=not args.no_cache)
+    telemetry = Telemetry(label=f"experiment {args.name}")
     names = args.workloads or None
-    print(driver.format_report(driver.run(names)))
+    if args.name == "all":
+        from repro.experiments.all_figures import run_all
+
+        run_all(names, jobs=args.jobs, telemetry=telemetry)
+    else:
+        drivers = {
+            "table2": experiments.table2_classification,
+            "fig4": experiments.fig4_limit_study,
+            "fig8": experiments.fig8_path_cdf,
+            "fig9": experiments.fig9_avg_paths,
+            "fig10": experiments.fig10_overheads,
+            "fig12": experiments.fig12_recovery,
+        }
+        driver = drivers[args.name]
+        print(driver.format_report(
+            driver.run(names, jobs=args.jobs, telemetry=telemetry)
+        ))
+    telemetry.finish()
+    telemetry.attach_cache(default_cache())
+    print(telemetry.format_summary(), file=sys.stderr)
     return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.experiments.common import configure
+    from repro.harness.cache import default_cache
+    from repro.harness.campaign import format_campaign_report, run_fault_campaign
+    from repro.harness.report import Telemetry
+
+    configure(jobs=args.jobs, use_cache=not args.no_cache)
+    manifest_path = args.manifest
+    if manifest_path is None and not args.no_manifest:
+        tag = (
+            f"{args.kind}-seed{args.seed}-t{args.trials}-lat{args.latency}"
+        )
+        manifest_path = os.path.join(".repro-cache", "campaigns", f"{tag}.jsonl")
+    if args.fresh and manifest_path and os.path.exists(manifest_path):
+        os.unlink(manifest_path)
+    telemetry = Telemetry(label="fault campaign")
+    summary = run_fault_campaign(
+        names=args.workloads or None,
+        trials=args.trials,
+        seed=args.seed,
+        kind=args.kind,
+        detection_latency=args.latency,
+        jobs=args.jobs,
+        manifest_path=manifest_path,
+        shard_trials=args.shard_trials,
+        telemetry=telemetry,
+    )
+    print(format_campaign_report(summary))
+    telemetry.finish()
+    telemetry.attach_cache(default_cache())
+    if manifest_path:
+        telemetry.note(f"manifest: {manifest_path}")
+    print(telemetry.format_summary(), file=sys.stderr)
+    return 1 if summary.failed_units else 0
 
 
 def cmd_workloads(args) -> int:
@@ -195,9 +255,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    p.add_argument("name", choices=["table2", "fig4", "fig8", "fig9", "fig10", "fig12"])
+    p.add_argument("name", choices=["table2", "fig4", "fig8", "fig9", "fig10",
+                                    "fig12", "all"])
     p.add_argument("workloads", nargs="*", help="workload subset (default: all)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="shard builds and measurements over N processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent artifact cache")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "campaign",
+        help="suite-wide fault-injection campaign (sharded, resumable)",
+    )
+    p.add_argument("workloads", nargs="*", help="workload subset (default: all)")
+    p.add_argument("--trials", type=int, default=40,
+                   help="fault trials per workload and flavour")
+    p.add_argument("--seed", type=int, default=12345,
+                   help="campaign seed; per-trial seeds derive from it")
+    p.add_argument("--kind", choices=["value", "control"], default="value")
+    p.add_argument("--latency", type=int, default=0,
+                   help="detection latency in dynamic instructions")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="shard work units over N processes")
+    p.add_argument("--shard-trials", type=int, default=None,
+                   help="trials per work unit (finer resume granularity)")
+    p.add_argument("--manifest", default=None,
+                   help="JSON-lines run manifest (default: derived path "
+                        "under .repro-cache/campaigns/)")
+    p.add_argument("--no-manifest", action="store_true",
+                   help="do not record or resume from a manifest")
+    p.add_argument("--fresh", action="store_true",
+                   help="discard any existing manifest before running")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent artifact cache")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.set_defaults(func=cmd_workloads)

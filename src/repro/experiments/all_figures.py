@@ -1,9 +1,14 @@
 """Run every experiment driver and emit one combined report.
 
-``python -m repro.experiments.all_figures [workload ...] [-o FILE]``
+``python -m repro.experiments.all_figures [workload ...] [-o FILE]
+[--jobs N] [--no-cache]``
 
 This is what produced ``experiments_full_output.txt`` — the full-suite
-regeneration of every table and figure recorded in EXPERIMENTS.md.
+regeneration of every table and figure recorded in EXPERIMENTS.md.  All
+builds flow through :mod:`repro.harness`: workloads are prebuilt once up
+front (``--jobs N`` shards compiles and per-workload measurements over N
+processes, and warm runs reuse the persistent ``.repro-cache/``), then
+every driver shares the same in-memory artifacts.
 """
 
 from __future__ import annotations
@@ -21,6 +26,9 @@ from repro.experiments import (
     fig12_recovery,
     table2_classification,
 )
+from repro.experiments.common import configure, prebuild_pairs
+from repro.harness.cache import default_cache
+from repro.harness.report import Telemetry
 
 DRIVERS = [
     ("TABLE 2 — antidependence classification", table2_classification),
@@ -32,19 +40,28 @@ DRIVERS = [
 ]
 
 
-def run_all(names: Optional[List[str]] = None, stream: TextIO = sys.stdout) -> None:
+def run_all(
+    names: Optional[List[str]] = None,
+    stream: Optional[TextIO] = None,
+    jobs: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> None:
     """Run every driver on ``names`` (None = full suite), writing reports."""
+    if stream is None:
+        stream = sys.stdout  # resolved at call time, not import time
 
     def emit(text: str) -> None:
         stream.write(text + "\n")
         stream.flush()
 
+    telemetry = telemetry or Telemetry(label="all figures")
+    prebuild_pairs(names, jobs=jobs, telemetry=telemetry)
     for title, driver in DRIVERS:
         started = time.time()
         emit("=" * 78)
         emit(title)
         emit("=" * 78)
-        emit(driver.format_report(driver.run(names)))
+        emit(driver.format_report(driver.run(names, jobs=jobs, telemetry=telemetry)))
         emit(f"[{time.time() - started:.0f}s]")
         emit("")
     emit("DONE")
@@ -54,8 +71,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("workloads", nargs="*", help="subset (default: all 19)")
     parser.add_argument("-o", "--output", help="also write the report to a file")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="shard builds and measurements over N processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent artifact cache")
     args = parser.parse_args(argv)
     names = args.workloads or None
+    configure(jobs=args.jobs, use_cache=not args.no_cache)
+    telemetry = Telemetry(label="all figures")
     if args.output:
         with open(args.output, "w") as handle:
             class _Tee:
@@ -67,9 +90,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     handle.flush()
                     sys.stdout.flush()
 
-            run_all(names, stream=_Tee())
+            run_all(names, stream=_Tee(), jobs=args.jobs, telemetry=telemetry)
     else:
-        run_all(names)
+        run_all(names, jobs=args.jobs, telemetry=telemetry)
+    telemetry.finish()
+    telemetry.attach_cache(default_cache())
+    print(telemetry.format_summary(), file=sys.stderr)
     return 0
 
 

@@ -1,17 +1,28 @@
 """Shared infrastructure for the experiment drivers.
 
-Each ``figN_*`` module exposes ``run(names=None)`` returning a result
-object and ``format_report(result)`` producing the text table the paper's
-figure corresponds to. ``python -m repro.experiments.figN_...`` prints it.
+Each ``figN_*`` module exposes ``run(names=None, jobs=None)`` returning a
+result object and ``format_report(result)`` producing the text table the
+paper's figure corresponds to. ``python -m repro.experiments.figN_...``
+prints it.
+
+Builds go through :mod:`repro.harness`: an in-process memo keeps object
+identity within one run (so every driver measuring ``bzip2`` shares the
+same :class:`CompileResult`), backed by the persistent content-addressed
+artifact cache in ``.repro-cache/`` shared across processes and runs.
+Per-workload work units fan out over a process pool via
+:func:`map_workloads` when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
 import math
-from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompileResult, compile_minic
+from repro.harness.cache import cache_key, cached_compile, default_cache
+from repro.harness.executor import TaskExecutor
+from repro.harness.report import Telemetry
 from repro.workloads import SUITES, Workload, all_workloads, get_workload
 
 
@@ -23,13 +34,153 @@ def geomean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
 
 
-@lru_cache(maxsize=64)
+# ----------------------------------------------------------------------
+# Build orchestration (repro.harness)
+# ----------------------------------------------------------------------
+@dataclass
+class HarnessOptions:
+    """Process-wide defaults threaded down from the CLI."""
+
+    jobs: int = 1
+    use_cache: bool = True
+
+
+_options = HarnessOptions()
+
+#: name -> (original, idempotent); preserves object identity per process.
+_pair_memo: Dict[str, Tuple[CompileResult, CompileResult]] = {}
+
+
+def configure(jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> HarnessOptions:
+    """Set the default parallelism / caching for subsequent driver runs."""
+    if jobs is not None:
+        _options.jobs = max(1, int(jobs))
+    if use_cache is not None:
+        _options.use_cache = bool(use_cache)
+    return _options
+
+
+def current_options() -> HarnessOptions:
+    return _options
+
+
+def clear_build_memo() -> None:
+    """Forget in-process builds (tests; the disk cache is unaffected)."""
+    _pair_memo.clear()
+
+
 def build_pair(name: str) -> Tuple[CompileResult, CompileResult]:
-    """(original, idempotent) builds of a workload, cached per process."""
+    """(original, idempotent) builds of a workload.
+
+    Memoised per process for identity, persisted through the artifact
+    cache so later processes and runs skip the compile entirely.
+    """
+    pair = _pair_memo.get(name)
+    if pair is not None:
+        return pair
     workload = get_workload(name)
-    original = compile_minic(workload.source, idempotent=False, name=name)
-    idempotent = compile_minic(workload.source, idempotent=True, name=name)
-    return original, idempotent
+    if _options.use_cache:
+        original = cached_compile(workload.source, idempotent=False, name=name)
+        idempotent = cached_compile(workload.source, idempotent=True, name=name)
+    else:
+        original = compile_minic(workload.source, idempotent=False, name=name)
+        idempotent = compile_minic(workload.source, idempotent=True, name=name)
+    pair = (original, idempotent)
+    _pair_memo[name] = pair
+    return pair
+
+
+def _compile_pair_unit(name: str) -> Tuple[CompileResult, CompileResult]:
+    """Worker-side pure compile of both flavours (no cache I/O)."""
+    workload = get_workload(name)
+    return (
+        compile_minic(workload.source, idempotent=False, name=name),
+        compile_minic(workload.source, idempotent=True, name=name),
+    )
+
+
+def prebuild_pairs(
+    names: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> int:
+    """Populate the build memo for the given workloads; returns #compiled.
+
+    Cache lookups and stores happen in the parent process — workers only
+    run the pure compile — so hit/miss counters are accurate and workers
+    never contend on the object store.  Compiles of cache misses are
+    sharded ``jobs``-wide.
+    """
+    workloads = resolve_workloads(names)
+    jobs = _options.jobs if jobs is None else max(1, int(jobs))
+    cache = default_cache()
+    missing: List[Workload] = []
+    compiled = 0
+    telemetry = telemetry or Telemetry()
+    with telemetry.phase("build", units=len(workloads)):
+        for workload in workloads:
+            if workload.name in _pair_memo:
+                continue
+            if _options.use_cache:
+                original = cache.get(
+                    cache_key(workload.source, idempotent=False, name=workload.name)
+                )
+                idempotent = cache.get(
+                    cache_key(workload.source, idempotent=True, name=workload.name)
+                )
+                if isinstance(original, CompileResult) and isinstance(
+                    idempotent, CompileResult
+                ):
+                    _pair_memo[workload.name] = (original, idempotent)
+                    continue
+            missing.append(workload)
+        if missing:
+            executor = TaskExecutor(jobs)
+            results = executor.map(_compile_pair_unit, [w.name for w in missing])
+            for workload, result in zip(missing, results):
+                pair = result.value
+                _pair_memo[workload.name] = pair
+                compiled += 1
+                if _options.use_cache:
+                    cache.put(
+                        cache_key(workload.source, idempotent=False, name=workload.name),
+                        pair[0],
+                    )
+                    cache.put(
+                        cache_key(workload.source, idempotent=True, name=workload.name),
+                        pair[1],
+                    )
+    return compiled
+
+
+def map_workloads(
+    fn: Callable[[str], object],
+    names: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    prebuild: bool = True,
+    telemetry: Optional[Telemetry] = None,
+) -> List[Tuple[Workload, object]]:
+    """Apply a module-level ``fn(name)`` per workload, in workload order.
+
+    With ``jobs > 1`` the per-workload measurements shard across a
+    process pool; builds are prebuilt in the parent first so forked
+    workers inherit the memo and never recompile.  Results are returned
+    in workload order regardless of completion order, so reports are
+    byte-identical to a serial run.
+    """
+    workloads = resolve_workloads(names)
+    jobs = _options.jobs if jobs is None else max(1, int(jobs))
+    telemetry = telemetry or Telemetry()
+    if prebuild:
+        prebuild_pairs([w.name for w in workloads], jobs=jobs, telemetry=telemetry)
+    ordered = [w.name for w in workloads]
+    with telemetry.phase("measure", units=len(ordered)):
+        if jobs <= 1 or len(ordered) <= 1:
+            values = [fn(name) for name in ordered]
+        else:
+            executor = TaskExecutor(jobs)
+            values = [result.value for result in executor.map(fn, ordered)]
+    return list(zip(workloads, values))
 
 
 def resolve_workloads(names: Optional[Iterable[str]] = None) -> List[Workload]:

@@ -16,7 +16,7 @@ from repro.experiments.common import (
     build_pair,
     format_table,
     group_by_suite,
-    resolve_workloads,
+    map_workloads,
 )
 from repro.sim.simulator import Simulator
 
@@ -70,10 +70,12 @@ def measure_pair(name: str) -> OverheadRow:
     )
 
 
-def run(names: Optional[List[str]] = None) -> Fig10Result:
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Fig10Result:
     result = Fig10Result()
-    for workload in resolve_workloads(names):
-        result.rows[workload.name] = measure_pair(workload.name)
+    for workload, row in map_workloads(measure_pair, names, jobs=jobs,
+                                       telemetry=telemetry):
+        result.rows[workload.name] = row
     return result
 
 

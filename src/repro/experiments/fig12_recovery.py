@@ -15,7 +15,7 @@ from repro.experiments.common import (
     build_pair,
     format_table,
     group_by_suite,
-    resolve_workloads,
+    map_workloads,
 )
 from repro.recovery.schemes import (
     SCHEME_CHECKPOINT_LOG,
@@ -50,13 +50,17 @@ class Fig12Result:
         return summary
 
 
-def run(names: Optional[List[str]] = None) -> Fig12Result:
+def measure(name: str) -> Dict[str, SchemeRun]:
+    original, idempotent = build_pair(name)
+    return compare_schemes(original.program, idempotent.program)
+
+
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Fig12Result:
     result = Fig12Result()
-    for workload in resolve_workloads(names):
-        original, idempotent = build_pair(workload.name)
-        result.runs[workload.name] = compare_schemes(
-            original.program, idempotent.program
-        )
+    for workload, runs in map_workloads(measure, names, jobs=jobs,
+                                        telemetry=telemetry):
+        result.runs[workload.name] = runs
     return result
 
 

@@ -18,7 +18,7 @@ from repro.experiments.common import (
     format_table,
     geomean,
     group_by_suite,
-    resolve_workloads,
+    map_workloads,
 )
 from repro.sim.limit_study import (
     CATEGORIES,
@@ -42,11 +42,17 @@ class Fig4Result:
         return {c: geomean(list(self.averages(c).values())) for c in CATEGORIES}
 
 
-def run(names: Optional[List[str]] = None) -> Fig4Result:
+def measure(name: str) -> Dict[str, PathStats]:
+    original, _ = build_pair(name)
+    return run_limit_study(original.program)
+
+
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Fig4Result:
     result = Fig4Result()
-    for workload in resolve_workloads(names):
-        original, _ = build_pair(workload.name)
-        result.stats[workload.name] = run_limit_study(original.program)
+    for workload, stats in map_workloads(measure, names, jobs=jobs,
+                                         telemetry=telemetry):
+        result.stats[workload.name] = stats
     return result
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import build_pair, format_table, resolve_workloads
+from repro.experiments.common import build_pair, format_table, map_workloads
 from repro.sim.limit_study import PathStats
 from repro.sim.path_trace import trace_paths
 
@@ -33,11 +33,17 @@ class Fig8Result:
         return fraction
 
 
-def run(names: Optional[List[str]] = None) -> Fig8Result:
+def measure(name: str) -> PathStats:
+    _, idempotent = build_pair(name)
+    return trace_paths(idempotent.program)
+
+
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Fig8Result:
     result = Fig8Result()
-    for workload in resolve_workloads(names):
-        _, idempotent = build_pair(workload.name)
-        result.stats[workload.name] = trace_paths(idempotent.program)
+    for workload, stats in map_workloads(measure, names, jobs=jobs,
+                                         telemetry=telemetry):
+        result.stats[workload.name] = stats
     return result
 
 

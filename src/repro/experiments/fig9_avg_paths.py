@@ -10,13 +10,13 @@ narrowing to ~1.5× without the two aliasing-limited outliers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import (
     build_pair,
     format_table,
     geomean,
-    resolve_workloads,
+    map_workloads,
 )
 from repro.sim.limit_study import CATEGORY_SEMANTIC_CALLS, run_limit_study
 from repro.sim.path_trace import trace_paths
@@ -38,13 +38,20 @@ class Fig9Result:
         }
 
 
-def run(names: Optional[List[str]] = None) -> Fig9Result:
+def measure(name: str) -> Tuple[float, float]:
+    original, idempotent = build_pair(name)
+    constructed = trace_paths(idempotent.program).average
+    limit = run_limit_study(original.program)
+    return constructed, limit[CATEGORY_SEMANTIC_CALLS].average
+
+
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Fig9Result:
     result = Fig9Result()
-    for workload in resolve_workloads(names):
-        original, idempotent = build_pair(workload.name)
-        result.constructed[workload.name] = trace_paths(idempotent.program).average
-        limit = run_limit_study(original.program)
-        result.ideal[workload.name] = limit[CATEGORY_SEMANTIC_CALLS].average
+    for workload, (constructed, ideal) in map_workloads(measure, names, jobs=jobs,
+                                                        telemetry=telemetry):
+        result.constructed[workload.name] = constructed
+        result.ideal[workload.name] = ideal
     return result
 
 

@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.antideps import AntiDepAnalysis
-from repro.experiments.common import format_table, resolve_workloads
+from repro.experiments.common import format_table, map_workloads
 from repro.transforms.pipeline import optimize_function
+from repro.workloads import get_workload
 
 
 def _count(module) -> Dict[str, int]:
@@ -40,15 +41,24 @@ class Table2Result:
     counts: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
 
 
-def run(names: Optional[List[str]] = None) -> Table2Result:
+def measure(name: str) -> Dict[str, Dict[str, int]]:
+    workload = get_workload(name)
+    module = workload.compile_ir()
+    before = _count(module)
+    for func in module.defined_functions:
+        optimize_function(func)
+    after = _count(module)
+    return {"before": before, "after": after}
+
+
+def run(names: Optional[List[str]] = None, jobs: Optional[int] = None,
+        telemetry=None) -> Table2Result:
     result = Table2Result()
-    for workload in resolve_workloads(names):
-        module = workload.compile_ir()
-        before = _count(module)
-        for func in module.defined_functions:
-            optimize_function(func)
-        after = _count(module)
-        result.counts[workload.name] = {"before": before, "after": after}
+    # Table 2 classifies unoptimized IR, so it never touches build_pair
+    # artifacts — no prebuild needed.
+    for workload, counts in map_workloads(measure, names, jobs=jobs, prebuild=False,
+                                          telemetry=telemetry):
+        result.counts[workload.name] = counts
     return result
 
 

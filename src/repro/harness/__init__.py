@@ -1,0 +1,46 @@
+"""repro.harness — campaign orchestration shared by every driver.
+
+The harness is the layer between "compile one program" and "regenerate
+the paper": it makes whole-evaluation runs cheap and restartable.
+
+- :mod:`repro.harness.cache` — a persistent content-addressed artifact
+  cache: :class:`ArtifactCache` keyed on SHA-256 of MiniC source,
+  :class:`~repro.core.ConstructionConfig` fields, and a pipeline version
+  stamp, so builds are shared across processes *and* across runs.
+- :mod:`repro.harness.executor` — :class:`TaskExecutor`, a process-pool
+  sharder with per-task timing and inline fallback, plus
+  :func:`derive_seed`, the spawn-key-style deterministic seed derivation
+  that keeps sharded campaigns bit-identical to serial ones.
+- :mod:`repro.harness.campaign` — resumable campaigns: every completed
+  work unit becomes a JSON-lines row in a :class:`RunManifest`, so a
+  killed campaign picks up where it left off.  (Imported on demand as a
+  submodule; it pulls in the simulator stack.)
+- :mod:`repro.harness.report` — :class:`Telemetry`, the wall-time /
+  per-phase / cache-effectiveness summary every entry point prints.
+"""
+
+from repro.harness.cache import (
+    PIPELINE_VERSION,
+    ArtifactCache,
+    CacheStats,
+    cache_key,
+    cached_compile,
+    default_cache,
+    set_default_cache,
+)
+from repro.harness.executor import TaskExecutor, TaskResult, derive_seed
+from repro.harness.report import Telemetry
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "ArtifactCache",
+    "CacheStats",
+    "TaskExecutor",
+    "TaskResult",
+    "Telemetry",
+    "cache_key",
+    "cached_compile",
+    "default_cache",
+    "derive_seed",
+    "set_default_cache",
+]

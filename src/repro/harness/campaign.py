@@ -1,0 +1,330 @@
+"""Resumable campaign orchestration.
+
+A *campaign* is a set of independent work units (e.g. every
+workload × binary-flavour × trial-shard of a fault-injection study).
+:class:`CampaignRunner` executes units through a
+:class:`~repro.harness.executor.TaskExecutor` and records each completed
+unit as one JSON line in a :class:`RunManifest`.  Because rows are
+appended the moment a unit finishes, killing a campaign loses at most
+the in-flight units: re-invoking it with the same manifest skips every
+recorded unit and executes only the remainder.
+
+The concrete campaign shipped here is the paper's fault-injection study
+(§6.3) scaled to the whole benchmark suite: :func:`run_fault_campaign`
+shards trials spawn-key style (see
+:func:`repro.sim.faults.trial_plan`), so the merged result of any
+sharding — across processes or across resumed invocations — is
+bit-identical to one serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import build_pair, format_table, prebuild_pairs, resolve_workloads
+from repro.harness.executor import TaskExecutor, derive_seed
+from repro.harness.report import Telemetry
+from repro.sim.faults import FAULT_VALUE, CampaignResult, fault_campaign
+from repro.sim.simulator import Simulator
+
+FLAVOURS = ("original", "idempotent")
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclass
+class UnitRecord:
+    """One manifest row: a completed (or failed) work unit."""
+
+    unit_id: str
+    status: str  # "done" | "failed"
+    seconds: float = 0.0
+    data: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+class RunManifest:
+    """Append-only JSON-lines record of completed campaign units.
+
+    Rows are flushed per unit; a torn final line (killed mid-write) is
+    skipped on load, so the unit simply re-executes on resume.  The last
+    row for a unit id wins, letting a failed unit be retried and its
+    later success supersede the failure.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> Dict[str, UnitRecord]:
+        records: Dict[str, UnitRecord] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    record = UnitRecord(
+                        unit_id=row["unit_id"],
+                        status=row["status"],
+                        seconds=float(row.get("seconds", 0.0)),
+                        data=row.get("data", {}),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn or foreign line: unit will re-run
+                records[record.unit_id] = record
+        return records
+
+    def append(self, record: UnitRecord) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(asdict(record), sort_keys=True) + "\n")
+            handle.flush()
+
+
+# ----------------------------------------------------------------------
+# Generic runner
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Executes (unit_id, payload) units with skip-completed semantics."""
+
+    def __init__(
+        self,
+        manifest: Optional[RunManifest] = None,
+        jobs: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.manifest = manifest
+        self.jobs = jobs
+        self.telemetry = telemetry or Telemetry(label="campaign")
+        self.executed = 0
+        self.skipped = 0
+        self.failed = 0
+
+    def run(
+        self,
+        worker: Callable[[dict], dict],
+        units: Sequence[Tuple[str, dict]],
+        phase: str = "campaign",
+    ) -> Dict[str, UnitRecord]:
+        """Run every unit not already recorded as done; returns all records.
+
+        ``worker`` must be a module-level function ``payload -> dict``
+        with a JSON-serializable result (it becomes the manifest row).
+        """
+        records = self.manifest.load() if self.manifest else {}
+        done = {uid for uid, record in records.items() if record.ok}
+        todo = [(uid, payload) for uid, payload in units if uid not in done]
+        self.skipped = len(units) - len(todo)
+        if not todo:
+            return records
+        executor = TaskExecutor(self.jobs)
+        with self.telemetry.phase(phase, units=len(todo)):
+            for result in executor.imap(
+                worker, [payload for _, payload in todo],
+                keys=[uid for uid, _ in todo],
+            ):
+                if result.ok:
+                    record = UnitRecord(
+                        unit_id=str(result.key), status="done",
+                        seconds=result.seconds, data=result.value,
+                    )
+                    self.executed += 1
+                else:
+                    record = UnitRecord(
+                        unit_id=str(result.key), status="failed",
+                        seconds=result.seconds, data={"error": result.error},
+                    )
+                    self.failed += 1
+                records[record.unit_id] = record
+                if self.manifest:
+                    self.manifest.append(record)
+        return records
+
+
+# ----------------------------------------------------------------------
+# Fault-injection campaign over the benchmark suite
+# ----------------------------------------------------------------------
+@dataclass
+class FaultCampaignSummary:
+    """Merged per-(workload, flavour) results plus run accounting."""
+
+    #: (workload, flavour) -> merged CampaignResult across shards
+    results: Dict[Tuple[str, str], CampaignResult] = field(default_factory=dict)
+    trials: int = 0
+    seed: int = 0
+    kind: str = FAULT_VALUE
+    executed_units: int = 0
+    skipped_units: int = 0
+    failed_units: int = 0
+    errors: List[str] = field(default_factory=list)
+    telemetry: Optional[Telemetry] = None
+
+    def flavour_totals(self, flavour: str) -> CampaignResult:
+        total = CampaignResult()
+        for (_, unit_flavour), result in self.results.items():
+            if unit_flavour == flavour:
+                total.merge(result)
+        return total
+
+
+def _fault_unit(payload: dict) -> dict:
+    """Worker: one trial-shard of one workload × flavour."""
+    name = payload["workload"]
+    flavour = payload["flavour"]
+    original, idempotent = build_pair(name)
+    program = idempotent.program if flavour == "idempotent" else original.program
+    # The recovery target is the idempotent build's fault-free run (the
+    # same convention as ``python -m repro faults``); both flavours must
+    # reproduce it to count as recovered.
+    reference_sim = Simulator(idempotent.program)
+    reference = reference_sim.run(payload["entry"])
+    reference_output = list(reference_sim.output)
+    campaign = fault_campaign(
+        program,
+        reference,
+        reference_output,
+        trials=payload["trials"],
+        func=payload["entry"],
+        kind=payload["kind"],
+        seed=payload["unit_seed"],
+        detection_latency=payload["detection_latency"],
+        start_trial=payload["start_trial"],
+    )
+    row = asdict(campaign)
+    row["workload"] = name
+    row["flavour"] = flavour
+    return row
+
+
+def fault_campaign_units(
+    names: Optional[Sequence[str]],
+    trials: int,
+    seed: int,
+    kind: str = FAULT_VALUE,
+    detection_latency: int = 0,
+    shard_trials: Optional[int] = None,
+) -> List[Tuple[str, dict]]:
+    """The (unit_id, payload) work list of a suite-wide fault campaign.
+
+    Trials shard into chunks of ``shard_trials`` (default: all trials in
+    one unit per workload × flavour).  Unit ids encode every parameter
+    that affects the unit's result, so a manifest written with one
+    configuration never satisfies another.
+    """
+    shard = trials if not shard_trials else max(1, int(shard_trials))
+    units: List[Tuple[str, dict]] = []
+    for workload in resolve_workloads(names):
+        for flavour in FLAVOURS:
+            unit_seed = derive_seed(seed, workload.name, flavour)
+            for start in range(0, trials, shard):
+                count = min(shard, trials - start)
+                unit_id = (
+                    f"{workload.name}:{flavour}:{kind}:seed{seed}"
+                    f":lat{detection_latency}:t{start}+{count}"
+                )
+                units.append((
+                    unit_id,
+                    {
+                        "workload": workload.name,
+                        "flavour": flavour,
+                        "entry": workload.entry,
+                        "trials": count,
+                        "start_trial": start,
+                        "unit_seed": unit_seed,
+                        "kind": kind,
+                        "detection_latency": detection_latency,
+                    },
+                ))
+    return units
+
+
+def run_fault_campaign(
+    names: Optional[Sequence[str]] = None,
+    trials: int = 40,
+    seed: int = 12345,
+    kind: str = FAULT_VALUE,
+    detection_latency: int = 0,
+    jobs: int = 1,
+    manifest_path: Optional[str] = None,
+    shard_trials: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> FaultCampaignSummary:
+    """Suite-wide fault-injection campaign, sharded, cached, resumable."""
+    telemetry = telemetry or Telemetry(label="fault campaign")
+    units = fault_campaign_units(
+        names, trials, seed, kind=kind,
+        detection_latency=detection_latency, shard_trials=shard_trials,
+    )
+    # Builds happen in the parent first: workers inherit the memo via
+    # fork and warm runs pull artifacts straight from the disk cache.
+    prebuild_pairs(names, jobs=jobs, telemetry=telemetry)
+    manifest = RunManifest(manifest_path) if manifest_path else None
+    runner = CampaignRunner(manifest=manifest, jobs=jobs, telemetry=telemetry)
+    records = runner.run(_fault_unit, units, phase="inject")
+
+    summary = FaultCampaignSummary(
+        trials=trials, seed=seed, kind=kind,
+        executed_units=runner.executed,
+        skipped_units=runner.skipped,
+        failed_units=runner.failed,
+        telemetry=telemetry,
+    )
+    for unit_id, _ in units:
+        record = records.get(unit_id)
+        if record is None:
+            continue
+        if not record.ok:
+            summary.errors.append(f"{unit_id}: {record.data.get('error')}")
+            continue
+        data = record.data
+        key = (data["workload"], data["flavour"])
+        shard_result = CampaignResult(**{
+            f: data[f]
+            for f in ("trials", "injected", "detected",
+                      "recovered_correctly", "wrong_result", "crashed")
+        })
+        summary.results.setdefault(key, CampaignResult()).merge(shard_result)
+    return summary
+
+
+def format_campaign_report(summary: FaultCampaignSummary) -> str:
+    headers = ["workload", "flavour", "trials", "injected", "recovered",
+               "wrong", "crashed", "recovery"]
+    rows = []
+    for (name, flavour), result in summary.results.items():
+        rows.append([
+            name, flavour, result.trials, result.injected,
+            result.recovered_correctly, result.wrong_result, result.crashed,
+            f"{result.recovery_rate:.0%}",
+        ])
+    lines = [format_table(headers, rows), ""]
+    for flavour in FLAVOURS:
+        total = summary.flavour_totals(flavour)
+        lines.append(
+            f"{flavour:10s}: injected={total.injected} "
+            f"recovered={total.recovered_correctly} "
+            f"wrong={total.wrong_result} crashed={total.crashed} "
+            f"({total.recovery_rate:.0%} recovery)"
+        )
+    lines.append(
+        f"units: {summary.executed_units} executed, "
+        f"{summary.skipped_units} resumed from manifest, "
+        f"{summary.failed_units} failed"
+    )
+    for error in summary.errors:
+        lines.append(f"  ! {error}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Parallel work-unit execution with deterministic seed derivation.
+
+:class:`TaskExecutor` shards independent work units — per-workload
+builds, per-seed fault trials, per-config sweep points — across a
+``ProcessPoolExecutor``.  ``jobs=1`` (the default) executes inline with
+identical semantics, and any failure to stand up a process pool (no
+``/dev/shm``, restricted sandbox) silently degrades to inline execution
+rather than failing the run.
+
+Determinism rules:
+
+- Work functions must be *pure* module-level functions of their item
+  (process pools pickle them by qualified name).
+- Randomized units must derive their RNG state via :func:`derive_seed`
+  rather than sharing a sequential RNG stream, so results do not depend
+  on how units are sharded across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+#: Recursion headroom for (un)pickling artifacts.  IR use-def chains can
+#: nest a few thousand objects deep — past Python's default limit of
+#: 1000 — and process pools pickle every argument and result.
+PICKLE_RECURSION_LIMIT = 10_000
+
+
+def ensure_deep_pickle() -> None:
+    """Raise this process's recursion limit for deep artifact pickles."""
+    if sys.getrecursionlimit() < PICKLE_RECURSION_LIMIT:
+        sys.setrecursionlimit(PICKLE_RECURSION_LIMIT)
+
+
+def derive_seed(root_seed: object, *path: object) -> int:
+    """Spawn-key-style child seed: hash the root seed and a derivation path.
+
+    Mirrors the NumPy ``SeedSequence.spawn`` idea with nothing but
+    ``hashlib``: every distinct ``(root, path)`` pair gets a statistically
+    independent 63-bit seed, and the mapping is stable across processes,
+    platforms, and Python versions.  A sharded campaign that seeds trial
+    *i* with ``derive_seed(seed, "trial", i)`` therefore injects exactly
+    the fault set a serial campaign does.
+    """
+    h = hashlib.sha256()
+    h.update(repr(root_seed).encode("utf-8"))
+    for part in path:
+        h.update(b"\x1f")
+        h.update(repr(part).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+@dataclass
+class TaskResult:
+    """One executed work unit: its key, value, and wall time."""
+
+    key: object
+    value: object = None
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_unit(fn: Callable, key: object, item: object) -> TaskResult:
+    """Worker-side wrapper: times the unit and captures its failure."""
+    ensure_deep_pickle()  # the pool pickles this unit's result
+    started = time.perf_counter()
+    try:
+        value = fn(item)
+    except Exception as exc:  # propagated via TaskResult.error
+        return TaskResult(
+            key=key,
+            seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return TaskResult(key=key, value=value, seconds=time.perf_counter() - started)
+
+
+class TaskExecutor:
+    """Runs ``fn(item)`` over items, inline or across worker processes."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs or 1))
+        #: True once a pool failed to start and we fell back inline.
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence[object],
+        keys: Optional[Sequence[object]] = None,
+        reraise: bool = True,
+    ) -> List[TaskResult]:
+        """Execute every item; results come back in item order.
+
+        With ``reraise`` (default), the first failed unit raises after
+        all units finish; pass ``reraise=False`` to collect failures as
+        ``TaskResult.error`` strings instead.
+        """
+        results = list(self.imap(fn, items, keys=keys, ordered=True))
+        if reraise:
+            for result in results:
+                if not result.ok:
+                    raise RuntimeError(
+                        f"work unit {result.key!r} failed: {result.error}"
+                    )
+        return results
+
+    def imap(
+        self,
+        fn: Callable,
+        items: Sequence[object],
+        keys: Optional[Sequence[object]] = None,
+        ordered: bool = False,
+    ) -> Iterator[TaskResult]:
+        """Yield results as units finish (or in order when ``ordered``).
+
+        Completion-order streaming is what lets the campaign manifest
+        record units the moment they finish, so a killed run loses at
+        most the in-flight units.
+        """
+        items = list(items)
+        if keys is None:
+            keys = items
+        keys = list(keys)
+        if len(keys) != len(items):
+            raise ValueError("keys and items must have equal length")
+
+        if self.jobs == 1 or len(items) <= 1:
+            yield from self._imap_inline(fn, items, keys)
+            return
+        ensure_deep_pickle()  # the parent unpickles worker results
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items)),
+                initializer=ensure_deep_pickle,
+            )
+        except Exception:
+            self.degraded = True
+            yield from self._imap_inline(fn, items, keys)
+            return
+        try:
+            futures = [
+                pool.submit(_run_unit, fn, key, item)
+                for key, item in zip(keys, items)
+            ]
+            if ordered:
+                for future in futures:
+                    yield self._settle(future)
+            else:
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield self._settle(future)
+        finally:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _settle(future) -> TaskResult:
+        try:
+            return future.result()
+        except Exception as exc:
+            # The unit itself never raises (wrapped in _run_unit); this
+            # is pool-level breakage such as an unpicklable work function
+            # or a worker killed by a signal.
+            return TaskResult(key=None, error=f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _imap_inline(
+        fn: Callable, items: Iterable[object], keys: Iterable[object]
+    ) -> Iterator[TaskResult]:
+        for key, item in zip(keys, items):
+            yield _run_unit(fn, key, item)

@@ -1,0 +1,90 @@
+"""Run telemetry: wall time, per-phase breakdown, cache effectiveness.
+
+Every harness entry point builds a :class:`Telemetry`, times its phases
+with :meth:`Telemetry.phase`, attaches cache statistics, and prints
+:meth:`Telemetry.format_summary` — the human-readable accounting of
+where a run's time went and how much work the artifact cache avoided.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.harness.cache import ArtifactCache, CacheStats
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time and unit count for one named phase."""
+
+    name: str
+    seconds: float = 0.0
+    units: int = 0
+
+
+@dataclass
+class Telemetry:
+    """Wall-clock accounting for one harness run."""
+
+    label: str = "run"
+    phases: Dict[str, PhaseStat] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    cache_stats: Optional[CacheStats] = None
+    _started: float = field(default_factory=time.perf_counter)
+    _finished: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str, units: int = 0):
+        """Time a phase; re-entering the same name accumulates."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.perf_counter() - started, units)
+
+    def add_phase(self, name: str, seconds: float, units: int = 0) -> None:
+        stat = self.phases.setdefault(name, PhaseStat(name))
+        stat.seconds += seconds
+        stat.units += units
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def attach_cache(self, cache: ArtifactCache) -> None:
+        """Snapshot a cache's counters into the summary."""
+        if self.cache_stats is None:
+            self.cache_stats = CacheStats()
+        self.cache_stats.merge(cache.stats)
+
+    def finish(self) -> float:
+        """Freeze total wall time; returns it in seconds."""
+        if self._finished is None:
+            self._finished = time.perf_counter()
+        return self.wall_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self._finished if self._finished is not None else time.perf_counter()
+        return end - self._started
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def format_summary(self) -> str:
+        lines = [f"[harness] {self.label}: {self.wall_seconds:.2f}s wall"]
+        for stat in self.phases.values():
+            detail = f"  phase {stat.name:<12s} {stat.seconds:8.2f}s"
+            if stat.units:
+                detail += f"  ({stat.units} units)"
+            lines.append(detail)
+        if self.cache_stats is not None:
+            lines.append(f"  cache: {self.cache_stats.summary()}")
+        for text in self.notes:
+            lines.append(f"  {text}")
+        return "\n".join(lines)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.codegen.machine import MachineInstr, MachineProgram
+from repro.harness.executor import derive_seed
 from repro.interp.memory import MemoryError_
 from repro.sim.simulator import SimulationError, Simulator
 
@@ -164,6 +165,38 @@ class CampaignResult:
     def recovery_rate(self) -> float:
         return self.recovered_correctly / self.injected if self.injected else 0.0
 
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Fold in another shard of the same campaign (in place)."""
+        self.trials += other.trials
+        self.injected += other.injected
+        self.detected += other.detected
+        self.recovered_correctly += other.recovered_correctly
+        self.wrong_result += other.wrong_result
+        self.crashed += other.crashed
+        return self
+
+
+def trial_plan(
+    campaign_seed: int,
+    index: int,
+    span: int,
+    kind: str = FAULT_VALUE,
+    detection_latency: int = 0,
+) -> FaultPlan:
+    """The fault plan of trial ``index`` in a campaign.
+
+    The per-trial RNG is seeded spawn-key style from the campaign seed
+    and the trial index (not drawn from one sequential stream), so any
+    sharding of the trial range over processes injects exactly the fault
+    set a serial campaign does.
+    """
+    rng = random.Random(derive_seed(campaign_seed, "trial", index))
+    return FaultPlan(
+        target_instruction=rng.randrange(1, span),
+        kind=kind,
+        detection_latency=detection_latency,
+    )
+
 
 def fault_campaign(
     program: MachineProgram,
@@ -176,24 +209,24 @@ def fault_campaign(
     seed: int = 12345,
     recover: bool = True,
     detection_latency: int = 0,
+    start_trial: int = 0,
 ) -> CampaignResult:
     """Inject ``trials`` faults at random points; compare against reference.
 
     The fault-free dynamic instruction count is measured first so targets
-    are uniform over the execution.
+    are uniform over the execution.  Trial ``i`` is planned by
+    :func:`trial_plan` from ``(seed, start_trial + i)`` alone, so running
+    ``trials=50`` serially and merging two ``trials=25`` shards (the
+    second with ``start_trial=25``) measure the identical fault set.
     """
     baseline = Simulator(program)
     baseline.run(func, args)
     span = max(baseline.instructions - 2, 1)
 
-    rng = random.Random(seed)
     result = CampaignResult()
-    for _ in range(trials):
-        target = rng.randrange(1, span)
-        plan = FaultPlan(
-            target_instruction=target,
-            kind=kind,
-            detection_latency=detection_latency,
+    for index in range(start_trial, start_trial + trials):
+        plan = trial_plan(
+            seed, index, span, kind=kind, detection_latency=detection_latency
         )
         outcome = run_with_fault(program, plan, func=func, args=args, recover=recover)
         result.trials += 1

@@ -86,8 +86,44 @@ class TestWorkloads:
 class TestExperiment:
     def test_table2_subset(self, capsys):
         assert main(["experiment", "table2", "mcf"]) == 0
+        captured = capsys.readouterr()
+        assert "artificial" in captured.out
+        # Telemetry goes to stderr so report text stays byte-identical.
+        assert "[harness]" in captured.err
+
+    def test_jobs_flag_matches_serial(self, capsys):
+        assert main(["experiment", "table2", "mcf", "bzip2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "table2", "mcf", "bzip2", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["experiment", "table2", "mcf", "--no-cache"]) == 0
         assert "artificial" in capsys.readouterr().out
+
+    def test_all_drives_every_figure(self, capsys):
+        assert main(["experiment", "all", "bzip2"]) == 0
+        out = capsys.readouterr().out
+        for title in ("TABLE 2", "FIGURE 4", "FIGURE 8", "FIGURE 9",
+                      "FIGURE 10", "FIGURE 12"):
+            assert title in out
+        assert out.rstrip().endswith("DONE")
 
     def test_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig999"])
+
+
+class TestCampaign:
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        manifest = str(tmp_path / "campaign.jsonl")
+        argv = ["campaign", "bzip2", "--trials", "2",
+                "--manifest", manifest]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "idempotent" in first and "2 executed" in first
+        # Second invocation resumes from the manifest: same table, no work.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 resumed from manifest" in second
+        assert first.splitlines()[:6] == second.splitlines()[:6]

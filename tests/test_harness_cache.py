@@ -1,0 +1,197 @@
+"""Artifact cache: key invalidation, corruption handling, eviction."""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.compiler import CompileResult
+from repro.core import ConstructionConfig
+from repro.harness.cache import (
+    PIPELINE_VERSION,
+    ArtifactCache,
+    cache_key,
+    cached_compile,
+    config_fingerprint,
+    set_default_cache,
+)
+from repro.sim import Simulator
+
+SOURCE = """
+int a[4];
+int main() {
+  for (int i = 0; i < 10; i = i + 1) a[i % 4] = a[i % 4] + i;
+  return a[0] + a[1] + a[2] + a[3];
+}
+"""
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def isolated_default(cache):
+    previous = set_default_cache(cache)
+    yield cache
+    set_default_cache(previous)
+
+
+def _altered(config: ConstructionConfig, field: dataclasses.Field) -> ConstructionConfig:
+    """A copy of ``config`` with one field changed to a valid other value."""
+    value = getattr(config, field.name)
+    if isinstance(value, bool):
+        changed = not value
+    elif isinstance(value, int):
+        changed = value + 1
+    elif isinstance(value, str):
+        changed = value + "-alt"
+    elif value is None:
+        changed = 7
+    else:  # pragma: no cover - no such field today
+        raise AssertionError(f"unhandled field type: {field.name}")
+    return dataclasses.replace(config, **{field.name: changed})
+
+
+class TestCacheKey:
+    def test_identical_inputs_same_key(self):
+        assert cache_key(SOURCE, idempotent=True) == cache_key(SOURCE, idempotent=True)
+
+    def test_default_config_spellings_agree(self):
+        assert cache_key(SOURCE, idempotent=True) == cache_key(
+            SOURCE, idempotent=True, config=ConstructionConfig()
+        )
+
+    def test_every_config_field_invalidates(self):
+        """Changing any ConstructionConfig field must change the key."""
+        base = ConstructionConfig()
+        base_key = cache_key(SOURCE, idempotent=True, config=base)
+        for field in dataclasses.fields(ConstructionConfig):
+            altered = _altered(base, field)
+            altered_key = cache_key(SOURCE, idempotent=True, config=altered)
+            assert altered_key != base_key, field.name
+
+    def test_source_flavour_name_version_invalidate(self):
+        base = cache_key(SOURCE, idempotent=True)
+        assert cache_key(SOURCE + " ", idempotent=True) != base
+        assert cache_key(SOURCE, idempotent=False) != base
+        assert cache_key(SOURCE, idempotent=True, name="other") != base
+        assert cache_key(
+            SOURCE, idempotent=True, pipeline_version=PIPELINE_VERSION + ".next"
+        ) != base
+
+    def test_fingerprint_covers_every_field(self):
+        text = config_fingerprint(None)
+        for field in dataclasses.fields(ConstructionConfig):
+            assert field.name in text
+
+
+class TestStore:
+    def test_miss_then_hit_roundtrip(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        assert cache.get(key) is None
+        result = cached_compile(SOURCE, idempotent=True, cache=cache)
+        again = cache.get(key)
+        assert isinstance(again, CompileResult)
+        assert Simulator(again.program).run("main") == Simulator(result.program).run("main")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses >= 1
+        assert cache.stats.stores == 1
+
+    def test_cached_compile_skips_recompile(self, cache):
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        stores_before = cache.stats.stores
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        assert cache.stats.stores == stores_before  # hit, no new artifact
+
+    def test_config_change_misses(self, cache):
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        config = ConstructionConfig(max_region_size=4)
+        cached_compile(SOURCE, idempotent=True, config=config, cache=cache)
+        assert cache.stats.stores == 2  # second build was a genuine miss
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"\x00garbage, not a pickle")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        # The bad entry was dropped; a fresh build repopulates it.
+        rebuilt = cached_compile(SOURCE, idempotent=True, cache=cache)
+        assert isinstance(cache.get(key), CompileResult)
+        assert isinstance(rebuilt, CompileResult)
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        path = cache.path_for(key)
+        payload = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        assert cache.get(key) is None
+
+    def test_wrong_type_entry_is_ignored_by_cached_compile(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        cache.put(key, {"not": "a CompileResult"})
+        result = cached_compile(SOURCE, idempotent=True, cache=cache)
+        assert isinstance(result, CompileResult)
+
+    def test_no_temp_droppings(self, cache):
+        cached_compile(SOURCE, idempotent=True, cache=cache)
+        cached_compile(SOURCE, idempotent=False, cache=cache)
+        leftovers = [
+            name
+            for _, _, files in os.walk(cache.root)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ArtifactCache(root=str(tmp_path / "off"), enabled=False)
+        key = cache_key(SOURCE, idempotent=True)
+        cache.put(key, object())
+        assert cache.get(key) is None
+        assert not os.path.exists(cache.root)
+
+
+class TestEviction:
+    def test_lru_eviction_over_bound(self, tmp_path):
+        cache = ArtifactCache(root=str(tmp_path / "cache"), max_entries=2)
+        keys = [cache_key(SOURCE + "\n" * i, idempotent=True) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"entry": i})
+            os.utime(cache.path_for(key), (i, i))  # deterministic LRU order
+        assert cache.entry_count() == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(keys[0]) is None  # oldest entry was evicted
+
+    def test_clear(self, cache):
+        cache.put(cache_key(SOURCE, idempotent=True), {"x": 1})
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+
+class TestBuildPairIntegration:
+    def test_build_pair_shares_disk_artifacts(self, isolated_default):
+        from repro.experiments.common import build_pair, clear_build_memo
+
+        clear_build_memo()
+        try:
+            first = build_pair("bzip2")
+            second = build_pair("bzip2")
+            assert first[0] is second[0]  # in-process identity via memo
+            assert isolated_default.stats.stores == 2
+            # A "new process" (fresh memo) pulls from disk instead of
+            # recompiling.
+            clear_build_memo()
+            rebuilt = build_pair("bzip2")
+            assert isolated_default.stats.hits >= 2
+            assert Simulator(rebuilt[1].program).run("main") == Simulator(
+                first[1].program
+            ).run("main")
+        finally:
+            clear_build_memo()
