@@ -11,12 +11,17 @@ Commands:
   and the persistent artifact cache (``--no-cache`` to bypass)
 - ``campaign``        — suite-wide fault-injection campaign: sharded,
   resumable via a JSON-lines manifest, deterministic under any sharding
+- ``stats``           — validate and summarize emitted trace/metrics files
 - ``workloads``       — list the benchmark suite
 
 The ``experiment`` and ``campaign`` commands print a telemetry summary
 (wall time, per-phase breakdown, cache effectiveness) to stderr, so
 stdout stays byte-identical across serial, parallel, and warm-cache
-invocations.
+invocations.  They also take the observability flags ``--profile
+out.trace.json`` (Chrome ``trace_event`` profile of the whole pipeline —
+open in chrome://tracing or Perfetto), ``--metrics out.metrics.json``
+(flat dump of every counter/gauge/histogram), and ``--stats`` (human
+metrics table on stderr); none of these change stdout by a single byte.
 """
 
 from __future__ import annotations
@@ -49,6 +54,45 @@ def _config_from_args(args) -> ConstructionConfig:
         max_region_size=args.max_region_size,
         trust_argument_noalias=args.trust_noalias,
     )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="write a Chrome trace_event profile "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a JSON dump of every recorded metric")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the metrics table to stderr at exit")
+
+
+def _setup_obs(args) -> None:
+    """Enable tracing before any work if a profile was requested."""
+    if getattr(args, "profile", None):
+        from repro.obs import get_observer
+
+        get_observer().enable()
+
+
+def _finalize_obs(args) -> None:
+    """Write the requested trace/metrics artifacts (stderr notes only)."""
+    from repro.obs import (
+        format_stats_table,
+        get_observer,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    observer = get_observer()
+    if getattr(args, "profile", None):
+        count = write_chrome_trace(args.profile, observer.tracer.spans())
+        print(f"[obs] trace: {args.profile} ({count} events)", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        count = write_metrics_json(args.metrics, observer.metrics.snapshot())
+        print(f"[obs] metrics: {args.metrics} ({count} instruments)",
+              file=sys.stderr)
+    if getattr(args, "stats", False):
+        print(format_stats_table(observer.metrics.snapshot()), file=sys.stderr)
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -148,6 +192,7 @@ def cmd_experiment(args) -> int:
     from repro.harness.cache import default_cache
     from repro.harness.report import Telemetry
 
+    _setup_obs(args)
     configure(jobs=args.jobs, use_cache=not args.no_cache)
     telemetry = Telemetry(label=f"experiment {args.name}")
     names = args.workloads or None
@@ -171,6 +216,7 @@ def cmd_experiment(args) -> int:
     telemetry.finish()
     telemetry.attach_cache(default_cache())
     print(telemetry.format_summary(), file=sys.stderr)
+    _finalize_obs(args)
     return 0
 
 
@@ -180,6 +226,7 @@ def cmd_campaign(args) -> int:
     from repro.harness.campaign import format_campaign_report, run_fault_campaign
     from repro.harness.report import Telemetry
 
+    _setup_obs(args)
     configure(jobs=args.jobs, use_cache=not args.no_cache)
     manifest_path = args.manifest
     if manifest_path is None and not args.no_manifest:
@@ -207,7 +254,21 @@ def cmd_campaign(args) -> int:
     if manifest_path:
         telemetry.note(f"manifest: {manifest_path}")
     print(telemetry.format_summary(), file=sys.stderr)
+    _finalize_obs(args)
     return 1 if summary.failed_units else 0
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import ObsExportError, summarize_file
+
+    status = 0
+    for path in args.files:
+        try:
+            print(summarize_file(path))
+        except ObsExportError as exc:
+            print(f"invalid: {exc}", file=sys.stderr)
+            status = 1
+    return status
 
 
 def cmd_workloads(args) -> int:
@@ -262,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard builds and measurements over N processes")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent artifact cache")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -289,7 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard any existing manifest before running")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent artifact cache")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "stats",
+        help="validate and summarize emitted trace/metrics files",
+    )
+    p.add_argument("files", nargs="+",
+                   help="files written by --profile / --metrics")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")
     p.set_defaults(func=cmd_workloads)

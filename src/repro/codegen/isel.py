@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.codegen.machine import (
     CLASS_FLOAT,
     CLASS_INT,
@@ -380,7 +381,12 @@ class FunctionSelector:
 
 def select_function(func: Function) -> MachineFunction:
     """Lower one IR function (mutates it: edge splitting, φ cleanup)."""
-    return FunctionSelector(func).select()
+    with obs.span("codegen.isel", func=func.name):
+        mfunc = FunctionSelector(func).select()
+    obs.counter("codegen.machine_instructions").inc(
+        mfunc.instruction_count(), func=func.name
+    )
+    return mfunc
 
 
 def select_module(module: Module) -> MachineProgram:

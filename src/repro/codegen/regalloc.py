@@ -619,7 +619,15 @@ def _rewrite(mfunc: MachineFunction, intervals: Dict[Reg, Interval], stats: Allo
 
 def allocate_program(program, idempotent: bool = False) -> Dict[str, AllocationStats]:
     """Allocate every function of a :class:`MachineProgram`."""
-    return {
-        name: allocate_function(mfunc, idempotent=idempotent)
-        for name, mfunc in program.functions.items()
-    }
+    from repro import obs
+
+    flavour = "idempotent" if idempotent else "original"
+    stats: Dict[str, AllocationStats] = {}
+    for name, mfunc in program.functions.items():
+        with obs.span("codegen.regalloc", func=name, flavour=flavour):
+            stats[name] = allocate_function(mfunc, idempotent=idempotent)
+        for field in ("vregs", "spilled", "extended", "spill_loads", "spill_stores"):
+            value = getattr(stats[name], field)
+            if value:
+                obs.counter(f"codegen.regalloc.{field}").inc(value, flavour=flavour)
+    return stats

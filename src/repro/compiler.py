@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.codegen.isel import select_module
 from repro.codegen.machine import MachineProgram
 from repro.codegen.mverify import verify_machine_program
@@ -58,24 +59,30 @@ def compile_ir_module(
     verify: bool = True,
 ) -> CompileResult:
     """Compile an IR module (mutated in place) down to machine code."""
+    flavour = "idempotent" if idempotent else "original"
     construction: Dict[str, ConstructionResult] = {}
     if idempotent:
-        construction = construct_module_regions(module, config)
+        with obs.span("construction.module", module=module.name, flavour=flavour):
+            construction = construct_module_regions(module, config)
     else:
-        optimize_module(module)
+        with obs.span("transforms.module", module=module.name, flavour=flavour):
+            optimize_module(module)
     if verify:
-        verify_module(module, ssa=True)
+        with obs.span("verify.ir", module=module.name):
+            verify_module(module, ssa=True)
 
     program = select_module(module)
     alloc_stats = allocate_program(program, idempotent=idempotent)
 
     if verify and idempotent:
-        violations = verify_machine_program(program)
+        with obs.span("verify.machine", module=module.name):
+            violations = verify_machine_program(program)
         if violations:
             details = "\n".join(repr(v) for v in violations)
             raise CompilationError(
                 f"machine idempotence verification failed:\n{details}"
             )
+    obs.counter("compile.modules").inc(flavour=flavour)
     return CompileResult(
         module=module,
         program=program,
@@ -93,5 +100,10 @@ def compile_minic(
     name: str = "minic",
 ) -> CompileResult:
     """Compile MiniC source text to machine code."""
-    module = compile_source(source, name)
-    return compile_ir_module(module, idempotent=idempotent, config=config, verify=verify)
+    flavour = "idempotent" if idempotent else "original"
+    with obs.span("compile.minic", name=name, flavour=flavour):
+        with obs.span("frontend.compile", name=name):
+            module = compile_source(source, name)
+        return compile_ir_module(
+            module, idempotent=idempotent, config=config, verify=verify
+        )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.analysis.alias import AliasAnalysis
 from repro.analysis.antideps import AntiDepAnalysis, Point
 from repro.analysis.loops import LoopInfo
@@ -167,57 +168,94 @@ def construct_idempotent_regions(
     if func.is_declaration:
         return result
 
-    if config.optimize_first:
-        optimize_function(func)
+    with obs.span("construction.function", func=func.name):
+        if config.optimize_first:
+            with obs.span("construction.ssa", func=func.name):
+                optimize_function(func)
 
-    aa = AliasAnalysis(func, trust_argument_noalias=config.trust_argument_noalias)
-    analysis = AntiDepAnalysis(func, aa)
-    result.antidep_count = len(analysis.antideps)
+        with obs.span("construction.antideps", func=func.name):
+            aa = AliasAnalysis(
+                func, trust_argument_noalias=config.trust_argument_noalias
+            )
+            analysis = AntiDepAnalysis(func, aa)
+        result.antidep_count = len(analysis.antideps)
 
-    mandatory: List[Point] = _call_cut_points(func) if config.cut_calls else []
+        mandatory: List[Point] = _call_cut_points(func) if config.cut_calls else []
 
-    candidate_sets = [analysis.candidate_cuts(ad) for ad in analysis.antideps]
-    loop_info = LoopInfo(func, analysis.domtree)
-    chosen = solve_hitting_set(
-        HittingSetProblem(candidate_sets),
-        loop_info=loop_info,
-        heuristic=config.heuristic,
-        preselected=mandatory,
-    )
-    result.mandatory_cut_count = len(set(mandatory))
-    result.hitting_set_cut_count = len(chosen)
+        with obs.span("construction.cuts", func=func.name):
+            candidate_sets = [
+                analysis.candidate_cuts(ad) for ad in analysis.antideps
+            ]
+            loop_info = LoopInfo(func, analysis.domtree)
+            chosen = solve_hitting_set(
+                HittingSetProblem(candidate_sets),
+                loop_info=loop_info,
+                heuristic=config.heuristic,
+                preselected=mandatory,
+            )
+        result.mandatory_cut_count = len(set(mandatory))
+        result.hitting_set_cut_count = len(chosen)
 
-    _insert_boundaries(func, mandatory + chosen)
+        _insert_boundaries(func, mandatory + chosen)
 
-    result.loop_report = enforce_loop_cut_invariant(
-        func,
-        unroll=config.unroll_self_dep,
-        max_unroll_blocks=config.max_unroll_blocks,
-    )
-
-    if config.max_region_size is not None:
-        result.size_bound_cuts = bound_region_sizes(func, config.max_region_size)
-        if result.size_bound_cuts:
-            # New in-loop cuts can break the loop invariant; re-establish
-            # it (never unrolling twice — the invariant pass tracks that).
-            enforce_loop_cut_invariant(
-                func, unroll=False, max_unroll_blocks=config.max_unroll_blocks
+        with obs.span("construction.loops", func=func.name):
+            result.loop_report = enforce_loop_cut_invariant(
+                func,
+                unroll=config.unroll_self_dep,
+                max_unroll_blocks=config.max_unroll_blocks,
             )
 
-    if config.split_single_region:
-        result.single_region_splits = _split_single_region(func)
+        if config.max_region_size is not None:
+            with obs.span("construction.sizebound", func=func.name):
+                result.size_bound_cuts = bound_region_sizes(
+                    func, config.max_region_size
+                )
+                if result.size_bound_cuts:
+                    # New in-loop cuts can break the loop invariant;
+                    # re-establish it (never unrolling twice — the
+                    # invariant pass tracks that).
+                    enforce_loop_cut_invariant(
+                        func, unroll=False,
+                        max_unroll_blocks=config.max_unroll_blocks,
+                    )
 
-    decomposition = RegionDecomposition(func)
-    result.region_count = len(decomposition)
-    result.static_region_sizes = decomposition.static_sizes()
+        if config.split_single_region:
+            result.single_region_splits = _split_single_region(func)
 
-    if config.verify:
-        # Verify under the same alias assumptions the construction used.
-        verify_aa = AliasAnalysis(
-            func, trust_argument_noalias=config.trust_argument_noalias
-        )
-        verify_idempotent_regions(func, verify_aa)
+        with obs.span("construction.regions", func=func.name):
+            decomposition = RegionDecomposition(func)
+        result.region_count = len(decomposition)
+        result.static_region_sizes = decomposition.static_sizes()
+
+        if config.verify:
+            # Verify under the same alias assumptions the construction used.
+            with obs.span("construction.verify", func=func.name):
+                verify_aa = AliasAnalysis(
+                    func, trust_argument_noalias=config.trust_argument_noalias
+                )
+                verify_idempotent_regions(func, verify_aa)
+
+    _publish_metrics(result)
     return result
+
+
+def _publish_metrics(result: ConstructionResult) -> None:
+    """Feed one function's construction accounting into ``repro.obs``."""
+    obs.counter("construction.antideps").inc(result.antidep_count)
+    cuts = obs.counter("construction.cuts")
+    cuts.inc(result.mandatory_cut_count, kind="call")
+    cuts.inc(result.hitting_set_cut_count, kind="hitting_set")
+    if result.loop_report:
+        cuts.inc(result.loop_report.forced_cuts, kind="loop")
+        obs.counter("construction.loops_unrolled").inc(
+            result.loop_report.loops_unrolled
+        )
+    cuts.inc(result.size_bound_cuts, kind="size_bound")
+    cuts.inc(result.single_region_splits, kind="single_region_split")
+    obs.counter("construction.regions").inc(result.region_count)
+    sizes = obs.histogram("construction.region_size")
+    for size in result.static_region_sizes:
+        sizes.observe(size)
 
 
 def construct_module_regions(

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig12_recovery,
     table2_classification,
 )
+from repro import obs
 from repro.experiments.common import configure, prebuild_pairs
 from repro.harness.cache import default_cache
 from repro.harness.report import Telemetry
@@ -61,7 +62,12 @@ def run_all(
         emit("=" * 78)
         emit(title)
         emit("=" * 78)
-        emit(driver.format_report(driver.run(names, jobs=jobs, telemetry=telemetry)))
+        driver_name = driver.__name__.rsplit(".", 1)[-1]
+        with obs.span(f"experiment.{driver_name}"):
+            report = driver.format_report(
+                driver.run(names, jobs=jobs, telemetry=telemetry)
+            )
+        emit(report)
         emit(f"[{time.time() - started:.0f}s]")
         emit("")
     emit("DONE")

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.compiler import CompileResult, compile_minic
 from repro.harness.cache import cache_key, cached_compile, default_cache
 from repro.harness.executor import TaskExecutor
@@ -141,6 +142,7 @@ def prebuild_pairs(
                 pair = result.value
                 _pair_memo[workload.name] = pair
                 compiled += 1
+                obs.counter("harness.builds").inc(workload=workload.name)
                 if _options.use_cache:
                     cache.put(
                         cache_key(workload.source, idempotent=False, name=workload.name),

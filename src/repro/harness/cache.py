@@ -32,6 +32,7 @@ from typing import Optional
 from repro.compiler import CompileResult, compile_minic
 from repro.core.construction import ConstructionConfig
 from repro.harness.executor import ensure_deep_pickle
+from repro.obs.context import get_observer
 
 #: Stamp mixed into every cache key.  Bump when the compiler pipeline
 #: changes in a way that affects build output for unchanged inputs.
@@ -76,9 +77,18 @@ def cache_key(
     return h.hexdigest()
 
 
+#: Metric names backing every cache counter (label: ``cache=<root>``).
+CACHE_METRICS = ("hits", "misses", "stores", "evictions", "corrupt")
+
+
 @dataclass
 class CacheStats:
-    """Counters for one :class:`ArtifactCache` instance (not persisted)."""
+    """Point-in-time counter view of one cache (or a delta between two).
+
+    The live counters themselves live on the :mod:`repro.obs` metrics
+    registry as ``cache.<name>{cache=<root>}``; this dataclass is the
+    read-side snapshot that reports and tests consume.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -112,6 +122,26 @@ class CacheStats:
             text += f", {self.corrupt} corrupt entries dropped"
         return text
 
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: dict, cache_label: Optional[str] = None
+    ) -> "CacheStats":
+        """Sum ``cache.*`` counters out of a metrics snapshot (or delta).
+
+        ``cache_label`` restricts to one cache root; None sums them all.
+        """
+        from repro.obs.metrics import counter_values
+
+        stats = cls()
+        for name in CACHE_METRICS:
+            total = sum(
+                value
+                for labels, value in counter_values(snapshot, f"cache.{name}")
+                if cache_label is None or labels.get("cache") == cache_label
+            )
+            setattr(stats, name, int(total))
+        return stats
+
 
 class ArtifactCache:
     """Content-addressed pickle store with hit/miss/evict accounting.
@@ -119,6 +149,12 @@ class ArtifactCache:
     ``max_entries`` bounds the object store: inserting past the bound
     evicts least-recently-used entries (by file mtime, which ``get``
     refreshes on every hit).
+
+    Accounting lives on the global :mod:`repro.obs` metrics registry
+    (``cache.hits`` etc., labeled ``cache=<root>``): every process — and
+    every :class:`~repro.harness.executor.TaskExecutor` worker, whose
+    deltas ship back to the parent — contributes to one set of counters,
+    and :attr:`stats` is a per-instance view over them.
     """
 
     def __init__(
@@ -132,7 +168,21 @@ class ArtifactCache:
         self.root = root
         self.enabled = enabled and not os.environ.get("REPRO_CACHE_DISABLE")
         self.max_entries = max_entries
-        self.stats = CacheStats()
+
+    @property
+    def obs_label(self) -> str:
+        """Label value distinguishing this cache's counters (its root)."""
+        return self.root
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        get_observer().counter(f"cache.{name}").inc(amount, cache=self.root)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Live counter view for this cache root (from the registry)."""
+        return CacheStats.from_snapshot(
+            get_observer().metrics.snapshot(), cache_label=self.root
+        )
 
     # ------------------------------------------------------------------
     # Paths
@@ -157,19 +207,19 @@ class ArtifactCache:
             with open(path, "rb") as handle:
                 artifact = pickle.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._count("misses")
             return None
         except Exception:
             # Truncated write from a killed process, disk corruption,
             # or an artifact from an incompatible interpreter: drop it.
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._count("misses")
+            self._count("corrupt")
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        self._count("hits")
         try:
             os.utime(path)  # refresh LRU clock
         except OSError:
@@ -195,7 +245,7 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        self._count("stores")
         if self.max_entries is not None:
             self._evict_over(self.max_entries)
 
@@ -249,7 +299,7 @@ class ArtifactCache:
         for path in entries[: len(entries) - limit]:
             try:
                 os.unlink(path)
-                self.stats.evictions += 1
+                self._count("evictions")
             except OSError:
                 pass
 

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.common import build_pair, format_table, prebuild_pairs, resolve_workloads
 from repro.harness.executor import TaskExecutor, derive_seed
 from repro.harness.report import Telemetry
+from repro.obs.context import get_observer
 from repro.sim.faults import FAULT_VALUE, CampaignResult, fault_campaign
 from repro.sim.simulator import Simulator
 
@@ -129,6 +130,13 @@ class CampaignRunner:
         done = {uid for uid, record in records.items() if record.ok}
         todo = [(uid, payload) for uid, payload in units if uid not in done]
         self.skipped = len(units) - len(todo)
+        observer = get_observer()
+        if self.manifest is not None:
+            observer.log(
+                f"campaign resume: {self.skipped} of {len(units)} units "
+                f"already in manifest, {len(todo)} to run"
+            )
+        observer.counter("campaign.units").inc(self.skipped, status="skipped")
         if not todo:
             return records
         executor = TaskExecutor(self.jobs)
@@ -143,12 +151,14 @@ class CampaignRunner:
                         seconds=result.seconds, data=result.value,
                     )
                     self.executed += 1
+                    observer.counter("campaign.units").inc(status="executed")
                 else:
                     record = UnitRecord(
                         unit_id=str(result.key), status="failed",
                         seconds=result.seconds, data={"error": result.error},
                     )
                     self.failed += 1
+                    observer.counter("campaign.units").inc(status="failed")
                 records[record.unit_id] = record
                 if self.manifest:
                     self.manifest.append(record)
@@ -265,6 +275,8 @@ def run_fault_campaign(
 ) -> FaultCampaignSummary:
     """Suite-wide fault-injection campaign, sharded, cached, resumable."""
     telemetry = telemetry or Telemetry(label="fault campaign")
+    if manifest_path:
+        get_observer().log(f"campaign manifest: {manifest_path}")
     units = fault_campaign_units(
         names, trials, seed, kind=kind,
         detection_latency=detection_latency, shard_trials=shard_trials,

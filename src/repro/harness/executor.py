@@ -14,6 +14,13 @@ Determinism rules:
 - Randomized units must derive their RNG state via :func:`derive_seed`
   rather than sharing a sequential RNG stream, so results do not depend
   on how units are sharded across processes.
+
+Observability: pool workers record into their *own* process's
+:mod:`repro.obs` observer.  Each unit runs against a fresh metrics
+registry, and its delta (plus any spans it traced) ships back on the
+:class:`TaskResult`; the parent folds both into its global observer as
+results are settled.  Because counter/histogram merge is exact and
+order-independent, a parallel run's aggregates equal a serial run's.
 """
 
 from __future__ import annotations
@@ -22,8 +29,11 @@ import hashlib
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.obs.context import get_observer
+from repro.obs.metrics import MetricsRegistry
 
 #: Recursion headroom for (un)pickling artifacts.  IR use-def chains can
 #: nest a few thousand objects deep — past Python's default limit of
@@ -63,25 +73,62 @@ class TaskResult:
     value: object = None
     seconds: float = 0.0
     error: Optional[str] = None
+    #: Worker-process observability payload ({"metrics": ..., "spans": ...});
+    #: consumed (and cleared) by the parent when the result is settled.
+    obs: Optional[dict] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _run_unit(fn: Callable, key: object, item: object) -> TaskResult:
-    """Worker-side wrapper: times the unit and captures its failure."""
+def _run_unit(
+    fn: Callable,
+    key: object,
+    item: object,
+    capture_obs: bool = False,
+    enable_trace: bool = False,
+) -> TaskResult:
+    """Worker-side wrapper: times the unit and captures its failure.
+
+    With ``capture_obs`` (the pool path), the unit runs against a fresh
+    metrics registry whose snapshot — plus any spans the unit traced —
+    ships back on the result, so the parent can aggregate.  The worker's
+    own cumulative registry stays consistent (the delta is folded back).
+    """
     ensure_deep_pickle()  # the pool pickles this unit's result
+    observer = None
+    unit_metrics = None
+    span_mark = 0
+    if capture_obs:
+        observer = get_observer()
+        if enable_trace and not observer.enabled:
+            observer.enable()
+        span_mark = observer.tracer.mark()
+        inherited = observer.metrics
+        unit_metrics = MetricsRegistry()
+        observer.metrics = unit_metrics
     started = time.perf_counter()
     try:
         value = fn(item)
+        error = None
     except Exception as exc:  # propagated via TaskResult.error
-        return TaskResult(
-            key=key,
-            seconds=time.perf_counter() - started,
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    return TaskResult(key=key, value=value, seconds=time.perf_counter() - started)
+        value = None
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        seconds = time.perf_counter() - started
+        obs_payload = None
+        if capture_obs:
+            observer.metrics = inherited
+            delta = unit_metrics.snapshot()
+            inherited.merge_snapshot(delta)
+            obs_payload = {
+                "metrics": delta,
+                "spans": observer.tracer.spans_since(span_mark),
+            }
+    return TaskResult(
+        key=key, value=value, seconds=seconds, error=error, obs=obs_payload
+    )
 
 
 class TaskExecutor:
@@ -149,8 +196,9 @@ class TaskExecutor:
             yield from self._imap_inline(fn, items, keys)
             return
         try:
+            enable_trace = get_observer().enabled
             futures = [
-                pool.submit(_run_unit, fn, key, item)
+                pool.submit(_run_unit, fn, key, item, True, enable_trace)
                 for key, item in zip(keys, items)
             ]
             if ordered:
@@ -169,12 +217,24 @@ class TaskExecutor:
     @staticmethod
     def _settle(future) -> TaskResult:
         try:
-            return future.result()
+            result = future.result()
         except Exception as exc:
             # The unit itself never raises (wrapped in _run_unit); this
             # is pool-level breakage such as an unpicklable work function
             # or a worker killed by a signal.
             return TaskResult(key=None, error=f"{type(exc).__name__}: {exc}")
+        return TaskExecutor._absorb_obs(result)
+
+    @staticmethod
+    def _absorb_obs(result: TaskResult) -> TaskResult:
+        """Fold a worker unit's metrics delta and spans into this process."""
+        payload = result.obs
+        if payload:
+            observer = get_observer()
+            observer.metrics.merge_snapshot(payload.get("metrics") or {})
+            observer.tracer.adopt(payload.get("spans") or [])
+            result.obs = None
+        return result
 
     @staticmethod
     def _imap_inline(

@@ -1,40 +1,43 @@
 """Run telemetry: wall time, per-phase breakdown, cache effectiveness.
 
 Every harness entry point builds a :class:`Telemetry`, times its phases
-with :meth:`Telemetry.phase`, attaches cache statistics, and prints
+with :meth:`Telemetry.phase`, attaches the caches it used, and prints
 :meth:`Telemetry.format_summary` — the human-readable accounting of
 where a run's time went and how much work the artifact cache avoided.
+
+Telemetry is a *run-scoped view over* :mod:`repro.obs`, not a separate
+counter store: ``phase`` records a ``harness.<name>`` span and
+accumulates ``harness.phase.seconds`` / ``harness.phase.units``
+counters on the global metrics registry, and the summary is computed
+from the registry's delta since the Telemetry was constructed.  That
+delta includes whatever :class:`~repro.harness.executor.TaskExecutor`
+workers shipped back, so cache effectiveness is accounted across the
+whole process tree.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 from repro.harness.cache import ArtifactCache, CacheStats
+from repro.obs.context import Observer, get_observer
+from repro.obs.metrics import counter_values, diff_snapshots
 
 
-@dataclass
-class PhaseStat:
-    """Accumulated wall time and unit count for one named phase."""
-
-    name: str
-    seconds: float = 0.0
-    units: int = 0
-
-
-@dataclass
 class Telemetry:
-    """Wall-clock accounting for one harness run."""
+    """Wall-clock and metrics accounting for one harness run."""
 
-    label: str = "run"
-    phases: Dict[str, PhaseStat] = field(default_factory=dict)
-    notes: List[str] = field(default_factory=list)
-    cache_stats: Optional[CacheStats] = None
-    _started: float = field(default_factory=time.perf_counter)
-    _finished: Optional[float] = None
+    def __init__(self, label: str = "run", observer: Optional[Observer] = None) -> None:
+        self.label = label
+        self.observer = observer or get_observer()
+        self.notes: List[str] = []
+        self._cache_labels: List[str] = []
+        self._phase_order: List[str] = []
+        self._baseline = self.observer.metrics.snapshot()
+        self._started = time.perf_counter()
+        self._finished: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -43,24 +46,32 @@ class Telemetry:
     def phase(self, name: str, units: int = 0):
         """Time a phase; re-entering the same name accumulates."""
         started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_phase(name, time.perf_counter() - started, units)
+        with self.observer.span(f"harness.{name}", run=self.label):
+            try:
+                yield
+            finally:
+                self.add_phase(name, time.perf_counter() - started, units)
 
     def add_phase(self, name: str, seconds: float, units: int = 0) -> None:
-        stat = self.phases.setdefault(name, PhaseStat(name))
-        stat.seconds += seconds
-        stat.units += units
+        if name not in self._phase_order:
+            self._phase_order.append(name)
+        metrics = self.observer.metrics
+        metrics.counter("harness.phase.seconds").inc(
+            seconds, run=self.label, phase=name
+        )
+        if units:
+            metrics.counter("harness.phase.units").inc(
+                units, run=self.label, phase=name
+            )
 
     def note(self, text: str) -> None:
         self.notes.append(text)
 
     def attach_cache(self, cache: ArtifactCache) -> None:
-        """Snapshot a cache's counters into the summary."""
-        if self.cache_stats is None:
-            self.cache_stats = CacheStats()
-        self.cache_stats.merge(cache.stats)
+        """Include a cache's counters (since this run began) in the summary."""
+        label = getattr(cache, "obs_label", None)
+        if label is not None and label not in self._cache_labels:
+            self._cache_labels.append(label)
 
     def finish(self) -> float:
         """Freeze total wall time; returns it in seconds."""
@@ -74,17 +85,51 @@ class Telemetry:
         return end - self._started
 
     # ------------------------------------------------------------------
-    # Reporting
+    # Reporting (computed from the registry delta since construction)
     # ------------------------------------------------------------------
+    def _delta(self) -> dict:
+        return diff_snapshots(self._baseline, self.observer.metrics.snapshot())
+
+    def phase_stats(self) -> List[Tuple[str, float, int]]:
+        """(name, seconds, units) per phase of *this* run, in first-use order."""
+        delta = self._delta()
+        seconds = {
+            labels.get("phase"): value
+            for labels, value in counter_values(delta, "harness.phase.seconds")
+            if labels.get("run") == self.label
+        }
+        units = {
+            labels.get("phase"): value
+            for labels, value in counter_values(delta, "harness.phase.units")
+            if labels.get("run") == self.label
+        }
+        names = list(self._phase_order)
+        names += [n for n in seconds if n not in names]
+        return [
+            (name, seconds.get(name, 0.0), int(units.get(name, 0)))
+            for name in names
+        ]
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Summed counters of every attached cache since this run began."""
+        if not self._cache_labels:
+            return None
+        delta = self._delta()
+        total = CacheStats()
+        for label in self._cache_labels:
+            total.merge(CacheStats.from_snapshot(delta, cache_label=label))
+        return total
+
     def format_summary(self) -> str:
         lines = [f"[harness] {self.label}: {self.wall_seconds:.2f}s wall"]
-        for stat in self.phases.values():
-            detail = f"  phase {stat.name:<12s} {stat.seconds:8.2f}s"
-            if stat.units:
-                detail += f"  ({stat.units} units)"
+        for name, seconds, units in self.phase_stats():
+            detail = f"  phase {name:<12s} {seconds:8.2f}s"
+            if units:
+                detail += f"  ({units} units)"
             lines.append(detail)
-        if self.cache_stats is not None:
-            lines.append(f"  cache: {self.cache_stats.summary()}")
+        cache_stats = self.cache_stats()
+        if cache_stats is not None:
+            lines.append(f"  cache: {cache_stats.summary()}")
         for text in self.notes:
             lines.append(f"  {text}")
         return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""repro.obs — tracing, metrics, and profiling for the whole pipeline.
+
+The observability subsystem answers "where did the time go, and which
+pass/region/run produced this number?" for every layer: frontend,
+transform passes, region construction, codegen, the machine simulator,
+and the harness (cache + campaigns).
+
+- :mod:`repro.obs.tracer` — hierarchical span tracing with monotonic
+  timings and a strict no-op path when disabled.
+- :mod:`repro.obs.metrics` — named counters / gauges / histograms with
+  labeled dimensions and exact snapshot/merge, so parallel
+  ``TaskExecutor`` workers aggregate identically to a serial run.
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto), flat metrics dumps, and the human
+  ``--stats`` table.
+- :mod:`repro.obs.context` — the process-global :class:`Observer` and
+  the call-site helpers (``obs.span(...)``, ``obs.counter(...)``).
+
+Typical use at an instrumentation site::
+
+    from repro import obs
+
+    with obs.span("construction.cuts", func=func.name):
+        chosen = solve_hitting_set(...)
+    obs.counter("construction.cuts").inc(len(chosen), kind="hitting")
+
+CLI surface: ``repro experiment ... --profile t.json --metrics m.json
+--stats`` and ``repro stats FILE`` (validate + summarize emitted files).
+See ``docs/observability.md`` for naming conventions.
+"""
+
+from repro.obs.context import (
+    Observer,
+    counter,
+    gauge,
+    get_observer,
+    histogram,
+    log,
+    set_observer,
+    span,
+)
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    ObsExportError,
+    chrome_trace_events,
+    format_stats_table,
+    load_metrics_file,
+    summarize_file,
+    validate_metrics_file,
+    validate_trace_file,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_values,
+    diff_snapshots,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsExportError",
+    "Observer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "counter",
+    "counter_values",
+    "diff_snapshots",
+    "format_stats_table",
+    "gauge",
+    "get_observer",
+    "histogram",
+    "load_metrics_file",
+    "log",
+    "set_observer",
+    "span",
+    "summarize_file",
+    "validate_metrics_file",
+    "validate_trace_file",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

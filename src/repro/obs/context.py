@@ -1,0 +1,117 @@
+"""The process-global :class:`Observer` — the handle every layer uses.
+
+An ``Observer`` bundles one :class:`~repro.obs.tracer.Tracer` and one
+:class:`~repro.obs.metrics.MetricsRegistry`.  Instrumentation sites
+(compiler driver, transform passes, region construction, codegen,
+simulator, harness) never construct their own — they call the module
+functions :func:`span` / :func:`counter` / :func:`histogram`, which
+resolve the global observer *at call time*.  Late resolution is what
+lets the harness swap registries around a work unit to capture per-unit
+deltas, and lets tests install a throwaway observer.
+
+Cost model: metrics are always on (bounded by label cardinality, cheap
+dict updates); tracing is off by default and every ``span()`` call on a
+disabled observer is a shared no-op — safe in hot paths.  Enable tracing
+with ``get_observer().enable()`` (the CLI's ``--profile`` does this).
+
+Nothing here writes to stdout: report text must stay byte-identical
+whether observability is enabled or not.  :meth:`Observer.log` goes to
+stderr (and into the trace as an instant event when tracing is on).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Observer:
+    """One tracer plus one metrics registry, usually process-global."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether *tracing* is on (metrics are always active)."""
+        return self.tracer.enabled
+
+    def enable(self) -> None:
+        self.tracer.enable()
+
+    def disable(self) -> None:
+        self.tracer.disable()
+
+    # ------------------------------------------------------------------
+    # Delegates
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "", bounds=None) -> Histogram:
+        return self.metrics.histogram(name, help, bounds)
+
+    def log(self, message: str, /, **attrs) -> None:
+        """Observability log line: stderr + an instant trace event."""
+        print(f"[obs] {message}", file=sys.stderr)
+        self.tracer.instant("log", message=message, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Process-global observer
+# ----------------------------------------------------------------------
+_observer: Optional[Observer] = None
+
+
+def get_observer() -> Observer:
+    """The process-wide observer (created disabled on first use)."""
+    global _observer
+    if _observer is None:
+        _observer = Observer()
+    return _observer
+
+
+def set_observer(observer: Optional[Observer]) -> Optional[Observer]:
+    """Swap the process-wide observer (None resets to a lazy default).
+
+    Returns the previous observer so tests can restore it.
+    """
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Call-site conveniences (resolve the observer at call time)
+# ----------------------------------------------------------------------
+def span(name: str, /, **attrs):
+    """``with obs.span("codegen.isel", func=name):`` — no-op when disabled."""
+    return get_observer().span(name, **attrs)
+
+
+def counter(name: str, help: str = "") -> Counter:
+    return get_observer().counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    return get_observer().gauge(name, help)
+
+
+def histogram(name: str, help: str = "", bounds=None) -> Histogram:
+    return get_observer().histogram(name, help, bounds)
+
+
+def log(message: str, /, **attrs) -> None:
+    get_observer().log(message, **attrs)

@@ -1,0 +1,333 @@
+"""Named counters, gauges, and histograms with labeled dimensions.
+
+The registry is the quantitative half of ``repro.obs``: every layer of
+the pipeline reports *what it did* (antideps found, cuts placed, cache
+hits, simulator cycles) as a named instrument with optional labels::
+
+    registry.counter("construction.cuts").inc(3, kind="hitting")
+    registry.histogram("construction.region_size").observe(17)
+
+Instruments are cheap (a dict update under a lock) and always active —
+unlike spans they are bounded by label cardinality, not by event count —
+so the numbers in ``repro stats`` never depend on whether tracing was
+switched on.
+
+Merge semantics are exact and order-independent for counters and
+histograms: a parallel run whose workers ship their registries back
+through :meth:`MetricsRegistry.merge_snapshot` aggregates to the same
+totals as a serial run (histograms bucket observations instead of
+keeping raw values, so their memory is constant).  Gauges are
+point-in-time samples; merging keeps the last write.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, object], ...]
+
+#: Geometric-ish default histogram bounds: fine at small values (region
+#: sizes, path lengths), coarse into the millions (cycles, instructions).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+    1024, 4096, 16384, 65536, 262144, 1048576, 16777216,
+)
+
+
+def _key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def _labels_of(key: LabelKey) -> Dict[str, object]:
+    return dict(key)
+
+
+class Counter:
+    """Monotonic sum per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_key(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def _snapshot_values(self) -> List[dict]:
+        with self._lock:
+            return [
+                {"labels": _labels_of(key), "value": value}
+                for key, value in self._values.items()
+            ]
+
+    def _merge_values(self, values: Iterable[dict]) -> None:
+        with self._lock:
+            for row in values:
+                key = _key(row["labels"])
+                self._values[key] = self._values.get(key, 0) + row["value"]
+
+
+class Gauge:
+    """Last-written value per label combination."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_key(labels), 0)
+
+    def _snapshot_values(self) -> List[dict]:
+        with self._lock:
+            return [
+                {"labels": _labels_of(key), "value": value}
+                for key, value in self._values.items()
+            ]
+
+    def _merge_values(self, values: Iterable[dict]) -> None:
+        with self._lock:
+            for row in values:
+                self._values[_key(row["labels"])] = row["value"]
+
+
+class _HistState:
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        # buckets[i] counts observations <= bounds[i]; the final slot is
+        # the overflow bucket (> bounds[-1]).
+        self.buckets = [0] * (n_buckets + 1)
+
+
+class Histogram:
+    """Bucketed distribution per label combination (constant memory)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BOUNDS)
+        self._values: Dict[LabelKey, _HistState] = {}
+        self._lock = threading.Lock()
+
+    def _bucket_index(self, value: float) -> int:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                return i
+        return len(self.bounds)
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = self._values[key] = _HistState(len(self.bounds))
+            state.count += 1
+            state.sum += value
+            state.min = value if state.min is None else min(state.min, value)
+            state.max = value if state.max is None else max(state.max, value)
+            state.buckets[self._bucket_index(value)] += 1
+
+    def stats(self, **labels: object) -> dict:
+        """count/sum/mean/min/max for one label combination."""
+        state = self._values.get(_key(labels))
+        if state is None:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": None, "max": None}
+        return {
+            "count": state.count,
+            "sum": state.sum,
+            "mean": state.sum / state.count if state.count else 0.0,
+            "min": state.min,
+            "max": state.max,
+        }
+
+    def _snapshot_values(self) -> List[dict]:
+        with self._lock:
+            return [
+                {
+                    "labels": _labels_of(key),
+                    "count": state.count,
+                    "sum": state.sum,
+                    "min": state.min,
+                    "max": state.max,
+                    "buckets": list(state.buckets),
+                }
+                for key, state in self._values.items()
+            ]
+
+    def _merge_values(self, values: Iterable[dict]) -> None:
+        with self._lock:
+            for row in values:
+                key = _key(row["labels"])
+                state = self._values.get(key)
+                if state is None:
+                    state = self._values[key] = _HistState(len(self.bounds))
+                state.count += row["count"]
+                state.sum += row["sum"]
+                for bound in (row.get("min"), row.get("max")):
+                    if bound is None:
+                        continue
+                    state.min = bound if state.min is None else min(state.min, bound)
+                    state.max = bound if state.max is None else max(state.max, bound)
+                incoming = row.get("buckets") or []
+                for i, count in enumerate(incoming[: len(state.buckets)]):
+                    state.buckets[i] += count
+
+
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Name → instrument map with snapshot / merge / diff."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (create-on-first-use; kind conflicts are bugs)
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif instrument.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} is a {instrument.kind}, not a {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(name, "histogram", lambda: Histogram(name, help, bounds))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._instruments)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / diff
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serializable dump of every instrument."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {
+            name: {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "values": instrument._snapshot_values(),
+            }
+            for name, instrument in instruments
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms add (exact, order-independent); gauges
+        take the incoming value.  This is how :class:`TaskExecutor`
+        workers ship their per-unit metrics back to the parent.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            factory = _INSTRUMENTS.get(kind)
+            if factory is None:
+                continue  # unknown instrument type from a newer writer
+            instrument = self._get(
+                name, kind, lambda: factory(name, entry.get("help", ""))
+            )
+            instrument._merge_values(entry.get("values", ()))
+
+
+def counter_values(snapshot: Dict[str, dict], name: str) -> List[Tuple[dict, float]]:
+    """(labels, value) rows of one counter in a snapshot (empty if absent)."""
+    entry = snapshot.get(name)
+    if not entry or entry.get("type") != "counter":
+        return []
+    return [(row["labels"], row["value"]) for row in entry.get("values", ())]
+
+
+def diff_snapshots(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, dict]:
+    """What changed between two snapshots of the *same* registry.
+
+    Counter and histogram values subtract (rows that did not move are
+    dropped); gauges report their current value.  ``min``/``max`` of a
+    histogram delta are carried from ``after`` — they bound the delta's
+    observations but may be looser.  Run-scoped accounting (one
+    :class:`~repro.harness.report.Telemetry`) is built on this.
+    """
+    delta: Dict[str, dict] = {}
+    for name, entry in after.items():
+        kind = entry.get("type")
+        prior = before.get(name, {})
+        prior_rows = {
+            _key(row["labels"]): row for row in prior.get("values", ())
+        } if prior.get("type") == kind else {}
+        rows: List[dict] = []
+        for row in entry.get("values", ()):
+            key = _key(row["labels"])
+            old = prior_rows.get(key)
+            if kind == "counter":
+                value = row["value"] - (old["value"] if old else 0)
+                if value:
+                    rows.append({"labels": row["labels"], "value": value})
+            elif kind == "gauge":
+                rows.append(dict(row))
+            elif kind == "histogram":
+                count = row["count"] - (old["count"] if old else 0)
+                if not count:
+                    continue
+                old_buckets = (old.get("buckets") or []) if old else []
+                buckets = [
+                    current - (old_buckets[i] if i < len(old_buckets) else 0)
+                    for i, current in enumerate(row.get("buckets") or [])
+                ]
+                rows.append({
+                    "labels": row["labels"],
+                    "count": count,
+                    "sum": row["sum"] - (old["sum"] if old else 0.0),
+                    "min": row.get("min"),
+                    "max": row.get("max"),
+                    "buckets": buckets,
+                })
+        if rows:
+            delta[name] = {"type": kind, "help": entry.get("help", ""), "values": rows}
+    return delta

@@ -1,0 +1,200 @@
+"""Hierarchical span tracing with a strict no-op path when disabled.
+
+A *span* is one timed, named interval — a compiler pass over one
+function, a region-construction phase, a simulator run.  Spans nest:
+entering a span inside another records the parent/child relationship
+(per thread), which is what lets the Chrome ``trace_event`` export show
+the pipeline as a flame graph.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  ``Tracer.span`` on a disabled tracer
+   returns a shared no-op context manager without allocating a span or
+   touching the buffer; the only work is one attribute check.  Hot paths
+   may therefore call it unconditionally.
+2. **Thread-safe buffer.**  Finished spans append to one in-memory list
+   under a lock; the per-thread open-span stack lives in a
+   ``threading.local`` so nesting is tracked per thread.
+3. **Process mergeable.**  Spans record their ``pid``/``tid``; a parent
+   process adopts spans shipped back from :class:`TaskExecutor` workers
+   with :meth:`Tracer.adopt` (see ``repro.harness.executor``).
+
+Timing uses ``time.perf_counter_ns`` — monotonic, unaffected by clock
+steps.  Timestamps are comparable only within one process; the exporter
+normalizes per pid.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One finished (or instant) trace interval."""
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: Optional[int] = None
+    depth: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        """Chrome-trace category: the first dotted component of the name."""
+        return self.name.split(".", 1)[0]
+
+
+class _NullSpan:
+    """Shared, reusable no-op context manager (disabled-tracer path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "depth", "start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self.tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.depth = len(stack)
+        self.span_id = tracer._next_id()
+        stack.append(self.span_id)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = time.perf_counter_ns()
+        tracer = self.tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        tracer._record(Span(
+            name=self.name,
+            start_ns=self.start_ns,
+            dur_ns=end_ns - self.start_ns,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            depth=self.depth,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class Tracer:
+    """Span recorder: a lock-protected buffer plus per-thread nesting."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._buffer: List[Span] = []
+        self._local = threading.local()
+        self._id_counter = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **attrs):
+        """Context manager timing one interval; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _OpenSpan(self, name, attrs)
+
+    def instant(self, name: str, /, **attrs) -> None:
+        """Record a zero-duration marker (log lines, resume events)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        self._record(Span(
+            name=name,
+            start_ns=time.perf_counter_ns(),
+            dur_ns=0,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            span_id=self._next_id(),
+            parent_id=stack[-1] if stack else None,
+            depth=len(stack),
+            attrs=attrs,
+        ))
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(span)
+
+    # ------------------------------------------------------------------
+    # Buffer access / cross-process merge
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Snapshot of every recorded span (buffer order = finish order)."""
+        with self._lock:
+            return list(self._buffer)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def mark(self) -> int:
+        """Position marker for :meth:`spans_since` (worker deltas)."""
+        with self._lock:
+            return len(self._buffer)
+
+    def spans_since(self, mark: int) -> List[Span]:
+        with self._lock:
+            return list(self._buffer[mark:])
+
+    def adopt(self, spans: List[Span]) -> None:
+        """Append spans recorded by another tracer (e.g. a worker process)."""
+        if not spans:
+            return
+        with self._lock:
+            self._buffer.extend(spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False

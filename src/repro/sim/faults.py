@@ -241,4 +241,17 @@ def fault_campaign(
             result.recovered_correctly += 1
         else:
             result.wrong_result += 1
+    _publish_campaign_metrics(result, kind)
     return result
+
+
+def _publish_campaign_metrics(result: CampaignResult, kind: str) -> None:
+    """Fault-detection event totals onto the ``repro.obs`` registry."""
+    from repro import obs
+
+    events = obs.counter("sim.fault_events")
+    for outcome in ("trials", "injected", "detected", "recovered_correctly",
+                    "wrong_result", "crashed"):
+        count = getattr(result, outcome)
+        if count:
+            events.inc(count, outcome=outcome, kind=kind)

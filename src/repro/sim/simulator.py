@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.codegen.machine import (
     CLASS_FLOAT,
     CLASS_INT,
@@ -148,6 +149,12 @@ class Simulator:
         #: optional hook called after each instruction: hook(sim, instr, loc)
         self.post_hook: Optional[Callable[["Simulator", MachineInstr, Location], None]] = None
         self._redirected = False
+
+        # High-frequency observability (per-region dynamic sizes) is
+        # sampled only when the observer has tracing enabled; run-level
+        # totals are always published (once per run, negligible).
+        self._obs_detailed = obs.get_observer().enabled
+        self._region_start_instr = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -296,10 +303,25 @@ class Simulator:
                 self.int_regs[int_index] = value
                 int_index += 1
         self._enter_function(func, return_loc=None)
-        self._loop()
+        try:
+            with obs.span("sim.run", func=func_name, program=self.program.name):
+                self._loop()
+        finally:
+            self._publish_run_metrics(func_name)
         if func.returns_float:
             return self.float_regs[0]
         return self.int_regs[0]
+
+    def _publish_run_metrics(self, func_name: str) -> None:
+        """Run-level totals onto the metrics registry (crashes included)."""
+        observer = obs.get_observer()
+        observer.counter("sim.runs").inc()
+        observer.counter("sim.instructions").inc(self.instructions)
+        observer.counter("sim.cycles").inc(self.cycles)
+        observer.counter("sim.boundaries").inc(self.boundaries_crossed)
+        if self.l1_hits or self.l1_misses:
+            observer.counter("sim.l1.hits").inc(self.l1_hits)
+            observer.counter("sim.l1.misses").inc(self.l1_misses)
 
     def _enter_function(self, func: MachineFunction, return_loc: Optional[Location]) -> None:
         base = self.memory.alloc_stack(max(func.frame.size, 1))
@@ -401,6 +423,13 @@ class Simulator:
             return
         elif opcode == "rcb":
             self.boundaries_crossed += 1
+            if self._obs_detailed:
+                # Dynamic instructions since the previous boundary — the
+                # per-region path length the paper's Figs. 8/9 measure.
+                obs.histogram("sim.region_dynamic_size").observe(
+                    self.instructions - self._region_start_instr
+                )
+                self._region_start_instr = self.instructions
             next_loc = Location(self.loc.func, self.loc.block, self.loc.index + 1)
             self.rp = (len(self.frames), next_loc)
         elif opcode == "call":

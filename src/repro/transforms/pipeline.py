@@ -3,12 +3,19 @@
 Order follows paper §4.1: SSA conversion first (mem2reg), then elimination
 of non-clobber memory antidependences (store-to-load forwarding), plus
 routine cleanups (unreachable code removal, DCE).
+
+Each pass runs under a ``transforms.<pass>`` span and publishes its
+statistic to the :mod:`repro.obs` metrics registry as
+``transforms.<stat>{func=...}``, so pass productivity is visible in
+``repro stats`` even for the many callers that ignore the returned
+dict.  The dict itself is still returned for direct inspection.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro import obs
 from repro.analysis.cfg import remove_unreachable_blocks
 from repro.ir.function import Function
 from repro.ir.module import Module
@@ -17,6 +24,21 @@ from repro.transforms.dce import eliminate_dead_code
 from repro.transforms.mem2reg import promote_to_ssa
 from repro.transforms.redundancy import forward_stores_to_loads
 from repro.transforms.simplifycfg import simplify_cfg
+
+#: Level-1 pipeline: (stat name, pass callable), in execution order.
+_LEVEL1_PASSES = (
+    ("unreachable_blocks", remove_unreachable_blocks),
+    ("promoted_allocas", promote_to_ssa),
+    ("forwarded_loads", forward_stores_to_loads),
+    ("dead_instructions", eliminate_dead_code),
+)
+
+
+def publish_pass_stats(func_name: str, stats: Dict[str, int]) -> None:
+    """Feed one function's pass-stat dict into the metrics registry."""
+    for stat, value in stats.items():
+        if value:
+            obs.counter(f"transforms.{stat}").inc(value, func=func_name)
 
 
 def optimize_function(func: Function, level: int = 1) -> Dict[str, int]:
@@ -29,16 +51,18 @@ def optimize_function(func: Function, level: int = 1) -> Dict[str, int]:
     """
     if func.is_declaration:
         return {}
-    stats = {
-        "unreachable_blocks": remove_unreachable_blocks(func),
-        "promoted_allocas": promote_to_ssa(func),
-        "forwarded_loads": forward_stores_to_loads(func),
-        "dead_instructions": eliminate_dead_code(func),
-    }
+    stats: Dict[str, int] = {}
+    for stat, run_pass in _LEVEL1_PASSES:
+        with obs.span(f"transforms.{stat}", func=func.name):
+            stats[stat] = run_pass(func)
     if level >= 2:
-        stats["folded_constants"] = fold_constants(func)
-        stats["simplified_blocks"] = simplify_cfg(func)
-        stats["dead_instructions"] += eliminate_dead_code(func)
+        with obs.span("transforms.folded_constants", func=func.name):
+            stats["folded_constants"] = fold_constants(func)
+        with obs.span("transforms.simplified_blocks", func=func.name):
+            stats["simplified_blocks"] = simplify_cfg(func)
+        with obs.span("transforms.dead_instructions", func=func.name):
+            stats["dead_instructions"] += eliminate_dead_code(func)
+    publish_pass_stats(func.name, stats)
     return stats
 
 
