@@ -17,7 +17,11 @@ Commands:
 The ``experiment`` and ``campaign`` commands print a telemetry summary
 (wall time, per-phase breakdown, cache effectiveness) to stderr, so
 stdout stays byte-identical across serial, parallel, and warm-cache
-invocations.  They also take the observability flags ``--profile
+invocations.  They also take resilience flags — ``--retries N``
+(re-execute transiently failed units with deterministic backoff),
+``--unit-timeout SECONDS`` (kill hung units and rebuild the pool), and
+``--chaos SPEC`` (seeded worker crash/hang/raise injection for testing
+the recovery machinery; see ``docs/harness.md``).  They also take the observability flags ``--profile
 out.trace.json`` (Chrome ``trace_event`` profile of the whole pipeline —
 open in chrome://tracing or Perfetto), ``--metrics out.metrics.json``
 (flat dump of every counter/gauge/histogram), and ``--stats`` (human
@@ -64,6 +68,36 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a JSON dump of every recorded metric")
     parser.add_argument("--stats", action="store_true",
                         help="print the metrics table to stderr at exit")
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-execute transiently failed work units "
+                             "(worker killed, timeout) up to N extra times "
+                             "with deterministic exponential backoff; "
+                             "exhausted units are quarantined in the manifest")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill work units running longer than this; the "
+                             "pool is rebuilt and surviving units resubmitted")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="chaos test hook: deterministically crash/hang/"
+                             "raise workers on seeded units, e.g. "
+                             "'seed=7,crash=0.3,hang=0.05' or a bare seed "
+                             "(crash=0.25); combine with --retries")
+
+
+def _resilience_from_args(args):
+    """(retry, unit_timeout, chaos) from the CLI flags (all may be None)."""
+    from repro.harness.resilience import ChaosPolicy, RetryPolicy
+
+    retry = None
+    if getattr(args, "retries", None) is not None:
+        retry = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    chaos = None
+    if getattr(args, "chaos", None):
+        chaos = ChaosPolicy.parse(args.chaos)
+    return retry, getattr(args, "unit_timeout", None), chaos
 
 
 def _setup_obs(args) -> None:
@@ -193,7 +227,9 @@ def cmd_experiment(args) -> int:
     from repro.harness.report import Telemetry
 
     _setup_obs(args)
-    configure(jobs=args.jobs, use_cache=not args.no_cache)
+    retry, unit_timeout, chaos = _resilience_from_args(args)
+    configure(jobs=args.jobs, use_cache=not args.no_cache,
+              retry=retry, unit_timeout=unit_timeout, chaos=chaos)
     telemetry = Telemetry(label=f"experiment {args.name}")
     names = args.workloads or None
     if args.name == "all":
@@ -227,7 +263,9 @@ def cmd_campaign(args) -> int:
     from repro.harness.report import Telemetry
 
     _setup_obs(args)
-    configure(jobs=args.jobs, use_cache=not args.no_cache)
+    retry, unit_timeout, chaos = _resilience_from_args(args)
+    configure(jobs=args.jobs, use_cache=not args.no_cache,
+              retry=retry, unit_timeout=unit_timeout, chaos=chaos)
     manifest_path = args.manifest
     if manifest_path is None and not args.no_manifest:
         tag = (
@@ -247,6 +285,9 @@ def cmd_campaign(args) -> int:
         manifest_path=manifest_path,
         shard_trials=args.shard_trials,
         telemetry=telemetry,
+        retry=retry,
+        unit_timeout=unit_timeout,
+        chaos=chaos,
     )
     print(format_campaign_report(summary))
     telemetry.finish()
@@ -255,7 +296,7 @@ def cmd_campaign(args) -> int:
         telemetry.note(f"manifest: {manifest_path}")
     print(telemetry.format_summary(), file=sys.stderr)
     _finalize_obs(args)
-    return 1 if summary.failed_units else 0
+    return 1 if summary.failed_units or summary.quarantined_units else 0
 
 
 def cmd_stats(args) -> int:
@@ -323,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard builds and measurements over N processes")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent artifact cache")
+    _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_experiment)
 
@@ -351,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard any existing manifest before running")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent artifact cache")
+    _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
 

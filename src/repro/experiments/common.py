@@ -24,6 +24,7 @@ from repro.compiler import CompileResult, compile_minic
 from repro.harness.cache import cache_key, cached_compile, default_cache
 from repro.harness.executor import TaskExecutor
 from repro.harness.report import Telemetry
+from repro.harness.resilience import ChaosPolicy, RetryPolicy
 from repro.workloads import SUITES, Workload, all_workloads, get_workload
 
 
@@ -44,6 +45,9 @@ class HarnessOptions:
 
     jobs: int = 1
     use_cache: bool = True
+    retry: Optional[RetryPolicy] = None
+    unit_timeout: Optional[float] = None
+    chaos: Optional[ChaosPolicy] = None
 
 
 _options = HarnessOptions()
@@ -51,18 +55,47 @@ _options = HarnessOptions()
 #: name -> (original, idempotent); preserves object identity per process.
 _pair_memo: Dict[str, Tuple[CompileResult, CompileResult]] = {}
 
+_UNSET = object()
 
-def configure(jobs: Optional[int] = None, use_cache: Optional[bool] = None) -> HarnessOptions:
-    """Set the default parallelism / caching for subsequent driver runs."""
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    retry: object = _UNSET,
+    unit_timeout: object = _UNSET,
+    chaos: object = _UNSET,
+) -> HarnessOptions:
+    """Set the default parallelism / caching / resilience for driver runs.
+
+    ``retry`` / ``unit_timeout`` / ``chaos`` accept ``None`` to clear an
+    earlier setting; omit them to leave the current value unchanged.
+    """
     if jobs is not None:
         _options.jobs = max(1, int(jobs))
     if use_cache is not None:
         _options.use_cache = bool(use_cache)
+    if retry is not _UNSET:
+        _options.retry = retry
+    if unit_timeout is not _UNSET:
+        _options.unit_timeout = unit_timeout
+    if chaos is not _UNSET:
+        _options.chaos = chaos
     return _options
 
 
 def current_options() -> HarnessOptions:
     return _options
+
+
+def make_executor(jobs: Optional[int] = None) -> TaskExecutor:
+    """A :class:`TaskExecutor` honouring the configured resilience options."""
+    jobs = _options.jobs if jobs is None else max(1, int(jobs))
+    return TaskExecutor(
+        jobs,
+        retry=_options.retry,
+        unit_timeout=_options.unit_timeout,
+        chaos=_options.chaos,
+    )
 
 
 def clear_build_memo() -> None:
@@ -136,7 +169,7 @@ def prebuild_pairs(
                     continue
             missing.append(workload)
         if missing:
-            executor = TaskExecutor(jobs)
+            executor = make_executor(jobs)
             results = executor.map(_compile_pair_unit, [w.name for w in missing])
             for workload, result in zip(missing, results):
                 pair = result.value
@@ -180,7 +213,7 @@ def map_workloads(
         if jobs <= 1 or len(ordered) <= 1:
             values = [fn(name) for name in ordered]
         else:
-            executor = TaskExecutor(jobs)
+            executor = make_executor(jobs)
             values = [result.value for result in executor.map(fn, ordered)]
     return list(zip(workloads, values))
 

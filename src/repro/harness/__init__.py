@@ -15,6 +15,11 @@ the paper": it makes whole-evaluation runs cheap and restartable.
   work unit becomes a JSON-lines row in a :class:`RunManifest`, so a
   killed campaign picks up where it left off.  (Imported on demand as a
   submodule; it pulls in the simulator stack.)
+- :mod:`repro.harness.resilience` — :class:`RetryPolicy` (deterministic
+  backoff over a transient/permanent error taxonomy),
+  :class:`ChaosPolicy` (seeded worker crash/hang/raise injection for
+  tests), and the category constants the executor and campaign use to
+  classify, retry, and quarantine failing units.
 - :mod:`repro.harness.report` — :class:`Telemetry`, the wall-time /
   per-phase / cache-effectiveness summary every entry point prints.
 """
@@ -30,17 +35,37 @@ from repro.harness.cache import (
 )
 from repro.harness.executor import TaskExecutor, TaskResult, derive_seed
 from repro.harness.report import Telemetry
+from repro.harness.resilience import (
+    TIMEOUT,
+    TRANSIENT_ERROR,
+    UNIT_ERROR,
+    WORKER_LOST,
+    ChaosError,
+    ChaosPolicy,
+    PermanentUnitError,
+    RetryPolicy,
+    is_transient,
+)
 
 __all__ = [
     "PIPELINE_VERSION",
     "ArtifactCache",
     "CacheStats",
+    "ChaosError",
+    "ChaosPolicy",
+    "PermanentUnitError",
+    "RetryPolicy",
+    "TIMEOUT",
+    "TRANSIENT_ERROR",
     "TaskExecutor",
     "TaskResult",
     "Telemetry",
+    "UNIT_ERROR",
+    "WORKER_LOST",
     "cache_key",
     "cached_compile",
     "default_cache",
     "derive_seed",
+    "is_transient",
     "set_default_cache",
 ]

@@ -27,11 +27,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.common import build_pair, format_table, prebuild_pairs, resolve_workloads
 from repro.harness.executor import TaskExecutor, derive_seed
 from repro.harness.report import Telemetry
+from repro.harness.resilience import (
+    UNIT_ERROR,
+    ChaosPolicy,
+    PermanentUnitError,
+    RetryPolicy,
+)
 from repro.obs.context import get_observer
 from repro.sim.faults import FAULT_VALUE, CampaignResult, fault_campaign
 from repro.sim.simulator import Simulator
 
 FLAVOURS = ("original", "idempotent")
+
+#: Manifest row statuses.  ``done`` resumes as complete, ``failed`` is
+#: retried on resume, ``quarantined`` (retry budget exhausted under a
+#: resilience policy) is *skipped* on resume with a visible warning.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+STATUS_QUARANTINED = "quarantined"
 
 
 # ----------------------------------------------------------------------
@@ -42,22 +55,29 @@ class UnitRecord:
     """One manifest row: a completed (or failed) work unit."""
 
     unit_id: str
-    status: str  # "done" | "failed"
+    status: str  # "done" | "failed" | "quarantined"
     seconds: float = 0.0
     data: dict = field(default_factory=dict)
+    #: Executions this unit took (retries included); old manifests
+    #: without the field load as 1.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
-        return self.status == "done"
+        return self.status == STATUS_DONE
+
+    @property
+    def quarantined(self) -> bool:
+        return self.status == STATUS_QUARANTINED
 
 
 class RunManifest:
     """Append-only JSON-lines record of completed campaign units.
 
-    Rows are flushed per unit; a torn final line (killed mid-write) is
-    skipped on load, so the unit simply re-executes on resume.  The last
-    row for a unit id wins, letting a failed unit be retried and its
-    later success supersede the failure.
+    Rows are flushed and fsync'd per unit; a torn final line (killed
+    mid-write, power loss) is skipped on load, so the unit simply
+    re-executes on resume.  The last row for a unit id wins, letting a
+    failed unit be retried and its later success supersede the failure.
     """
 
     def __init__(self, path: str) -> None:
@@ -81,6 +101,7 @@ class RunManifest:
                         status=row["status"],
                         seconds=float(row.get("seconds", 0.0)),
                         data=row.get("data", {}),
+                        attempts=int(row.get("attempts", 1)),
                     )
                 except (ValueError, KeyError, TypeError):
                     continue  # torn or foreign line: unit will re-run
@@ -94,26 +115,51 @@ class RunManifest:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(asdict(record), sort_keys=True) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())  # crash-consistent: row survives power loss
 
 
 # ----------------------------------------------------------------------
 # Generic runner
 # ----------------------------------------------------------------------
 class CampaignRunner:
-    """Executes (unit_id, payload) units with skip-completed semantics."""
+    """Executes (unit_id, payload) units with skip-completed semantics.
+
+    With a resilience policy active (any of ``retry`` / ``unit_timeout``
+    / ``chaos``), a unit that still fails after the executor's retry
+    machinery is *quarantined*: recorded with its attempt count and
+    error category, skipped on resume with a visible warning, and
+    surfaced in the campaign report.  Without one, failures keep the
+    legacy ``failed`` status and are retried on the next invocation.
+    """
 
     def __init__(
         self,
         manifest: Optional[RunManifest] = None,
         jobs: int = 1,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        unit_timeout: Optional[float] = None,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.manifest = manifest
         self.jobs = jobs
         self.telemetry = telemetry or Telemetry(label="campaign")
+        self.retry = retry
+        self.unit_timeout = unit_timeout
+        self.chaos = chaos
         self.executed = 0
         self.skipped = 0
         self.failed = 0
+        self.quarantined = 0
+        self.quarantine_skipped = 0
+
+    @property
+    def _resilient(self) -> bool:
+        return (
+            self.retry is not None
+            or self.unit_timeout is not None
+            or self.chaos is not None
+        )
 
     def run(
         self,
@@ -128,9 +174,24 @@ class CampaignRunner:
         """
         records = self.manifest.load() if self.manifest else {}
         done = {uid for uid, record in records.items() if record.ok}
-        todo = [(uid, payload) for uid, payload in units if uid not in done]
-        self.skipped = len(units) - len(todo)
+        poisoned = {uid for uid, record in records.items() if record.quarantined}
+        todo = [
+            (uid, payload) for uid, payload in units
+            if uid not in done and uid not in poisoned
+        ]
+        self.skipped = sum(1 for uid, _ in units if uid in done)
         observer = get_observer()
+        for uid, _ in units:
+            if uid not in poisoned:
+                continue
+            self.quarantine_skipped += 1
+            record = records[uid]
+            observer.log(
+                f"quarantined unit skipped: {uid} "
+                f"({record.data.get('category', UNIT_ERROR)} after "
+                f"{record.attempts} attempts) — pass --fresh to retry it"
+            )
+            observer.counter("harness.quarantined").inc(event="skipped")
         if self.manifest is not None:
             observer.log(
                 f"campaign resume: {self.skipped} of {len(units)} units "
@@ -139,7 +200,10 @@ class CampaignRunner:
         observer.counter("campaign.units").inc(self.skipped, status="skipped")
         if not todo:
             return records
-        executor = TaskExecutor(self.jobs)
+        executor = TaskExecutor(
+            self.jobs, retry=self.retry,
+            unit_timeout=self.unit_timeout, chaos=self.chaos,
+        )
         with self.telemetry.phase(phase, units=len(todo)):
             for result in executor.imap(
                 worker, [payload for _, payload in todo],
@@ -147,15 +211,32 @@ class CampaignRunner:
             ):
                 if result.ok:
                     record = UnitRecord(
-                        unit_id=str(result.key), status="done",
+                        unit_id=str(result.key), status=STATUS_DONE,
                         seconds=result.seconds, data=result.value,
+                        attempts=result.attempts,
                     )
                     self.executed += 1
                     observer.counter("campaign.units").inc(status="executed")
+                elif self._resilient:
+                    category = result.category or UNIT_ERROR
+                    record = UnitRecord(
+                        unit_id=str(result.key), status=STATUS_QUARANTINED,
+                        seconds=result.seconds,
+                        data={"error": result.error, "category": category},
+                        attempts=result.attempts,
+                    )
+                    self.quarantined += 1
+                    observer.counter("harness.quarantined").inc(
+                        event="new", category=category
+                    )
+                    observer.counter("campaign.units").inc(status="quarantined")
                 else:
                     record = UnitRecord(
-                        unit_id=str(result.key), status="failed",
-                        seconds=result.seconds, data={"error": result.error},
+                        unit_id=str(result.key), status=STATUS_FAILED,
+                        seconds=result.seconds,
+                        data={"error": result.error,
+                              "category": result.category or UNIT_ERROR},
+                        attempts=result.attempts,
                     )
                     self.failed += 1
                     observer.counter("campaign.units").inc(status="failed")
@@ -180,6 +261,7 @@ class FaultCampaignSummary:
     executed_units: int = 0
     skipped_units: int = 0
     failed_units: int = 0
+    quarantined_units: int = 0
     errors: List[str] = field(default_factory=list)
     telemetry: Optional[Telemetry] = None
 
@@ -199,10 +281,20 @@ def _fault_unit(payload: dict) -> dict:
     program = idempotent.program if flavour == "idempotent" else original.program
     # The recovery target is the idempotent build's fault-free run (the
     # same convention as ``python -m repro faults``); both flavours must
-    # reproduce it to count as recovered.
-    reference_sim = Simulator(idempotent.program)
-    reference = reference_sim.run(payload["entry"])
-    reference_output = list(reference_sim.output)
+    # reproduce it to count as recovered.  A crashing reference means
+    # the *build* is broken — deterministic for every retry — so it is
+    # reported as a structured, permanently-classified unit error
+    # rather than escaping as a raw exception string.
+    try:
+        reference_sim = Simulator(idempotent.program)
+        reference = reference_sim.run(payload["entry"])
+        reference_output = list(reference_sim.output)
+    except Exception as exc:
+        raise PermanentUnitError(
+            f"reference run failed for workload {name!r} "
+            f"(flavour {flavour}, entry {payload['entry']!r}): "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     campaign = fault_campaign(
         program,
         reference,
@@ -272,6 +364,9 @@ def run_fault_campaign(
     manifest_path: Optional[str] = None,
     shard_trials: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> FaultCampaignSummary:
     """Suite-wide fault-injection campaign, sharded, cached, resumable."""
     telemetry = telemetry or Telemetry(label="fault campaign")
@@ -285,7 +380,10 @@ def run_fault_campaign(
     # fork and warm runs pull artifacts straight from the disk cache.
     prebuild_pairs(names, jobs=jobs, telemetry=telemetry)
     manifest = RunManifest(manifest_path) if manifest_path else None
-    runner = CampaignRunner(manifest=manifest, jobs=jobs, telemetry=telemetry)
+    runner = CampaignRunner(
+        manifest=manifest, jobs=jobs, telemetry=telemetry,
+        retry=retry, unit_timeout=unit_timeout, chaos=chaos,
+    )
     records = runner.run(_fault_unit, units, phase="inject")
 
     summary = FaultCampaignSummary(
@@ -293,11 +391,19 @@ def run_fault_campaign(
         executed_units=runner.executed,
         skipped_units=runner.skipped,
         failed_units=runner.failed,
+        quarantined_units=runner.quarantined + runner.quarantine_skipped,
         telemetry=telemetry,
     )
     for unit_id, _ in units:
         record = records.get(unit_id)
         if record is None:
+            continue
+        if record.quarantined:
+            summary.errors.append(
+                f"{unit_id}: quarantined after {record.attempts} attempts "
+                f"[{record.data.get('category', UNIT_ERROR)}]: "
+                f"{record.data.get('error')}"
+            )
             continue
         if not record.ok:
             summary.errors.append(f"{unit_id}: {record.data.get('error')}")
@@ -332,11 +438,14 @@ def format_campaign_report(summary: FaultCampaignSummary) -> str:
             f"wrong={total.wrong_result} crashed={total.crashed} "
             f"({total.recovery_rate:.0%} recovery)"
         )
-    lines.append(
+    units_line = (
         f"units: {summary.executed_units} executed, "
         f"{summary.skipped_units} resumed from manifest, "
         f"{summary.failed_units} failed"
     )
+    if summary.quarantined_units:
+        units_line += f", {summary.quarantined_units} quarantined"
+    lines.append(units_line)
     for error in summary.errors:
         lines.append(f"  ! {error}")
     return "\n".join(lines)

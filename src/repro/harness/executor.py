@@ -15,12 +15,32 @@ Determinism rules:
   rather than sharing a sequential RNG stream, so results do not depend
   on how units are sharded across processes.
 
+Resilience (see :mod:`repro.harness.resilience`): the executor treats
+its own workers the way the paper treats a faulting processor — a unit
+is an idempotent region, and recovery is re-execution from its entry.
+
+- Units queue in the *parent*; at most ``jobs`` futures are in flight,
+  so a broken pool blasts only the in-flight units (queued units are
+  re-submitted to the fresh pool without consuming retry budget) and a
+  per-unit wall-clock deadline approximates actual running time.
+- A worker killed by a signal (``BrokenProcessPool``) or a hung unit
+  (``unit_timeout`` exceeded — the pool is killed and rebuilt) is a
+  *transient* failure: the unit re-executes on a fresh worker, after a
+  deterministic exponential backoff, up to its attempt budget.
+- A unit that raises is a *permanent* failure (modulo the policy's
+  ``transient_exceptions``): it fails immediately with its key,
+  category, and attempt count attached.
+- :class:`~repro.harness.resilience.ChaosPolicy` lets tests make
+  workers crash / hang / raise on chosen units to prove all of this.
+
 Observability: pool workers record into their *own* process's
 :mod:`repro.obs` observer.  Each unit runs against a fresh metrics
 registry, and its delta (plus any spans it traced) ships back on the
 :class:`TaskResult`; the parent folds both into its global observer as
 results are settled.  Because counter/histogram merge is exact and
 order-independent, a parallel run's aggregates equal a serial run's.
+Retries and timeouts are visible as ``harness.retries`` /
+``harness.timeouts`` counters and ``harness.retry`` trace events.
 """
 
 from __future__ import annotations
@@ -28,10 +48,20 @@ from __future__ import annotations
 import hashlib
 import sys
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
+from repro.harness.resilience import (
+    DEFAULT_RETRY,
+    WORKER_LOST,
+    TIMEOUT,
+    ChaosPolicy,
+    RetryPolicy,
+)
 from repro.obs.context import get_observer
 from repro.obs.metrics import MetricsRegistry
 
@@ -73,6 +103,11 @@ class TaskResult:
     value: object = None
     seconds: float = 0.0
     error: Optional[str] = None
+    #: Total executions of this unit (1 = succeeded/failed first try).
+    attempts: int = 1
+    #: Failure category from the :mod:`repro.harness.resilience`
+    #: taxonomy; ``None`` for successful units.
+    category: Optional[str] = None
     #: Worker-process observability payload ({"metrics": ..., "spans": ...});
     #: consumed (and cleared) by the parent when the result is settled.
     obs: Optional[dict] = field(default=None, repr=False)
@@ -88,6 +123,8 @@ def _run_unit(
     item: object,
     capture_obs: bool = False,
     enable_trace: bool = False,
+    attempt: int = 1,
+    chaos: Optional[ChaosPolicy] = None,
 ) -> TaskResult:
     """Worker-side wrapper: times the unit and captures its failure.
 
@@ -110,6 +147,8 @@ def _run_unit(
         observer.metrics = unit_metrics
     started = time.perf_counter()
     try:
+        if chaos is not None:
+            chaos.apply(key, attempt)  # may os._exit, hang, or raise
         value = fn(item)
         error = None
     except Exception as exc:  # propagated via TaskResult.error
@@ -127,17 +166,49 @@ def _run_unit(
                 "spans": observer.tracer.spans_since(span_mark),
             }
     return TaskResult(
-        key=key, value=value, seconds=seconds, error=error, obs=obs_payload
+        key=key, value=value, seconds=seconds, error=error,
+        attempts=attempt, obs=obs_payload,
     )
 
 
-class TaskExecutor:
-    """Runs ``fn(item)`` over items, inline or across worker processes."""
+@dataclass
+class _UnitTask:
+    """Parent-side state of one unit across submissions and retries."""
 
-    def __init__(self, jobs: int = 1) -> None:
+    key: object
+    item: object
+    index: int
+    attempt: int = 1
+    deadline: Optional[float] = None  # monotonic; None = no timeout
+
+
+class TaskExecutor:
+    """Runs ``fn(item)`` over items, inline or across worker processes.
+
+    ``retry`` (default :data:`~repro.harness.resilience.DEFAULT_RETRY`:
+    one free re-execution of pool-level failures), ``unit_timeout``
+    (seconds of wall clock per unit before its worker is killed), and
+    ``chaos`` (worker-failure injection, pool path only) make the
+    executor survive its own workers' faults; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        unit_timeout: Optional[float] = None,
+        chaos: Optional[ChaosPolicy] = None,
+    ) -> None:
         self.jobs = max(1, int(jobs or 1))
+        self.retry = retry
+        self.unit_timeout = unit_timeout
+        self.chaos = chaos
         #: True once a pool failed to start and we fell back inline.
         self.degraded = False
+
+    @property
+    def _policy(self) -> RetryPolicy:
+        return self.retry if self.retry is not None else DEFAULT_RETRY
 
     # ------------------------------------------------------------------
     def map(
@@ -186,45 +257,208 @@ class TaskExecutor:
             yield from self._imap_inline(fn, items, keys)
             return
         ensure_deep_pickle()  # the parent unpickles worker results
+        if ordered:
+            buffered: Dict[int, TaskResult] = {}
+            next_index = 0
+            for index, result in self._imap_pool(fn, items, keys):
+                buffered[index] = result
+                while next_index in buffered:
+                    yield buffered.pop(next_index)
+                    next_index += 1
+        else:
+            for _, result in self._imap_pool(fn, items, keys):
+                yield result
+
+    # ------------------------------------------------------------------
+    # Pool orchestration: parent-side queue, retries, timeouts, rebuilds
+    # ------------------------------------------------------------------
+    def _new_pool(self, size: int) -> Optional[ProcessPoolExecutor]:
         try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(items)),
+            return ProcessPoolExecutor(
+                max_workers=min(self.jobs, size),
                 initializer=ensure_deep_pickle,
             )
         except Exception:
-            self.degraded = True
-            yield from self._imap_inline(fn, items, keys)
-            return
+            return None
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate worker processes (hung units included) and discard."""
         try:
-            enable_trace = get_observer().enabled
-            futures = [
-                pool.submit(_run_unit, fn, key, item, True, enable_trace)
-                for key, item in zip(keys, items)
-            ]
-            if ordered:
-                for future in futures:
-                    yield self._settle(future)
+            processes = list((pool._processes or {}).values())
+        except Exception:
+            processes = []
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _imap_pool(
+        self, fn: Callable, items: Sequence[object], keys: Sequence[object]
+    ) -> Iterator[Tuple[int, TaskResult]]:
+        observer = get_observer()
+        policy = self._policy
+        max_workers = min(self.jobs, len(items))
+        pool = self._new_pool(len(items))
+        enable_trace = observer.enabled
+
+        pending: deque = deque(
+            _UnitTask(key=key, item=item, index=index)
+            for index, (key, item) in enumerate(zip(keys, items))
+        )
+        delayed: List[Tuple[float, _UnitTask]] = []  # backoff waits
+        inflight: Dict[object, _UnitTask] = {}       # future -> task
+        finished: List[Tuple[int, TaskResult]] = []
+
+        def run_inline(task: _UnitTask) -> None:
+            # Degraded path: no chaos (a crash would kill the parent)
+            # and no preemption, so no timeout either.
+            result = _run_unit(fn, task.key, task.item)
+            result.attempts = task.attempt
+            if result.error:
+                result.category = policy.classify_unit_error(result.error)
+            finished.append((task.index, result))
+
+        def submit(task: _UnitTask) -> None:
+            nonlocal pool
+            for _ in range(2):  # one lazy rebuild on a broken/shut pool
+                if pool is None:
+                    break
+                try:
+                    future = pool.submit(
+                        _run_unit, fn, task.key, task.item, True,
+                        enable_trace, task.attempt, self.chaos,
+                    )
+                except Exception:
+                    self._kill_pool(pool)
+                    pool = self._new_pool(len(items))
+                    continue
+                task.deadline = (
+                    time.monotonic() + self.unit_timeout
+                    if self.unit_timeout else None
+                )
+                inflight[future] = task
+                return
+            self.degraded = True
+            run_inline(task)
+
+        def fail_or_retry(task: _UnitTask, category: str, error: str,
+                          seconds: float = 0.0) -> None:
+            if policy.should_retry(category, task.attempt):
+                delay = policy.delay(task.key, task.attempt)
+                observer.counter("harness.retries").inc(category=category)
+                observer.tracer.instant(
+                    "harness.retry", key=str(task.key),
+                    attempt=task.attempt, category=category,
+                    delay_s=round(delay, 6), error=error,
+                )
+                task.attempt += 1
+                delayed.append((time.monotonic() + delay, task))
             else:
-                pending = set(futures)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield self._settle(future)
+                finished.append((task.index, TaskResult(
+                    key=task.key, error=error, seconds=seconds,
+                    attempts=task.attempt, category=category,
+                )))
+
+        def settle(future, task: _UnitTask) -> None:
+            try:
+                result = future.result()
+            except Exception as exc:
+                # Pool-level breakage: the worker died (a signal, a
+                # chaos crash) or the result could not be transported.
+                # The unit is idempotent — re-execute it from its entry.
+                fail_or_retry(
+                    task, WORKER_LOST, f"{type(exc).__name__}: {exc}"
+                )
+                return
+            self._absorb_obs(result)
+            result.attempts = task.attempt
+            if result.error:
+                category = policy.classify_unit_error(result.error)
+                result.category = category
+                if policy.should_retry(category, task.attempt):
+                    fail_or_retry(task, category, result.error, result.seconds)
+                else:
+                    finished.append((task.index, result))
+            else:
+                finished.append((task.index, result))
+
+        try:
+            while pending or delayed or inflight:
+                now = time.monotonic()
+                if delayed:  # promote due backoff waiters
+                    due = [t for when, t in delayed if when <= now]
+                    delayed = [(w, t) for w, t in delayed if w > now]
+                    pending.extendleft(reversed(due))
+                while pending and len(inflight) < max_workers:
+                    if pool is None:  # unrecoverable pool: drain inline
+                        self.degraded = True
+                        run_inline(pending.popleft())
+                        continue
+                    submit(pending.popleft())
+                if not inflight:
+                    if delayed:
+                        next_due = min(when for when, _ in delayed)
+                        time.sleep(max(0.0, next_due - time.monotonic()))
+                    yield from finished
+                    finished.clear()
+                    continue
+
+                wakeups = [t.deadline for t in inflight.values()
+                           if t.deadline is not None]
+                wakeups += [when for when, _ in delayed]
+                timeout = (
+                    max(0.0, min(wakeups) - time.monotonic()) + 0.02
+                    if wakeups else None
+                )
+                done, _ = wait(
+                    set(inflight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    settle(future, inflight.pop(future))
+
+                now = time.monotonic()
+                expired = {
+                    future: task for future, task in inflight.items()
+                    if task.deadline is not None and task.deadline <= now
+                }
+                if expired:
+                    # A hung worker cannot be interrupted individually:
+                    # kill the whole pool, time out the expired units,
+                    # and re-submit the surviving in-flight units to a
+                    # fresh pool at their *current* attempt — they did
+                    # not fail, their workers were collateral.
+                    observer.counter("harness.timeouts").inc(len(expired))
+                    survivors = [task for future, task in inflight.items()
+                                 if future not in expired]
+                    inflight.clear()
+                    if pool is not None:
+                        self._kill_pool(pool)
+                    pool = self._new_pool(len(items))
+                    pending.extendleft(reversed(survivors))
+                    for task in expired.values():
+                        fail_or_retry(
+                            task, TIMEOUT,
+                            f"TimeoutError: unit exceeded "
+                            f"{self.unit_timeout:g}s wall-clock limit",
+                            seconds=float(self.unit_timeout or 0.0),
+                        )
+                yield from finished
+                finished.clear()
         finally:
-            pool.shutdown(wait=True)
+            if pool is not None:
+                if inflight:
+                    self._kill_pool(pool)  # abandoned mid-run (gen close)
+                else:
+                    pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _settle(future) -> TaskResult:
-        try:
-            result = future.result()
-        except Exception as exc:
-            # The unit itself never raises (wrapped in _run_unit); this
-            # is pool-level breakage such as an unpicklable work function
-            # or a worker killed by a signal.
-            return TaskResult(key=None, error=f"{type(exc).__name__}: {exc}")
-        return TaskExecutor._absorb_obs(result)
-
     @staticmethod
     def _absorb_obs(result: TaskResult) -> TaskResult:
         """Fold a worker unit's metrics delta and spans into this process."""
@@ -236,9 +470,12 @@ class TaskExecutor:
             result.obs = None
         return result
 
-    @staticmethod
     def _imap_inline(
-        fn: Callable, items: Iterable[object], keys: Iterable[object]
+        self, fn: Callable, items: Iterable[object], keys: Iterable[object]
     ) -> Iterator[TaskResult]:
+        policy = self._policy
         for key, item in zip(keys, items):
-            yield _run_unit(fn, key, item)
+            result = _run_unit(fn, key, item)
+            if result.error:
+                result.category = policy.classify_unit_error(result.error)
+            yield result

@@ -1,0 +1,247 @@
+"""Resilient execution policies: retries, timeouts, quarantine, chaos.
+
+The paper's thesis is that an idempotent region can recover from a
+failure by jumping back to its entry and re-executing.  Harness work
+units have exactly that property — a fault-trial shard is a pure
+function of its payload (spawn-key seeds, content-addressed builds) —
+so the orchestration layer can apply the same recovery idea to itself:
+a unit whose *worker* fails (killed by a signal, hung, pool torn down)
+is simply re-executed from its entry on a fresh worker, and the merged
+campaign result is unchanged.
+
+Three pieces live here:
+
+- an **error taxonomy** separating *transient* failures (worker lost,
+  wall-clock timeout, corrupted cache entry) — where re-execution is
+  sound and likely to succeed — from *permanent* ones (the unit's own
+  code raised), where re-execution would deterministically fail again;
+- :class:`RetryPolicy` — how many attempts a unit gets and how long to
+  back off between them, with *deterministic* jitter (spawn-key style,
+  like :func:`repro.harness.executor.derive_seed`) so two runs of the
+  same campaign schedule identically;
+- :class:`ChaosPolicy` — a test hook that makes pool workers crash,
+  hang, or raise on chosen units, deterministically, so the recovery
+  machinery is provable under test and in CI smoke runs.
+
+Quarantine (recording a unit that exhausted its budget so resume skips
+it) is implemented by :class:`repro.harness.campaign.CampaignRunner` on
+top of the attempt/category accounting these policies produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+#: The worker process died or the pool could not transport the result:
+#: a killed worker, ``BrokenProcessPool``, an unpicklable result.  The
+#: unit itself may never have run — re-execution is sound.
+WORKER_LOST = "worker-lost"
+#: The unit exceeded its wall-clock budget and its worker was killed.
+TIMEOUT = "timeout"
+#: The unit raised an exception whose type is known to be retryable
+#: (e.g. a corrupted cache entry that the next attempt rebuilds).
+TRANSIENT_ERROR = "transient-error"
+#: The unit's own code raised: deterministic, re-execution would fail
+#: again.  Never retried; quarantined when a retry policy is active.
+UNIT_ERROR = "unit-error"
+
+TRANSIENT_CATEGORIES = frozenset({WORKER_LOST, TIMEOUT, TRANSIENT_ERROR})
+
+
+def is_transient(category: Optional[str]) -> bool:
+    """Whether re-executing a unit that failed this way is worthwhile."""
+    return category in TRANSIENT_CATEGORIES
+
+
+class ChaosError(RuntimeError):
+    """Raised inside a work unit by :class:`ChaosPolicy` ``raise`` mode."""
+
+
+class PermanentUnitError(RuntimeError):
+    """A unit failure known to be deterministic (never retried).
+
+    Work functions raise this to assert "retrying cannot help" — e.g.
+    a fault-campaign unit whose *reference* run crashes, which means the
+    build itself is broken for every future attempt too.
+    """
+
+
+def _unit_interval(*path: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a derivation path.
+
+    The same spawn-key idea as :func:`repro.harness.executor.derive_seed`
+    (SHA-256 over the ``repr`` of each path component), kept local so the
+    policy layer has no import cycle with the executor.
+    """
+    digest = hashlib.sha256()
+    for part in path:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest()[:8], "big") / 2.0 ** 64
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and backoff schedule for transient unit failures.
+
+    ``max_attempts`` counts *total* executions: 1 means no retries.
+    Backoff for the retry after attempt ``n`` is
+    ``min(backoff_base * backoff_factor**(n-1), backoff_max)`` scaled by
+    ``1 + jitter * u`` where ``u`` is a deterministic uniform draw from
+    ``(seed, key, n)`` — so a re-run of the same campaign backs off by
+    the same amounts, yet distinct units never thundering-herd.
+    """
+
+    max_attempts: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    #: Exception type names (the leading ``TypeName:`` of a unit error)
+    #: classified transient even though the unit itself raised them.
+    transient_exceptions: FrozenSet[str] = frozenset({"CacheCorruptionError"})
+
+    def should_retry(self, category: Optional[str], attempt: int) -> bool:
+        """Whether a unit failing this way on this attempt gets another."""
+        return is_transient(category) and attempt < self.max_attempts
+
+    def delay(self, key: object, attempt: int) -> float:
+        """Seconds to back off before re-submitting after ``attempt``."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max,
+        )
+        return base * (1.0 + self.jitter * _unit_interval(
+            self.seed, "retry", repr(key), attempt
+        ))
+
+    def classify_unit_error(self, error: Optional[str]) -> str:
+        """Category of an exception a unit raised (``"TypeName: msg"``)."""
+        if not error:
+            return UNIT_ERROR
+        type_name = error.split(":", 1)[0].strip()
+        if type_name in self.transient_exceptions:
+            return TRANSIENT_ERROR
+        return UNIT_ERROR
+
+
+#: Executor default when no policy is given: one free re-execution for
+#: pool-level failures (worker lost, timeout) and none for unit errors.
+#: Invisible unless a worker actually dies.
+DEFAULT_RETRY = RetryPolicy(max_attempts=2)
+
+
+# ----------------------------------------------------------------------
+# Chaos policy (test hook)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Deterministic worker-failure injection for pool work units.
+
+    Only applies on the process-pool path (never inline — a chaos crash
+    inline would kill the orchestrating process) and only to the first
+    ``affect_attempts`` attempts of a unit, so retried units recover and
+    a chaotic campaign converges to the undisturbed result.
+
+    Units are chosen either explicitly (``crash_units`` /
+    ``hang_units`` / ``raise_units`` match ``str(key)``) or by seeded
+    rates: a deterministic uniform draw from ``(seed, key, attempt)``
+    falls into the ``crash`` / ``hang`` / ``raise`` bands.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    raise_rate: float = 0.0
+    hang_seconds: float = 3600.0
+    affect_attempts: int = 1
+    crash_units: Tuple[str, ...] = ()
+    hang_units: Tuple[str, ...] = ()
+    raise_units: Tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Build a policy from a CLI spec.
+
+        Either a bare integer seed (``--chaos 7`` — crash rate defaults
+        to 0.25) or comma-separated ``key=value`` pairs::
+
+            --chaos seed=7,crash=0.3,hang=0.1,raise=0,hang-seconds=30
+        """
+        spec = spec.strip()
+        try:
+            return cls(seed=int(spec), crash_rate=0.25)
+        except ValueError:
+            pass
+        fields = {
+            "seed": ("seed", int),
+            "crash": ("crash_rate", float),
+            "hang": ("hang_rate", float),
+            "raise": ("raise_rate", float),
+            "hang-seconds": ("hang_seconds", float),
+            "hang_seconds": ("hang_seconds", float),
+            "attempts": ("affect_attempts", int),
+        }
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, value = part.partition("=")
+            try:
+                attr, cast = fields[name.strip()]
+                kwargs[attr] = cast(value.strip())
+            except (KeyError, ValueError):
+                raise ValueError(
+                    f"bad chaos spec component {part!r}; expected "
+                    f"seed=N,crash=R,hang=R,raise=R,hang-seconds=S"
+                ) from None
+        return cls(**kwargs)
+
+    def mode(self, key: object, attempt: int) -> Optional[str]:
+        """``"crash"`` | ``"hang"`` | ``"raise"`` | None for this attempt."""
+        if attempt > self.affect_attempts:
+            return None
+        name = str(key)
+        if name in self.crash_units:
+            return "crash"
+        if name in self.hang_units:
+            return "hang"
+        if name in self.raise_units:
+            return "raise"
+        draw = _unit_interval(self.seed, "chaos", name, attempt)
+        if draw < self.crash_rate:
+            return "crash"
+        if draw < self.crash_rate + self.hang_rate:
+            return "hang"
+        if draw < self.crash_rate + self.hang_rate + self.raise_rate:
+            return "raise"
+        return None
+
+    def apply(self, key: object, attempt: int) -> None:
+        """Worker-side: fault this attempt according to :meth:`mode`."""
+        mode = self.mode(key, attempt)
+        if mode is None:
+            return
+        if mode == "crash":
+            print(f"[chaos] crashing worker on unit {key} "
+                  f"(attempt {attempt})", file=sys.stderr, flush=True)
+            os._exit(86)
+        if mode == "hang":
+            print(f"[chaos] hanging unit {key} (attempt {attempt})",
+                  file=sys.stderr, flush=True)
+            time.sleep(self.hang_seconds)
+            return
+        raise ChaosError(f"chaos raise on unit {key} (attempt {attempt})")

@@ -127,3 +127,12 @@ class TestCampaign:
         second = capsys.readouterr().out
         assert "0 executed, 2 resumed from manifest" in second
         assert first.splitlines()[:6] == second.splitlines()[:6]
+
+    def test_resilience_flags_do_not_change_stdout(self, capsys):
+        """With no failures, --retries/--unit-timeout are invisible:
+        the campaign report is byte-identical to a plain run."""
+        base = ["campaign", "bzip2", "--trials", "2", "--no-manifest"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--retries", "2", "--unit-timeout", "60"]) == 0
+        assert capsys.readouterr().out == plain

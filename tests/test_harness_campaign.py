@@ -92,12 +92,38 @@ class TestRunManifest:
         records = manifest.load()
         assert set(records) == {"u1"}
 
+    def test_torn_final_line_mid_data_dict_is_skipped(self, tmp_path):
+        """A kill can also land inside the row's nested ``data`` dict —
+        syntactically deeper than a truncated status, same outcome."""
+        path = tmp_path / "run.jsonl"
+        manifest = RunManifest(str(path))
+        manifest.append(UnitRecord("u1", "done", 1.0, {"trials": 4}))
+        with open(path, "a") as handle:
+            handle.write(
+                '{"unit_id": "u2", "status": "done", "seconds": 0.5, '
+                '"data": {"trials": 4, "inject'  # torn inside data
+            )
+        records = manifest.load()
+        assert set(records) == {"u1"}
+
     def test_last_record_wins(self, tmp_path):
         manifest = RunManifest(str(tmp_path / "run.jsonl"))
         manifest.append(UnitRecord("u1", "failed", 0.1, {"error": "flake"}))
         manifest.append(UnitRecord("u1", "done", 2.0, {"x": 42}))
         records = manifest.load()
         assert records["u1"].ok and records["u1"].data["x"] == 42
+
+    def test_attempts_roundtrip_and_legacy_rows_default_to_one(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        manifest = RunManifest(str(path))
+        manifest.append(UnitRecord("u1", "done", 1.0, {}, attempts=3))
+        with open(path, "a") as handle:  # a pre-`attempts` manifest row
+            handle.write(json.dumps({
+                "unit_id": "old", "status": "done", "seconds": 0.2, "data": {},
+            }) + "\n")
+        records = manifest.load()
+        assert records["u1"].attempts == 3
+        assert records["old"].attempts == 1
 
 
 def _record_call(payload):
@@ -149,6 +175,40 @@ class TestCampaignRunner:
         runner.run(_record_call, units)
         assert runner.executed == 2 and runner.skipped == 0
 
+    def test_failed_row_superseded_by_later_done_row(self, tmp_path):
+        """Resume after a transient breakage: the manifest keeps both
+        the failed row and the later done row, and load resolves to
+        done — the unit is neither lost nor re-executed a third time."""
+        flag = tmp_path / "broken"
+        flag.touch()
+        manifest = RunManifest(str(tmp_path / "run.jsonl"))
+        units = [("u1", {"flag": str(flag)})]
+
+        first = CampaignRunner(manifest=manifest, jobs=1)
+        first.run(_fail_while_flagged, units)
+        assert first.failed == 1
+
+        flag.unlink()  # the transient cause goes away
+        second = CampaignRunner(manifest=manifest, jobs=1)
+        records = second.run(_fail_while_flagged, units)
+        assert second.executed == 1 and records["u1"].ok
+
+        # Both rows are on disk; the done row wins on every later load.
+        rows = [json.loads(line)
+                for line in open(manifest.path) if line.strip()]
+        assert [row["status"] for row in rows] == ["failed", "done"]
+        third = CampaignRunner(manifest=manifest, jobs=1)
+        third.run(_fail_while_flagged, units)
+        assert third.skipped == 1 and third.executed == 0
+
+
+def _fail_while_flagged(payload):
+    import os as _os
+
+    if _os.path.exists(payload["flag"]):
+        raise RuntimeError("transient infrastructure failure")
+    return {"ok": True}
+
 
 def _always_fails(payload):
     raise RuntimeError("unit exploded")
@@ -196,6 +256,36 @@ class TestFaultCampaign:
         report = format_campaign_report(resumed)
         assert "bzip2" in report and "idempotent" in report
         assert "resumed from manifest" in report
+
+    def test_control_faults_with_latency_through_sharded_path(
+        self, isolated_cache
+    ):
+        """kind=control with detection_latency > 0 through the sharded
+        campaign path merges to exactly the serial fault_campaign run."""
+        from repro.experiments.common import build_pair
+        from repro.harness.executor import derive_seed
+        from repro.sim.faults import FAULT_CONTROL
+        from repro.workloads import get_workload
+
+        workload = get_workload("bzip2")
+        summary = run_fault_campaign(
+            names=["bzip2"], trials=4, seed=5, kind=FAULT_CONTROL,
+            detection_latency=4, shard_trials=2,
+        )
+        assert summary.failed_units == 0
+        _, idem = build_pair("bzip2")
+        reference_sim = Simulator(idem.program)
+        reference = reference_sim.run(workload.entry)
+        reference_output = list(reference_sim.output)
+        expected = fault_campaign(
+            idem.program, reference, reference_output, trials=4,
+            func=workload.entry, kind=FAULT_CONTROL,
+            seed=derive_seed(5, "bzip2", "idempotent"),
+            detection_latency=4,
+        )
+        merged = summary.results[("bzip2", "idempotent")]
+        assert dataclasses.asdict(merged) == dataclasses.asdict(expected)
+        assert merged.injected > 0
 
     def test_manifest_rows_are_json(self, tmp_path, isolated_cache):
         manifest_path = str(tmp_path / "campaign.jsonl")

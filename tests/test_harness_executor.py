@@ -20,6 +20,10 @@ def slow_identity(x):
     return x
 
 
+def unpicklable(x):
+    return lambda: x  # result cannot cross the pool's pickle transport
+
+
 class TestDeriveSeed:
     def test_deterministic(self):
         assert derive_seed(12345, "trial", 7) == derive_seed(12345, "trial", 7)
@@ -88,3 +92,17 @@ class TestParallel:
         results = executor.map(square, [3])
         assert results[0].value == 9
         assert not executor.degraded
+
+    def test_pool_level_failure_keeps_unit_keys(self):
+        """Result transport failing (unpicklable return value) is a
+        pool-level error, yet every failure stays attributed to its
+        submitted key — never a `None` key row."""
+        from repro.harness.resilience import WORKER_LOST, RetryPolicy
+
+        executor = TaskExecutor(
+            2, retry=RetryPolicy(max_attempts=1)  # fail straight away
+        )
+        results = executor.map(unpicklable, ["a", "b"], reraise=False)
+        assert {r.key for r in results} == {"a", "b"}
+        assert all(not r.ok for r in results)
+        assert all(r.category == WORKER_LOST for r in results)

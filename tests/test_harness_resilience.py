@@ -1,0 +1,406 @@
+"""Resilient execution: retries, timeouts, quarantine, chaos testing.
+
+The executor treats work units the way the paper treats idempotent
+regions — failure recovery is re-execution from the unit's entry — so
+these tests kill workers, hang units, and break pools on purpose and
+assert the campaign results come out bit-identical to an undisturbed
+serial run.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.harness.campaign import (
+    CampaignRunner,
+    RunManifest,
+    fault_campaign_units,
+    format_campaign_report,
+    run_fault_campaign,
+)
+from repro.harness.cache import ArtifactCache, set_default_cache
+from repro.harness.executor import TaskExecutor
+from repro.harness.resilience import (
+    TIMEOUT,
+    TRANSIENT_ERROR,
+    UNIT_ERROR,
+    WORKER_LOST,
+    ChaosError,
+    ChaosPolicy,
+    RetryPolicy,
+    is_transient,
+)
+from repro.obs import Observer, counter_values, set_observer
+
+
+@pytest.fixture
+def fresh_observer():
+    observer = Observer()
+    previous = set_observer(observer)
+    yield observer
+    set_observer(previous)
+
+
+@pytest.fixture
+def isolated_cache(tmp_path):
+    previous = set_default_cache(ArtifactCache(root=str(tmp_path / "cache")))
+    yield
+    set_default_cache(previous)
+
+
+def _counter_total(observer, name):
+    return sum(
+        value for _, value in
+        counter_values(observer.metrics.snapshot(), name)
+    )
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_transient_taxonomy(self):
+        assert is_transient(WORKER_LOST)
+        assert is_transient(TIMEOUT)
+        assert is_transient(TRANSIENT_ERROR)
+        assert not is_transient(UNIT_ERROR)
+        assert not is_transient(None)
+
+    def test_should_retry_respects_budget_and_category(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(WORKER_LOST, 1)
+        assert policy.should_retry(TIMEOUT, 2)
+        assert not policy.should_retry(WORKER_LOST, 3)  # budget exhausted
+        assert not policy.should_retry(UNIT_ERROR, 1)   # permanent
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=10.0, jitter=0.5, seed=7)
+        first = policy.delay("unit", 1)
+        again = policy.delay("unit", 1)
+        assert first == again  # deterministic jitter
+        assert 0.1 <= first <= 0.15
+        assert 0.2 <= policy.delay("unit", 2) <= 0.3
+        # Distinct units draw distinct jitter from the same schedule.
+        assert policy.delay("unit", 1) != policy.delay("other", 1)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_max=2.0, jitter=0.0)
+        assert policy.delay("u", 9) == 2.0
+
+    def test_classify_unit_error(self):
+        policy = RetryPolicy()
+        assert policy.classify_unit_error("ValueError: nope") == UNIT_ERROR
+        assert policy.classify_unit_error(None) == UNIT_ERROR
+        assert policy.classify_unit_error(
+            "CacheCorruptionError: torn entry"
+        ) == TRANSIENT_ERROR
+
+    def test_custom_transient_exceptions(self):
+        policy = RetryPolicy(transient_exceptions=frozenset({"FlakyError"}))
+        assert policy.classify_unit_error("FlakyError: x") == TRANSIENT_ERROR
+        assert policy.classify_unit_error("ValueError: x") == UNIT_ERROR
+
+
+class TestChaosPolicy:
+    def test_mode_is_deterministic(self):
+        policy = ChaosPolicy(seed=3, crash_rate=0.3, hang_rate=0.2,
+                             raise_rate=0.1)
+        modes = [policy.mode(f"unit{i}", 1) for i in range(64)]
+        assert modes == [policy.mode(f"unit{i}", 1) for i in range(64)]
+        assert {"crash", "hang", "raise", None} >= set(modes)
+        assert any(m is not None for m in modes)
+        assert any(m is None for m in modes)
+
+    def test_only_affects_early_attempts(self):
+        policy = ChaosPolicy(crash_units=("u",), affect_attempts=1)
+        assert policy.mode("u", 1) == "crash"
+        assert policy.mode("u", 2) is None
+
+    def test_explicit_unit_targeting(self):
+        policy = ChaosPolicy(crash_units=("c",), hang_units=("h",),
+                             raise_units=("r",))
+        assert policy.mode("c", 1) == "crash"
+        assert policy.mode("h", 1) == "hang"
+        assert policy.mode("r", 1) == "raise"
+        assert policy.mode("x", 1) is None
+
+    def test_raise_mode_applies(self):
+        policy = ChaosPolicy(raise_units=("r",))
+        with pytest.raises(ChaosError):
+            policy.apply("r", 1)
+        policy.apply("r", 2)  # past affect_attempts: no-op
+
+    def test_parse_bare_seed(self):
+        policy = ChaosPolicy.parse("42")
+        assert policy.seed == 42
+        assert policy.crash_rate == 0.25
+
+    def test_parse_key_values(self):
+        policy = ChaosPolicy.parse(
+            "seed=7,crash=0.3,hang=0.1,raise=0.05,hang-seconds=30"
+        )
+        assert policy.seed == 7
+        assert policy.crash_rate == 0.3
+        assert policy.hang_rate == 0.1
+        assert policy.raise_rate == 0.05
+        assert policy.hang_seconds == 30.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy.parse("seed=7,explode=1.0")
+
+
+# ----------------------------------------------------------------------
+# Executor-level recovery
+# ----------------------------------------------------------------------
+def _ident(x):
+    return x
+
+
+def _crash_if_die(x):
+    if x == "die":
+        os._exit(9)  # simulate a worker killed by a signal
+    return x
+
+
+def _sleep_if_hang(x):
+    if x == "hang":
+        time.sleep(60)
+    return x
+
+
+def _raise_flaky(x):
+    raise RuntimeError("deterministic unit failure")
+
+
+class TestExecutorRecovery:
+    def test_chaos_crash_recovers_on_rebuilt_pool(self, fresh_observer):
+        executor = TaskExecutor(
+            2,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            chaos=ChaosPolicy(crash_units=("k1",)),
+        )
+        results = executor.map(_ident, ["a", "b", "c", "d"],
+                               keys=["k1", "k2", "k3", "k4"])
+        assert [r.value for r in results] == ["a", "b", "c", "d"]
+        assert all(r.ok for r in results)
+        by_key = {r.key: r for r in results}
+        assert by_key["k1"].attempts >= 2  # crashed once, then recovered
+        assert _counter_total(fresh_observer, "harness.retries") >= 1
+
+    def test_exhausted_crasher_fails_with_key_and_category(self):
+        executor = TaskExecutor(
+            2, retry=RetryPolicy(max_attempts=2, backoff_base=0.01)
+        )
+        results = executor.map(_crash_if_die, ["ok", "die"],
+                               reraise=False)
+        by_key = {r.key: r for r in results}
+        assert None not in by_key  # pool breakage never loses the key
+        assert by_key["ok"].ok
+        dead = by_key["die"]
+        assert not dead.ok
+        assert dead.category == WORKER_LOST
+        assert dead.attempts == 2
+
+    def test_timeout_kills_hung_unit_and_spares_survivors(
+        self, fresh_observer
+    ):
+        executor = TaskExecutor(
+            2,
+            retry=RetryPolicy(max_attempts=1),  # no retry: fail on timeout
+            unit_timeout=1.0,
+        )
+        results = executor.map(_sleep_if_hang, ["hang", "b", "c"],
+                               reraise=False)
+        by_key = {r.key: r for r in results}
+        hung = by_key["hang"]
+        assert not hung.ok
+        assert hung.category == TIMEOUT
+        assert "wall-clock" in hung.error
+        assert by_key["b"].ok and by_key["c"].ok
+        assert _counter_total(fresh_observer, "harness.timeouts") >= 1
+
+    def test_chaos_hang_recovers_after_timeout(self, fresh_observer):
+        executor = TaskExecutor(
+            2,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+            unit_timeout=1.0,
+            chaos=ChaosPolicy(hang_units=("h",), hang_seconds=60),
+        )
+        results = executor.map(_ident, ["x", "y"], keys=["h", "k"])
+        by_key = {r.key: r for r in results}
+        assert by_key["h"].ok and by_key["h"].value == "x"
+        assert by_key["h"].attempts == 2
+        assert by_key["k"].ok
+        assert _counter_total(fresh_observer, "harness.timeouts") >= 1
+
+    def test_chaos_raise_is_permanent(self):
+        executor = TaskExecutor(
+            2,
+            retry=RetryPolicy(max_attempts=5, backoff_base=0.01),
+            chaos=ChaosPolicy(raise_units=("r",)),
+        )
+        results = executor.map(_ident, ["x", "y"], keys=["r", "k"],
+                               reraise=False)
+        by_key = {r.key: r for r in results}
+        failed = by_key["r"]
+        assert not failed.ok
+        assert failed.category == UNIT_ERROR
+        assert failed.attempts == 1  # permanent: budget never spent
+        assert "ChaosError" in failed.error
+
+    def test_unit_exceptions_never_retried(self):
+        executor = TaskExecutor(
+            2, retry=RetryPolicy(max_attempts=5, backoff_base=0.01)
+        )
+        results = executor.map(_raise_flaky, ["a", "b"], reraise=False)
+        assert all(not r.ok for r in results)
+        assert all(r.attempts == 1 for r in results)
+        assert all(r.category == UNIT_ERROR for r in results)
+
+    def test_inline_failures_are_classified(self):
+        results = TaskExecutor(1).map(_raise_flaky, ["a"], reraise=False)
+        assert results[0].category == UNIT_ERROR
+        assert results[0].attempts == 1
+
+    def test_ordered_map_preserves_item_order_under_chaos(self):
+        executor = TaskExecutor(
+            2,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            chaos=ChaosPolicy(crash_units=("k2",)),
+        )
+        results = executor.map(_ident, list("abcdef"),
+                               keys=[f"k{i}" for i in range(6)])
+        assert [r.value for r in results] == list("abcdef")
+
+
+# ----------------------------------------------------------------------
+# Campaign-level quarantine and chaos
+# ----------------------------------------------------------------------
+def _failing_unit(payload):
+    raise RuntimeError("poison unit")
+
+
+def _log_and_return(payload):
+    with open(payload["log"], "a") as handle:
+        handle.write(payload["id"] + "\n")
+    return {"id": payload["id"]}
+
+
+class TestQuarantine:
+    def test_exhausted_unit_is_quarantined(self, tmp_path, fresh_observer):
+        manifest = RunManifest(str(tmp_path / "run.jsonl"))
+        runner = CampaignRunner(
+            manifest=manifest, jobs=1, retry=RetryPolicy(max_attempts=2)
+        )
+        records = runner.run(_failing_unit, [("bad", {"x": 1})])
+        assert runner.quarantined == 1 and runner.failed == 0
+        record = records["bad"]
+        assert record.quarantined
+        assert record.data["category"] == UNIT_ERROR
+        assert "poison unit" in record.data["error"]
+        assert _counter_total(fresh_observer, "harness.quarantined") == 1
+
+    def test_quarantined_unit_skipped_on_resume(
+        self, tmp_path, fresh_observer, capsys
+    ):
+        manifest = RunManifest(str(tmp_path / "run.jsonl"))
+        log = str(tmp_path / "calls.log")
+        units = [("bad", {"id": "bad", "log": log}),
+                 ("good", {"id": "good", "log": log})]
+        first = CampaignRunner(
+            manifest=manifest, jobs=1, retry=RetryPolicy(max_attempts=2)
+        )
+        first.run(_failing_unit, units[:1])
+        assert first.quarantined == 1
+
+        second = CampaignRunner(
+            manifest=manifest, jobs=1, retry=RetryPolicy(max_attempts=2)
+        )
+        records = second.run(_log_and_return, units)
+        # The poisoned unit was skipped — never re-executed — with a
+        # visible warning; the fresh unit ran normally.
+        assert second.quarantine_skipped == 1
+        assert second.executed == 1 and second.quarantined == 0
+        assert records["bad"].quarantined and records["good"].ok
+        assert open(log).read().split() == ["good"]
+        assert "quarantined unit skipped: bad" in capsys.readouterr().err
+
+    def test_without_policy_failures_stay_retryable(self, tmp_path):
+        manifest = RunManifest(str(tmp_path / "run.jsonl"))
+        runner = CampaignRunner(manifest=manifest, jobs=1)
+        records = runner.run(_failing_unit, [("bad", {"x": 1})])
+        assert runner.failed == 1 and runner.quarantined == 0
+        assert records["bad"].status == "failed"
+        # Legacy semantics: a plain failed row re-runs on resume.
+        retry = CampaignRunner(manifest=manifest, jobs=1)
+        retry.run(_failing_unit, [("bad", {"x": 1})])
+        assert retry.executed == 0 and retry.failed == 1
+
+
+WORKLOAD = "blackscholes"  # fastest simulator run in the suite
+
+
+class TestChaosCampaign:
+    def test_chaos_campaign_matches_undisturbed_serial(
+        self, tmp_path, isolated_cache, fresh_observer
+    ):
+        """Acceptance: seeded worker crashes plus one hang leave the
+        merged per-(workload, flavour) counts bit-identical to a serial
+        undisturbed run, with retries/timeouts visible in obs counters
+        and attempt counts in the manifest."""
+        serial = run_fault_campaign(
+            names=[WORKLOAD], trials=2, seed=11, shard_trials=1,
+        )
+        units = fault_campaign_units([WORKLOAD], trials=2, seed=11,
+                                     shard_trials=1)
+        assert len(units) == 4
+        chaos = ChaosPolicy(
+            crash_units=(units[0][0],),
+            hang_units=(units[2][0],),
+            hang_seconds=120,
+        )
+        manifest_path = str(tmp_path / "chaos.jsonl")
+        chaotic = run_fault_campaign(
+            names=[WORKLOAD], trials=2, seed=11, shard_trials=1, jobs=2,
+            manifest_path=manifest_path,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.01),
+            unit_timeout=20.0,
+            chaos=chaos,
+        )
+        assert chaotic.failed_units == 0 and chaotic.quarantined_units == 0
+        assert set(chaotic.results) == set(serial.results)
+        for key, result in serial.results.items():
+            assert dataclasses.asdict(chaotic.results[key]) == (
+                dataclasses.asdict(result)
+            ), f"chaotic counts diverged for {key}"
+        assert _counter_total(fresh_observer, "harness.retries") >= 1
+        assert _counter_total(fresh_observer, "harness.timeouts") >= 1
+        # The manifest records how many executions the disturbed units
+        # took, and no unit ever lost its id to pool breakage.
+        records = RunManifest(manifest_path).load()
+        assert "None" not in records
+        assert records[units[0][0]].attempts >= 2  # crashed then recovered
+        assert records[units[2][0]].attempts >= 2  # hung then recovered
+        assert all(r.ok for r in records.values())
+
+    def test_chaos_raise_quarantines_unit_in_report(
+        self, tmp_path, isolated_cache, fresh_observer
+    ):
+        units = fault_campaign_units([WORKLOAD], trials=1, seed=5)
+        poisoned_id = units[1][0]
+        summary = run_fault_campaign(
+            names=[WORKLOAD], trials=1, seed=5, jobs=2,
+            manifest_path=str(tmp_path / "poison.jsonl"),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.01),
+            chaos=ChaosPolicy(raise_units=(poisoned_id,)),
+        )
+        assert summary.quarantined_units == 1
+        assert any("quarantined after" in e for e in summary.errors)
+        report = format_campaign_report(summary)
+        assert "1 quarantined" in report
+        assert "ChaosError" in report
