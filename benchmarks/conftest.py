@@ -7,17 +7,13 @@ the full 19-workload suite (10-20 minutes; this is what EXPERIMENTS.md
 records).
 """
 
-import os
-
 import pytest
 
-FAST_SUBSET = ["bzip2", "mcf", "soplex", "sphinx", "blackscholes", "canneal"]
+from repro.bench import FAST_SUBSET, default_workloads
 
 
 def selected_workloads():
-    if os.environ.get("REPRO_BENCH_FULL"):
-        return None  # drivers interpret None as "all workloads"
-    return list(FAST_SUBSET)
+    return default_workloads()  # None means "all workloads"
 
 
 @pytest.fixture(scope="session")

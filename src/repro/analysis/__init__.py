@@ -8,6 +8,9 @@
 - :class:`AntiDepAnalysis` — memory antidependences with the paper's
   semantic/artificial and clobber/non-clobber classification, plus the
   hitting-set candidate cut sets of §4.2.1
+- :class:`AnalysisManager` — invalidation-aware per-function cache of the
+  above; :class:`NullAnalysisManager` disables caching for bit-identity
+  comparisons (see ``docs/performance.md``)
 """
 
 from repro.analysis.alias import (
@@ -33,13 +36,23 @@ from repro.analysis.cfg import CFG, remove_unreachable_blocks
 from repro.analysis.dominators import DominatorTree, compute_dominance_frontiers
 from repro.analysis.liveness import Liveness
 from repro.analysis.loops import Loop, LoopInfo
+from repro.analysis.manager import (
+    ALL_ANALYSES,
+    AnalysisManager,
+    CFG_ANALYSES,
+    NullAnalysisManager,
+    StaleAnalysisError,
+)
 
 __all__ = [
+    "ALL_ANALYSES",
     "AliasAnalysis",
+    "AnalysisManager",
     "AntiDep",
     "AntiDepAnalysis",
     "BlockReachability",
     "CFG",
+    "CFG_ANALYSES",
     "DominanceOracle",
     "DominatorTree",
     "InstructionIndex",
@@ -50,7 +63,9 @@ __all__ = [
     "MUST_ALIAS",
     "MemoryObject",
     "NO_ALIAS",
+    "NullAnalysisManager",
     "Point",
+    "StaleAnalysisError",
     "STORAGE_LOCAL_STACK",
     "STORAGE_MEMORY",
     "compute_dominance_frontiers",

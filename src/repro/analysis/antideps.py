@@ -102,24 +102,31 @@ class DominanceOracle:
 
 
 class BlockReachability:
-    """``reaches(a, b)``: a path of ≥1 CFG edge from ``a`` to ``b`` exists."""
+    """``reaches(a, b)``: a path of ≥1 CFG edge from ``a`` to ``b`` exists.
+
+    Reach sets are computed lazily, one DFS per *queried* source block:
+    antidependence analysis only ever asks about blocks containing memory
+    reads, so eagerly solving all-pairs reachability (one DFS per block
+    of the function) wasted most of its work.
+    """
 
     def __init__(self, cfg: CFG) -> None:
         self.cfg = cfg
         self._reach: Dict[BasicBlock, Set[BasicBlock]] = {}
-        for block in cfg.blocks:
-            seen: Set[BasicBlock] = set()
-            stack = list(cfg.succs(block))
+
+    def reaches(self, a: BasicBlock, b: BasicBlock) -> bool:
+        seen = self._reach.get(a)
+        if seen is None:
+            seen = set()
+            stack = list(self.cfg.succs(a))
             while stack:
                 node = stack.pop()
                 if node in seen:
                     continue
                 seen.add(node)
-                stack.extend(cfg.succs(node))
-            self._reach[block] = seen
-
-    def reaches(self, a: BasicBlock, b: BasicBlock) -> bool:
-        return b in self._reach.get(a, set())
+                stack.extend(self.cfg.succs(node))
+            self._reach[a] = seen
+        return b in seen
 
 
 def path_exists(index: InstructionIndex, reach: BlockReachability, a: Instruction, b: Instruction) -> bool:
@@ -134,13 +141,25 @@ def path_exists(index: InstructionIndex, reach: BlockReachability, a: Instructio
 class AntiDepAnalysis:
     """Memory antidependences of one function, with classification."""
 
-    def __init__(self, func: Function, aa: Optional[AliasAnalysis] = None) -> None:
+    def __init__(
+        self,
+        func: Function,
+        aa: Optional[AliasAnalysis] = None,
+        cfg: Optional[CFG] = None,
+        domtree: Optional[DominatorTree] = None,
+        reach: Optional[BlockReachability] = None,
+    ) -> None:
+        """``cfg``/``domtree``/``reach`` let callers (the region
+        construction's :class:`~repro.analysis.manager.AnalysisManager`)
+        inject cached snapshots instead of recomputing them; they must
+        be current for ``func``."""
         self.func = func
         self.aa = aa or AliasAnalysis(func)
-        self.cfg = CFG(func)
-        self.domtree = DominatorTree.compute_from_cfg(self.cfg)
+        self.cfg = cfg or CFG(func)
+        self.domtree = domtree or DominatorTree.compute_from_cfg(self.cfg)
         self.oracle = DominanceOracle(func, self.domtree)
-        self.reach = BlockReachability(self.cfg)
+        self.reach = reach or BlockReachability(self.cfg)
+        self._phi_prefix: Dict[BasicBlock, int] = {}
         self.antideps: List[AntiDep] = self._compute()
 
     # ------------------------------------------------------------------
@@ -154,21 +173,32 @@ class AntiDepAnalysis:
 
     def _compute(self) -> List[AntiDep]:
         reads = self._memory_reads()
-        writes = self._memory_writes()
+        writes = [w for w in self._memory_writes() if self.cfg.is_reachable(w.parent)]
         index = self.oracle.index
         antideps: List[AntiDep] = []
         for read in reads:
             if not self.cfg.is_reachable(read.parent):
                 continue
+            # The clobber test (:meth:`_is_clobber`) only depends on the
+            # must-alias stores dominating this read; collect them once
+            # per read (lazily, on its first antidependence) instead of
+            # re-walking every write per (read, write) pair — this was
+            # the analysis' dominant cost.
+            dominating: Optional[List[Store]] = None
             for write in writes:
-                if not self.cfg.is_reachable(write.parent):
-                    continue
                 if self.aa.alias(read.ptr, write.ptr) == NO_ALIAS:
                     continue
                 if not path_exists(index, self.reach, read, write):
                     continue
+                if dominating is None:
+                    dominating = [
+                        other
+                        for other in writes
+                        if self.aa.alias(other.ptr, read.ptr) == MUST_ALIAS
+                        and self.oracle.dominates(other, read)
+                    ]
                 storage = self.aa.storage_class(write.ptr)
-                clobber = self._is_clobber(read, write)
+                clobber = not any(other is not write for other in dominating)
                 antideps.append(AntiDep(read, write, storage, clobber))
         return antideps
 
@@ -220,40 +250,52 @@ class AntiDepAnalysis:
         ba, ia = index.position[a]
         bb, ib = index.position[b]
         points: Set[Point] = set()
+        cfg = self.cfg
+        masks = self.domtree.dominator_masks()
+        mask_bb = masks.get(bb, 0)
+        mask_ba = masks.get(ba, 0)
 
-        for dom_block in self.domtree.dominators_of(bb):
-            if dom_block is bb:
-                # Instructions at indices <= ib dominate b within its block.
-                lo = 0
-                if ba is bb:
-                    lo = ia + 1  # those at <= ia dominate a as well
-                for i in range(lo, ib + 1):
-                    points.add((bb, i))
-            else:
-                # Every instruction of a strictly-dominating block dominates b.
-                if dom_block is ba:
-                    # Instructions after a in a's block do not dominate a.
-                    for i in range(ia + 1, len(dom_block.instructions)):
-                        points.add((dom_block, i))
-                elif self.domtree.dominates(dom_block, ba):
-                    continue  # dominates a too: excluded
-                else:
-                    for i in range(len(dom_block.instructions)):
-                        points.add((dom_block, i))
+        # b's own block: instructions at indices <= ib dominate b within it.
+        lo = ia + 1 if ba is bb else 0  # those at <= ia dominate a as well
+        for i in range(lo, ib + 1):
+            points.add((bb, i))
+
+        # a's block, when it strictly dominates b's: every instruction of it
+        # dominates b, but those at indices <= ia dominate a too.
+        if ba is not bb and mask_ba and (mask_bb >> cfg.rpo_index(ba)) & 1:
+            for i in range(ia + 1, len(ba.instructions)):
+                points.add((ba, i))
+
+        # Every other dominator x of b with ¬(x dom a), as one bitmask
+        # AND-NOT over RPO indices (ba's own bit is inside mask_ba, so it
+        # is already excluded; bb's bit is cleared explicitly).
+        rest = mask_bb & ~mask_ba
+        if mask_bb:
+            rest &= ~(1 << cfg.rpo_index(bb))
+        if rest:
+            rpo = cfg.reverse_post_order
+            while rest:
+                low_bit = rest & -rest
+                rest ^= low_bit
+                dom_block = rpo[low_bit.bit_length() - 1]
+                for i in range(len(dom_block.instructions)):
+                    points.add((dom_block, i))
 
         points.add((bb, ib))  # cutting immediately before the write always works
         return frozenset(self._normalize_point(p) for p in points)
 
-    @staticmethod
-    def _normalize_point(point: Point) -> Point:
+    def _normalize_point(self, point: Point) -> Point:
         """Move points inside a φ prefix to the first non-φ position."""
         block, index = point
-        first = 0
-        for inst in block.instructions:
-            if isinstance(inst, Phi):
-                first += 1
-            else:
-                break
+        first = self._phi_prefix.get(block)
+        if first is None:
+            first = 0
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    first += 1
+                else:
+                    break
+            self._phi_prefix[block] = first
         return (block, max(index, first))
 
 

@@ -94,9 +94,14 @@ class CFG:
                 yield (block, succ)
 
 
-def remove_unreachable_blocks(func: Function) -> int:
-    """Delete blocks not reachable from the entry; returns how many died."""
-    cfg = CFG(func)
+def remove_unreachable_blocks(func: Function, am=None) -> int:
+    """Delete blocks not reachable from the entry; returns how many died.
+
+    ``am`` (an :class:`repro.analysis.manager.AnalysisManager`) supplies a
+    cached CFG snapshot when available.  Preserves the CFG tier iff the
+    return value is 0; the caller owns the invalidation call.
+    """
+    cfg = am.cfg(func) if am is not None else CFG(func)
     dead = [block for block in func.blocks if not cfg.is_reachable(block)]
     if not dead:
         return 0

@@ -24,6 +24,7 @@ class DominatorTree:
     def __init__(self, cfg: CFG, idom: Dict[BasicBlock, Optional[BasicBlock]]) -> None:
         self.cfg = cfg
         self.idom = idom
+        self._dom_masks: Optional[Dict[BasicBlock, int]] = None
         self.children: Dict[BasicBlock, List[BasicBlock]] = {
             block: [] for block in cfg.reachable_blocks
         }
@@ -116,6 +117,26 @@ class DominatorTree:
         while node is not None:
             yield node
             node = self.idom.get(node)
+
+    def dominator_masks(self) -> Dict[BasicBlock, int]:
+        """Per-block dominator sets as integer bitmasks over RPO indices.
+
+        ``masks[b]`` has bit ``rpo_index(x)`` set iff ``x`` dominates
+        ``b`` (reflexively).  This turns the region construction's
+        ``S(a, b) = {x : x dom b ∧ ¬(x dom a)}`` set difference into a
+        single ``masks[b] & ~masks[a]`` — one bignum AND-NOT instead of
+        a dominator-tree walk per candidate block.  Computed lazily in
+        one RPO sweep (a block's idom always precedes it in RPO, so its
+        mask is available when needed).
+        """
+        if self._dom_masks is None:
+            masks: Dict[BasicBlock, int] = {}
+            for block in self.cfg.reverse_post_order:
+                parent = self.idom.get(block)
+                inherited = masks[parent] if parent is not None else 0
+                masks[block] = inherited | (1 << self.cfg.rpo_index(block))
+            self._dom_masks = masks
+        return self._dom_masks
 
     def walk_preorder(self) -> Iterator[BasicBlock]:
         """Dominator-tree preorder starting at entry."""

@@ -1,0 +1,195 @@
+"""Invalidation-aware per-function cache of graph analyses.
+
+Every transform pass and every region-construction phase needs some of
+``CFG`` / ``DominatorTree`` / dominance frontiers / ``LoopInfo`` /
+``Liveness``.  Recomputing them from scratch at each consumer dominated
+the compiler's profile; the :class:`AnalysisManager` computes each
+analysis at most once per function and serves the snapshot until a
+mutation invalidates it.
+
+The contract mirrors LLVM's pass/analysis split:
+
+- **Consumers** ask the manager (``am.cfg(func)``, ``am.domtree(func)``,
+  ``am.frontiers(func)``, ``am.loops(func)``, ``am.liveness(func)``)
+  instead of constructing analyses directly.
+- **Mutators** must call :meth:`invalidate` after changing a function,
+  declaring what survives via ``preserve=...``:
+
+  - inserting/removing/rewriting *instructions* while keeping every
+    block and terminator intact preserves the CFG tier
+    (``preserve=CFG_ANALYSES``) — the CFG snapshot, dominator tree,
+    frontiers, and loop nest are all functions of the block graph only;
+  - any edit to block structure or terminators (splitting blocks,
+    threading jumps, unrolling, inlining) preserves nothing
+    (``preserve=()``,  the default);
+  - ``Liveness`` depends on instructions *and* the CFG, so it only
+    survives a pure no-op.
+
+A pass that mutates the block graph and fails to invalidate produces
+analyses over a stale graph — silent miscompilation.  Two safety nets
+exist: ``AnalysisManager(debug=True)`` re-checksums the block graph
+(:func:`repro.ir.verifier.cfg_checksum`) on every CFG-tier cache hit
+and raises :class:`StaleAnalysisError` on drift (tests run this mode;
+see ``tests/test_analysis_manager.py``), and :meth:`check` performs the
+same assertion on demand.
+
+Cache traffic is observable: ``analysis.cache.{hits,misses}`` counters,
+labeled by analysis kind, feed ``repro stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro import obs
+from repro.analysis.cfg import CFG
+from repro.analysis.dominators import DominatorTree, compute_dominance_frontiers
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import LoopInfo
+from repro.ir.function import Function
+
+#: The analyses that are pure functions of the block graph: valid as
+#: long as no block or terminator changes, whatever happens to other
+#: instructions.
+CFG_ANALYSES: FrozenSet[str] = frozenset(
+    {"cfg", "domtree", "frontiers", "loops", "reachability"}
+)
+
+#: Every analysis kind the manager caches.
+ALL_ANALYSES: FrozenSet[str] = CFG_ANALYSES | {"liveness"}
+
+
+class StaleAnalysisError(AssertionError):
+    """A cached CFG-tier analysis was served for a mutated block graph.
+
+    Raised only in ``debug=True`` mode (or by :meth:`AnalysisManager.check`);
+    it always indicates a pass that changed control flow without calling
+    :meth:`AnalysisManager.invalidate`.
+    """
+
+
+class AnalysisManager:
+    """Per-function cache for the standard graph analyses."""
+
+    def __init__(self, debug: bool = False) -> None:
+        self.debug = debug
+        self._cache: Dict[Function, Dict[str, object]] = {}
+        self._checksums: Dict[Function, int] = {}
+
+    # ------------------------------------------------------------------
+    # Cache core
+    # ------------------------------------------------------------------
+    def _get(self, func: Function, kind: str, build: Callable[[], object]) -> object:
+        entry = self._cache.setdefault(func, {})
+        cached = entry.get(kind)
+        if cached is not None:
+            if self.debug and kind in CFG_ANALYSES:
+                self.check(func)
+            obs.counter("analysis.cache.hits").inc(kind=kind)
+            return cached
+        obs.counter("analysis.cache.misses").inc(kind=kind)
+        value = build()
+        entry[kind] = value
+        if kind == "cfg":
+            from repro.ir.verifier import cfg_checksum
+
+            self._checksums[func] = cfg_checksum(func)
+        return value
+
+    def check(self, func: Function) -> None:
+        """Assert cached CFG-tier analyses still match ``func``'s graph."""
+        expected = self._checksums.get(func)
+        if expected is None:
+            return
+        from repro.ir.verifier import cfg_checksum
+
+        actual = cfg_checksum(func)
+        if actual != expected:
+            raise StaleAnalysisError(
+                f"@{func.name}: block graph changed under cached analyses "
+                f"(checksum {expected:#x} -> {actual:#x}) — a pass mutated "
+                f"the CFG without calling AnalysisManager.invalidate()"
+            )
+
+    def invalidate(self, func: Function, preserve: Iterable[str] = ()) -> None:
+        """Drop cached analyses of ``func`` except those in ``preserve``.
+
+        ``preserve=CFG_ANALYSES`` is the declaration for instruction-only
+        mutations; the default preserves nothing.  Preserving a derived
+        analysis without its base (e.g. ``loops`` without ``cfg``) is a
+        contract violation and raises ``ValueError``.
+        """
+        keep = frozenset(preserve)
+        unknown = keep - ALL_ANALYSES
+        if unknown:
+            raise ValueError(f"unknown analyses: {sorted(unknown)}")
+        if keep & CFG_ANALYSES and "cfg" not in keep:
+            raise ValueError(
+                "preserving a CFG-derived analysis requires preserving 'cfg' "
+                f"as well (got {sorted(keep)})"
+            )
+        entry = self._cache.get(func)
+        if entry is None:
+            return
+        for kind in list(entry):
+            if kind not in keep:
+                del entry[kind]
+        if "cfg" not in keep:
+            self._checksums.pop(func, None)
+
+    def invalidate_all(self) -> None:
+        """Forget every function (e.g. after module-level surgery)."""
+        self._cache.clear()
+        self._checksums.clear()
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def cfg(self, func: Function) -> CFG:
+        return self._get(func, "cfg", lambda: CFG(func))
+
+    def domtree(self, func: Function) -> DominatorTree:
+        return self._get(
+            func, "domtree",
+            lambda: DominatorTree.compute_from_cfg(self.cfg(func)),
+        )
+
+    def frontiers(self, func: Function) -> Dict:
+        return self._get(
+            func, "frontiers",
+            lambda: compute_dominance_frontiers(self.domtree(func)),
+        )
+
+    def loops(self, func: Function) -> LoopInfo:
+        return self._get(
+            func, "loops", lambda: LoopInfo(func, self.domtree(func))
+        )
+
+    def reachability(self, func: Function):
+        from repro.analysis.antideps import BlockReachability
+
+        return self._get(
+            func, "reachability", lambda: BlockReachability(self.cfg(func))
+        )
+
+    def liveness(self, func: Function) -> Liveness:
+        return self._get(func, "liveness", lambda: Liveness(func))
+
+
+class NullAnalysisManager(AnalysisManager):
+    """A manager that never caches: every request computes fresh.
+
+    Used by the ``repro bench`` cached-vs-fresh comparison and by the
+    bit-identity tests; results must be indistinguishable from the
+    caching manager's.
+    """
+
+    def _get(self, func: Function, kind: str, build: Callable[[], object]) -> object:
+        obs.counter("analysis.cache.misses").inc(kind=kind)
+        return build()
+
+    def invalidate(self, func: Function, preserve: Iterable[str] = ()) -> None:
+        pass
+
+    def check(self, func: Function) -> None:
+        pass

@@ -1,0 +1,47 @@
+"""repro.bench — the committed performance trajectory of the compiler.
+
+``python -m repro bench`` times the pipeline's phases (frontend,
+transforms, region construction with its sub-phases, codegen, simulator)
+per workload via the :mod:`repro.obs` span tracer, and writes a
+schema-tagged ``BENCH_<label>.json`` that ``repro stats`` validates like
+any other observability artifact.
+
+Two consumption modes:
+
+- **trajectory** — ``BENCH_baseline.json`` is committed at the repo root;
+  every perf-relevant PR regenerates it so the history of phase timings
+  lives in version control;
+- **regression gate** — ``repro bench --baseline FILE --max-regression
+  PCT`` exits nonzero when any phase slowed down by more than the
+  threshold (CI runs this informationally with a generous threshold).
+
+See ``docs/performance.md`` for the workflow and the JSON schema.
+"""
+
+from repro.bench.compare import BenchRegression, compare_bench, format_comparison
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    FAST_SUBSET,
+    BenchError,
+    default_workloads,
+    load_bench_file,
+    run_bench,
+    summarize_bench,
+    validate_bench_file,
+    write_bench_json,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchError",
+    "BenchRegression",
+    "FAST_SUBSET",
+    "compare_bench",
+    "default_workloads",
+    "format_comparison",
+    "load_bench_file",
+    "run_bench",
+    "summarize_bench",
+    "validate_bench_file",
+    "write_bench_json",
+]

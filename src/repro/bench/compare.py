@@ -1,0 +1,73 @@
+"""Baseline comparison: the ``--baseline`` / ``--max-regression`` gate.
+
+A *regression* is a phase whose current wall-time exceeds the baseline's
+by more than the threshold percentage.  Phases absent from either side
+are skipped (new phases are not regressions), and phases faster than
+``MIN_GATED_SECONDS`` in the baseline are ignored entirely — at
+sub-millisecond scale the comparison would gate on scheduler noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Baseline phases cheaper than this are never gated (pure noise).
+MIN_GATED_SECONDS = 0.005
+
+
+@dataclass
+class BenchRegression:
+    """One phase that slowed down past the allowed threshold."""
+
+    phase: str
+    baseline_seconds: float
+    current_seconds: float
+
+    @property
+    def pct(self) -> float:
+        return (self.current_seconds / self.baseline_seconds - 1.0) * 100.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.phase}: {self.baseline_seconds:.4f}s -> "
+            f"{self.current_seconds:.4f}s (+{self.pct:.1f}%)"
+        )
+
+
+def compare_bench(
+    current: dict, baseline: dict, max_regression_pct: float
+) -> List[BenchRegression]:
+    """Phases of ``current`` slower than ``baseline`` past the threshold."""
+    regressions: List[BenchRegression] = []
+    base_phases = baseline.get("phases", {})
+    for phase, row in sorted(current.get("phases", {}).items()):
+        base_row = base_phases.get(phase)
+        if base_row is None:
+            continue
+        base_s = base_row["seconds"]
+        cur_s = row["seconds"]
+        if base_s < MIN_GATED_SECONDS:
+            continue
+        if cur_s > base_s * (1.0 + max_regression_pct / 100.0):
+            regressions.append(BenchRegression(phase, base_s, cur_s))
+    return regressions
+
+
+def format_comparison(current: dict, baseline: dict) -> str:
+    """Side-by-side phase table: baseline vs current with speedup factors."""
+    lines = [
+        f"{'phase':24s} {'baseline':>10s} {'current':>10s} {'speedup':>8s}",
+        f"{'-' * 24} {'-' * 10} {'-' * 10} {'-' * 8}",
+    ]
+    base_phases = baseline.get("phases", {})
+    for phase in sorted(current.get("phases", {})):
+        cur_s = current["phases"][phase]["seconds"]
+        base_row = base_phases.get(phase)
+        if base_row is None:
+            lines.append(f"{phase:24s} {'-':>10s} {cur_s:9.4f}s {'-':>8s}")
+            continue
+        base_s = base_row["seconds"]
+        speedup = f"{base_s / cur_s:7.2f}x" if cur_s > 0 else "-"
+        lines.append(f"{phase:24s} {base_s:9.4f}s {cur_s:9.4f}s {speedup:>8s}")
+    return "\n".join(lines)

@@ -11,7 +11,12 @@ Commands:
   and the persistent artifact cache (``--no-cache`` to bypass)
 - ``campaign``        — suite-wide fault-injection campaign: sharded,
   resumable via a JSON-lines manifest, deterministic under any sharding
-- ``stats``           — validate and summarize emitted trace/metrics files
+- ``bench``           — time compile/construction/sim phases per workload,
+  emit schema-tagged ``BENCH_*.json``, and optionally gate against a
+  baseline (``--baseline FILE --max-regression PCT``; see
+  ``docs/performance.md``)
+- ``stats``           — validate and summarize emitted trace/metrics/bench
+  files
 - ``workloads``       — list the benchmark suite
 
 The ``experiment`` and ``campaign`` commands print a telemetry summary
@@ -299,6 +304,60 @@ def cmd_campaign(args) -> int:
     return 1 if summary.failed_units or summary.quarantined_units else 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import (
+        BenchError,
+        FAST_SUBSET,
+        compare_bench,
+        default_workloads,
+        format_comparison,
+        load_bench_file,
+        run_bench,
+        summarize_bench,
+        validate_bench_file,
+        write_bench_json,
+    )
+
+    if args.workloads:
+        names = args.workloads
+    elif args.quick:
+        names = list(FAST_SUBSET)
+    else:
+        names = default_workloads()
+    repeats = 1 if args.quick else args.repeats
+    try:
+        payload = run_bench(
+            names,
+            repeats=repeats,
+            label=args.label,
+            analysis_cache=not args.no_analysis_cache,
+        )
+    except BenchError as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_bench_json(args.out, payload)
+        count = validate_bench_file(args.out)
+        print(f"[bench] wrote {args.out} ({count} phases)", file=sys.stderr)
+    print(summarize_bench(payload))
+    if args.baseline:
+        try:
+            baseline = load_bench_file(args.baseline)
+        except BenchError as exc:
+            print(f"bench error: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(format_comparison(payload, baseline))
+        regressions = compare_bench(payload, baseline, args.max_regression)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) past "
+                  f"{args.max_regression:.0f}%:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_stats(args) -> int:
     from repro.obs import ObsExportError, summarize_file
 
@@ -398,11 +457,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
+        "bench",
+        help="time compile/construction/sim phases per workload",
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workload subset (default: the fast subset, or the "
+                        "full suite with REPRO_BENCH_FULL=1)")
+    p.add_argument("--label", default="local",
+                   help="label stamped into the bench dump")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write a schema-tagged BENCH_*.json dump")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="measurements per workload; the per-phase minimum "
+                        "is kept (noise filter)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare against a previous BENCH_*.json dump")
+    p.add_argument("--max-regression", type=float, default=10.0, metavar="PCT",
+                   help="with --baseline: exit nonzero if any gated phase "
+                        "is more than PCT%% slower (default 10)")
+    p.add_argument("--quick", action="store_true",
+                   help="one repeat over the fast subset (the CI setting)")
+    p.add_argument("--no-analysis-cache", action="store_true",
+                   help="disable the AnalysisManager cache (measures the "
+                        "recompute-everything pipeline; output IR is "
+                        "bit-identical either way)")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
         "stats",
-        help="validate and summarize emitted trace/metrics files",
+        help="validate and summarize emitted trace/metrics/bench files",
     )
     p.add_argument("files", nargs="+",
-                   help="files written by --profile / --metrics")
+                   help="files written by --profile / --metrics / bench --out")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("workloads", help="list the benchmark suite")

@@ -57,13 +57,23 @@ def compile_ir_module(
     idempotent: bool = True,
     config: Optional[ConstructionConfig] = None,
     verify: bool = True,
+    analysis_cache: bool = True,
 ) -> CompileResult:
-    """Compile an IR module (mutated in place) down to machine code."""
+    """Compile an IR module (mutated in place) down to machine code.
+
+    ``analysis_cache=False`` disables the per-function
+    :class:`~repro.analysis.manager.AnalysisManager` during region
+    construction (every phase recomputes its graph analyses from
+    scratch); output is bit-identical either way — the switch exists
+    for the ``repro bench`` cached-vs-fresh comparison and for tests.
+    """
     flavour = "idempotent" if idempotent else "original"
     construction: Dict[str, ConstructionResult] = {}
     if idempotent:
         with obs.span("construction.module", module=module.name, flavour=flavour):
-            construction = construct_module_regions(module, config)
+            construction = construct_module_regions(
+                module, config, analysis_cache=analysis_cache
+            )
     else:
         with obs.span("transforms.module", module=module.name, flavour=flavour):
             optimize_module(module)
@@ -98,6 +108,7 @@ def compile_minic(
     config: Optional[ConstructionConfig] = None,
     verify: bool = True,
     name: str = "minic",
+    analysis_cache: bool = True,
 ) -> CompileResult:
     """Compile MiniC source text to machine code."""
     flavour = "idempotent" if idempotent else "original"
@@ -105,5 +116,6 @@ def compile_minic(
         with obs.span("frontend.compile", name=name):
             module = compile_source(source, name)
         return compile_ir_module(
-            module, idempotent=idempotent, config=config, verify=verify
+            module, idempotent=idempotent, config=config, verify=verify,
+            analysis_cache=analysis_cache,
         )

@@ -25,7 +25,11 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro import obs
 from repro.analysis.alias import AliasAnalysis
 from repro.analysis.antideps import AntiDepAnalysis, Point
-from repro.analysis.loops import LoopInfo
+from repro.analysis.manager import (
+    AnalysisManager,
+    CFG_ANALYSES,
+    NullAnalysisManager,
+)
 from repro.core.cuts import (
     HEURISTIC_COVERAGE,
     HEURISTIC_LOOP,
@@ -161,23 +165,40 @@ def _split_single_region(func: Function) -> int:
 def construct_idempotent_regions(
     func: Function,
     config: Optional[ConstructionConfig] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> ConstructionResult:
-    """Partition ``func`` into idempotent regions, in place."""
+    """Partition ``func`` into idempotent regions, in place.
+
+    All phases share one :class:`AnalysisManager` (``manager``, or a
+    fresh one), so the CFG, dominator tree, reachability, and loop nest
+    are each computed once and reused until a mutation invalidates them
+    — boundary insertion preserves the CFG tier (a ``boundary`` is not a
+    terminator), only unrolling forces a full recompute.  Results are
+    bit-identical with and without the cache (a
+    :class:`repro.analysis.manager.NullAnalysisManager` disables it).
+    """
     config = config or ConstructionConfig()
     result = ConstructionResult(function=func.name)
     if func.is_declaration:
         return result
+    am = manager if manager is not None else AnalysisManager()
 
     with obs.span("construction.function", func=func.name):
         if config.optimize_first:
             with obs.span("construction.ssa", func=func.name):
-                optimize_function(func)
+                optimize_function(func, am=am)
 
         with obs.span("construction.antideps", func=func.name):
             aa = AliasAnalysis(
                 func, trust_argument_noalias=config.trust_argument_noalias
             )
-            analysis = AntiDepAnalysis(func, aa)
+            analysis = AntiDepAnalysis(
+                func,
+                aa,
+                cfg=am.cfg(func),
+                domtree=am.domtree(func),
+                reach=am.reachability(func),
+            )
         result.antidep_count = len(analysis.antideps)
 
         mandatory: List[Point] = _call_cut_points(func) if config.cut_calls else []
@@ -186,7 +207,7 @@ def construct_idempotent_regions(
             candidate_sets = [
                 analysis.candidate_cuts(ad) for ad in analysis.antideps
             ]
-            loop_info = LoopInfo(func, analysis.domtree)
+            loop_info = am.loops(func)
             chosen = solve_hitting_set(
                 HittingSetProblem(candidate_sets),
                 loop_info=loop_info,
@@ -196,14 +217,18 @@ def construct_idempotent_regions(
         result.mandatory_cut_count = len(set(mandatory))
         result.hitting_set_cut_count = len(chosen)
 
-        _insert_boundaries(func, mandatory + chosen)
+        if _insert_boundaries(func, mandatory + chosen):
+            am.invalidate(func, preserve=CFG_ANALYSES)
 
         with obs.span("construction.loops", func=func.name):
             result.loop_report = enforce_loop_cut_invariant(
                 func,
                 unroll=config.unroll_self_dep,
                 max_unroll_blocks=config.max_unroll_blocks,
+                am=am,
             )
+        if result.loop_report.forced_cuts:
+            am.invalidate(func, preserve=CFG_ANALYSES)
 
         if config.max_region_size is not None:
             with obs.span("construction.sizebound", func=func.name):
@@ -211,16 +236,20 @@ def construct_idempotent_regions(
                     func, config.max_region_size
                 )
                 if result.size_bound_cuts:
+                    am.invalidate(func, preserve=CFG_ANALYSES)
                     # New in-loop cuts can break the loop invariant;
                     # re-establish it (never unrolling twice — the
                     # invariant pass tracks that).
                     enforce_loop_cut_invariant(
                         func, unroll=False,
                         max_unroll_blocks=config.max_unroll_blocks,
+                        am=am,
                     )
 
         if config.split_single_region:
             result.single_region_splits = _split_single_region(func)
+            if result.single_region_splits:
+                am.invalidate(func, preserve=CFG_ANALYSES)
 
         with obs.span("construction.regions", func=func.name):
             decomposition = RegionDecomposition(func)
@@ -233,7 +262,7 @@ def construct_idempotent_regions(
                 verify_aa = AliasAnalysis(
                     func, trust_argument_noalias=config.trust_argument_noalias
                 )
-                verify_idempotent_regions(func, verify_aa)
+                verify_idempotent_regions(func, verify_aa, am=am)
 
     _publish_metrics(result)
     return result
@@ -261,9 +290,16 @@ def _publish_metrics(result: ConstructionResult) -> None:
 def construct_module_regions(
     module: Module,
     config: Optional[ConstructionConfig] = None,
+    analysis_cache: bool = True,
 ) -> Dict[str, ConstructionResult]:
-    """Run the region construction over every defined function."""
+    """Run the region construction over every defined function.
+
+    ``analysis_cache=False`` makes every construction phase recompute
+    its graph analyses from scratch (bit-identical output, used by the
+    ``repro bench`` cached-vs-fresh comparison and by tests).
+    """
+    manager = AnalysisManager() if analysis_cache else NullAnalysisManager()
     return {
-        func.name: construct_idempotent_regions(func, config)
+        func.name: construct_idempotent_regions(func, config, manager=manager)
         for func in module.defined_functions
     }

@@ -45,6 +45,41 @@ class HittingSetProblem:
         return points
 
 
+def stable_key(point: Point) -> Tuple[int, int]:
+    """Stable ordering key for a program point: ``(block position, index)``.
+
+    Determinism contract: the greedy selection below breaks heuristic ties
+    with ``min`` over this key, which is a *total* order only because the
+    key is unique — every point's block must be parented in exactly one
+    function, so ``(position of block in func.blocks, instruction index)``
+    collides for no two distinct points.  A block with no parent (or not
+    present in its parent's block list) has no position; silently mapping
+    it to 0 — as an earlier version did — aliases it with the entry block
+    and makes the tie-break order depend on dict iteration order.  Such a
+    point indicates detached IR reaching the solver, so it raises under
+    ``__debug__``; with assertions disabled (``python -O``) it degrades to
+    position 0 to stay total.
+    """
+    block, index = point
+    parent = getattr(block, "parent", None)
+    block_pos: Optional[int] = None
+    if parent is not None:
+        try:
+            block_pos = parent.blocks.index(block)
+        except ValueError:
+            block_pos = None
+    if block_pos is None:
+        if __debug__:
+            name = getattr(block, "name", "?")
+            raise ValueError(
+                f"hitting-set point in block {name!r} has no position: the "
+                "block is unparented or absent from its function's block "
+                "list — detached IR reached the solver"
+            )
+        block_pos = 0
+    return (block_pos, index)
+
+
 def solve_hitting_set(
     problem: HittingSetProblem,
     loop_info: Optional[LoopInfo] = None,
@@ -56,45 +91,59 @@ def solve_hitting_set(
     ``preselected`` points (e.g. mandatory call-site cuts) are applied
     first for free; only sets they miss require new cuts. Returns the
     newly chosen points in selection order.
+
+    Coverage counts are maintained incrementally: picking a point retires
+    the sets containing it and decrements the counts of their other
+    points, rather than rebuilding the coverage map from every surviving
+    set each round.  Points whose count reaches zero are deleted — a
+    zero-coverage point hits nothing, and at a lower loop depth it would
+    otherwise win the ``min`` and emit a useless cut.  Output order is
+    identical to the rebuild-per-round formulation because the selection
+    key is a total order (see :func:`stable_key`), making the ``min``
+    independent of dict iteration order.
     """
     if heuristic not in (HEURISTIC_LOOP, HEURISTIC_COVERAGE):
         raise ValueError(f"unknown heuristic {heuristic!r}")
 
     preselected_set = set(preselected)
-    remaining = [s for s in problem.sets if not (s & preselected_set)]
+    sets = [s for s in problem.sets if not (s & preselected_set)]
     chosen: List[Point] = []
 
-    def depth_of(point: Point) -> int:
+    coverage: Dict[Point, int] = {}
+    sets_by_point: Dict[Point, List[int]] = {}
+    for idx, candidate_set in enumerate(sets):
+        for point in candidate_set:
+            coverage[point] = coverage.get(point, 0) + 1
+            sets_by_point.setdefault(point, []).append(idx)
+
+    # Per-point key components are loop-invariant: memoize once.
+    if heuristic == HEURISTIC_LOOP:
         if loop_info is None:
-            return 0
-        return loop_info.depth_of(point[0])
-
-    # Stable ordering key for deterministic output across runs.
-    def stable_key(point: Point) -> Tuple[int, int]:
-        block, index = point
-        try:
-            block_pos = block.parent.blocks.index(block)
-        except (AttributeError, ValueError):
-            block_pos = 0
-        return (block_pos, index)
-
-    while remaining:
-        coverage: Dict[Point, int] = {}
-        for candidate_set in remaining:
-            for point in candidate_set:
-                coverage[point] = coverage.get(point, 0) + 1
-
-        if heuristic == HEURISTIC_LOOP:
-            # Outermost nesting depth first; ties by most sets newly hit.
-            best = min(
-                coverage,
-                key=lambda p: (depth_of(p), -coverage[p], stable_key(p)),
-            )
+            rank = {p: (0, stable_key(p)) for p in coverage}
         else:
-            best = min(coverage, key=lambda p: (-coverage[p], stable_key(p)))
+            rank = {p: (loop_info.depth_of(p[0]), stable_key(p)) for p in coverage}
+        # Outermost nesting depth first; ties by most sets newly hit.
+        key = lambda p: (rank[p][0], -coverage[p], rank[p][1])
+    else:
+        rank = {p: stable_key(p) for p in coverage}
+        key = lambda p: (-coverage[p], rank[p])
 
+    alive = [True] * len(sets)
+    while coverage:
+        best = min(coverage, key=key)
         chosen.append(best)
-        remaining = [s for s in remaining if best not in s]
+        for idx in sets_by_point[best]:
+            if not alive[idx]:
+                continue
+            alive[idx] = False
+            for point in sets[idx]:
+                count = coverage.get(point)
+                if count is None:
+                    continue
+                if count == 1:
+                    del coverage[point]
+                else:
+                    coverage[point] = count - 1
 
     return chosen
 

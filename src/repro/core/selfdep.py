@@ -164,12 +164,20 @@ def enforce_loop_cut_invariant(
     func: Function,
     unroll: bool = True,
     max_unroll_blocks: int = 12,
+    am=None,
 ) -> LoopCutReport:
     """Apply the §4.2.2 case analysis to every loop of ``func``.
 
     Must run after memory-antidependence boundaries are inserted. Iterates
     to a fixpoint because forcing cuts into an inner loop gives enclosing
     loops cuts too.
+
+    ``am`` (an :class:`repro.analysis.manager.AnalysisManager`) supplies
+    the cached loop nest; unrolling edits the block graph, so the manager
+    is fully invalidated before the fixpoint rescans.  Boundary insertion
+    alone preserves the CFG tier (a ``boundary`` is not a terminator) —
+    the caller still owns that invalidation, since only it knows whether
+    liveness must also be dropped.
     """
     report = LoopCutReport()
     counted_headers: Set[str] = set()
@@ -177,7 +185,7 @@ def enforce_loop_cut_invariant(
     changed = True
     while changed:
         changed = False
-        loop_info = LoopInfo(func)
+        loop_info = am.loops(func) if am is not None else LoopInfo(func)
         # Innermost-first so outer loops observe cuts added to inner ones.
         loops = sorted(loop_info.loops, key=lambda lp: -lp.depth)
         for loop in loops:
@@ -220,6 +228,8 @@ def enforce_loop_cut_invariant(
                     report.loops_unrolled += 1
                     report.unrolled_headers.append(header_name)
                     # Loop structure changed; restart the fixpoint scan.
+                    if am is not None:
+                        am.invalidate(func)
                     changed = True
                     break
 

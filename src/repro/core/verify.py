@@ -64,13 +64,25 @@ def _boundary_free_path_exists(func: Function, a: Instruction, b: Instruction) -
     return False
 
 
-def find_idempotence_violations(func: Function, aa=None) -> List[IdempotenceViolation]:
+def find_idempotence_violations(func: Function, aa=None, am=None) -> List[IdempotenceViolation]:
     """All memory antidependences not split by region boundaries.
 
     ``aa`` lets callers verify under the same alias assumptions the
-    construction used (e.g. ``trust_argument_noalias``).
+    construction used (e.g. ``trust_argument_noalias``); ``am`` (an
+    :class:`repro.analysis.manager.AnalysisManager`) supplies cached
+    CFG/dominator/reachability snapshots so verification does not repeat
+    the construction's graph work.
     """
-    analysis = AntiDepAnalysis(func, aa)
+    if am is not None:
+        analysis = AntiDepAnalysis(
+            func,
+            aa,
+            cfg=am.cfg(func),
+            domtree=am.domtree(func),
+            reach=am.reachability(func),
+        )
+    else:
+        analysis = AntiDepAnalysis(func, aa)
     violations = []
     for antidep in analysis.antideps:
         if _boundary_free_path_exists(func, antidep.read, antidep.write):
@@ -78,9 +90,9 @@ def find_idempotence_violations(func: Function, aa=None) -> List[IdempotenceViol
     return violations
 
 
-def verify_idempotent_regions(func: Function, aa=None) -> None:
+def verify_idempotent_regions(func: Function, aa=None, am=None) -> None:
     """Raise ``AssertionError`` listing any uncut memory antidependence."""
-    violations = find_idempotence_violations(func, aa)
+    violations = find_idempotence_violations(func, aa, am=am)
     if violations:
         details = "\n".join(repr(v) for v in violations)
         raise AssertionError(

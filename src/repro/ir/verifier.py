@@ -218,6 +218,23 @@ def _verify_ssa_dominance(errors: List[str], func: Function) -> None:
                             )
 
 
+def cfg_checksum(func: Function) -> int:
+    """Order-sensitive structural checksum of ``func``'s block graph.
+
+    Covers block identity/order and every terminator edge — exactly the
+    inputs the CFG-tier analyses (CFG snapshot, dominator tree,
+    frontiers, loop nest) are functions of.  Instruction edits that keep
+    blocks and terminators intact do not change it.  Used by
+    :class:`repro.analysis.manager.AnalysisManager` to catch passes that
+    mutate control flow without invalidating their cached analyses.
+    """
+    shape = tuple(
+        (block.name, tuple(succ.name for succ in block.successors))
+        for block in func.blocks
+    )
+    return hash(shape)
+
+
 def verify_module(module: Module, ssa: bool = False) -> None:
     """Verify every defined function in ``module``."""
     errors: List[str] = []

@@ -246,16 +246,27 @@ def format_stats_table(snapshot: Dict[str, dict], prefix: str = "") -> str:
 # File summaries (the ``repro stats`` subcommand)
 # ----------------------------------------------------------------------
 def summarize_file(path: str) -> str:
-    """Validate ``path`` as a trace or metrics dump and describe it.
+    """Validate ``path`` as a trace, metrics, or bench dump and describe it.
 
     The file kind is sniffed from its JSON top level.  Raises
-    :class:`ObsExportError` if the file is neither.
+    :class:`ObsExportError` if the file is none of the three.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, ValueError) as exc:
         raise ObsExportError(f"{path}: unreadable ({exc})") from exc
+    if isinstance(payload, dict) and isinstance(payload.get("schema"), str) \
+            and payload["schema"].startswith("repro.bench/"):
+        # Lazy import: repro.bench itself builds on repro.obs.
+        from repro.bench import BenchError, load_bench_file, summarize_bench
+
+        try:
+            bench = load_bench_file(path)
+        except BenchError as exc:
+            raise ObsExportError(str(exc)) from exc
+        header = f"{path}: valid bench dump, {len(bench['phases'])} phases"
+        return header + "\n" + summarize_bench(bench)
     if isinstance(payload, dict) and "traceEvents" in payload:
         count = validate_trace_file(path)
         names = sorted({

@@ -73,15 +73,27 @@ class _AllocaPromotion:
         self.phis: Set[Phi] = set()
 
 
-def promote_to_ssa(func: Function) -> int:
-    """Promote all promotable allocas; returns the number promoted."""
+def promote_to_ssa(func: Function, am=None) -> int:
+    """Promote all promotable allocas; returns the number promoted.
+
+    ``am`` (an :class:`repro.analysis.manager.AnalysisManager`) supplies
+    cached CFG/dominator/frontier snapshots when available.  The pass
+    inserts φ-nodes and rewrites loads/stores but never touches block
+    structure or terminators, so it always preserves the CFG tier; the
+    caller owns the invalidation call.
+    """
     allocas = promotable_allocas(func)
     if not allocas:
         return 0
 
-    cfg = CFG(func)
-    domtree = DominatorTree.compute_from_cfg(cfg)
-    frontiers = compute_dominance_frontiers(domtree)
+    if am is not None:
+        cfg = am.cfg(func)
+        domtree = am.domtree(func)
+        frontiers = am.frontiers(func)
+    else:
+        cfg = CFG(func)
+        domtree = DominatorTree.compute_from_cfg(cfg)
+        frontiers = compute_dominance_frontiers(domtree)
 
     promotions: Dict[Alloca, _AllocaPromotion] = {}
     phi_owner: Dict[Phi, _AllocaPromotion] = {}
@@ -97,12 +109,15 @@ def promote_to_ssa(func: Function) -> int:
             for use in alloca.uses
             if isinstance(use.user, Store) and cfg.is_reachable(use.user.parent)
         }
-        # Iterated dominance frontier.
-        worklist = list(defining_blocks)
+        # Iterated dominance frontier.  Visit blocks in RPO order — the
+        # frontier sets iterate in id-hash order, which varies run to
+        # run, and φ insertion order drives the value-name counters; RPO
+        # keeps the output byte-stable across runs and cache modes.
+        worklist = sorted(defining_blocks, key=cfg.rpo_index, reverse=True)
         placed: Set[BasicBlock] = set()
         while worklist:
             block = worklist.pop()
-            for frontier_block in frontiers.get(block, ()):
+            for frontier_block in sorted(frontiers.get(block, ()), key=cfg.rpo_index):
                 if frontier_block in placed:
                     continue
                 placed.add(frontier_block)

@@ -13,10 +13,11 @@ dict.  The dict itself is still returned for direct inspection.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro import obs
 from repro.analysis.cfg import remove_unreachable_blocks
+from repro.analysis.manager import AnalysisManager, CFG_ANALYSES
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.transforms.constfold import fold_constants
@@ -25,12 +26,28 @@ from repro.transforms.mem2reg import promote_to_ssa
 from repro.transforms.redundancy import forward_stores_to_loads
 from repro.transforms.simplifycfg import simplify_cfg
 
-#: Level-1 pipeline: (stat name, pass callable), in execution order.
+#: What a pass declares about the CFG tier (cfg/domtree/frontiers/loops/
+#: reachability — see :data:`repro.analysis.manager.CFG_ANALYSES`):
+#: ``"always"`` — the pass edits instructions only, never blocks or
+#: terminators; ``"if_zero"`` — it preserves the tier only when it
+#: reports zero changes (e.g. unreachable-block removal, CFG
+#: simplification, constant folding of conditional branches).  Liveness
+#: depends on instructions too, so it never survives a productive pass.
+_PRESERVES_CFG = "always"
+_PRESERVES_CFG_IF_ZERO = "if_zero"
+
+#: Pipeline tables: (stat name, pass callable, CFG declaration,
+#: accepts the analysis manager), in execution order.
 _LEVEL1_PASSES = (
-    ("unreachable_blocks", remove_unreachable_blocks),
-    ("promoted_allocas", promote_to_ssa),
-    ("forwarded_loads", forward_stores_to_loads),
-    ("dead_instructions", eliminate_dead_code),
+    ("unreachable_blocks", remove_unreachable_blocks, _PRESERVES_CFG_IF_ZERO, True),
+    ("promoted_allocas", promote_to_ssa, _PRESERVES_CFG, True),
+    ("forwarded_loads", forward_stores_to_loads, _PRESERVES_CFG, True),
+    ("dead_instructions", eliminate_dead_code, _PRESERVES_CFG, False),
+)
+_LEVEL2_PASSES = (
+    ("folded_constants", fold_constants, _PRESERVES_CFG_IF_ZERO, False),
+    ("simplified_blocks", simplify_cfg, _PRESERVES_CFG_IF_ZERO, False),
+    ("dead_instructions", eliminate_dead_code, _PRESERVES_CFG, False),
 )
 
 
@@ -41,34 +58,45 @@ def publish_pass_stats(func_name: str, stats: Dict[str, int]) -> None:
             obs.counter(f"transforms.{stat}").inc(value, func=func_name)
 
 
-def optimize_function(func: Function, level: int = 1) -> Dict[str, int]:
+def optimize_function(
+    func: Function, level: int = 1, am: Optional[AnalysisManager] = None
+) -> Dict[str, int]:
     """Run the standard pipeline on one function; returns pass statistics.
 
     Level 1 is the paper-aligned default (SSA + redundancy elimination +
     cleanups); level 2 additionally folds constants and simplifies the
     CFG — a stronger conventional baseline, available for experiments but
     not used by the recorded results.
+
+    With ``am``, passes share the manager's cached CFG/dominator/frontier
+    snapshots and each pass's declared preservation (see the pipeline
+    tables above) drives :meth:`AnalysisManager.invalidate` after it
+    runs; a pass reporting zero changes left the function untouched and
+    invalidates nothing.
     """
     if func.is_declaration:
         return {}
     stats: Dict[str, int] = {}
-    for stat, run_pass in _LEVEL1_PASSES:
+    passes = _LEVEL1_PASSES + (_LEVEL2_PASSES if level >= 2 else ())
+    for stat, run_pass, cfg_decl, takes_am in passes:
         with obs.span(f"transforms.{stat}", func=func.name):
-            stats[stat] = run_pass(func)
-    if level >= 2:
-        with obs.span("transforms.folded_constants", func=func.name):
-            stats["folded_constants"] = fold_constants(func)
-        with obs.span("transforms.simplified_blocks", func=func.name):
-            stats["simplified_blocks"] = simplify_cfg(func)
-        with obs.span("transforms.dead_instructions", func=func.name):
-            stats["dead_instructions"] += eliminate_dead_code(func)
+            if takes_am and am is not None:
+                changed = run_pass(func, am=am)
+            else:
+                changed = run_pass(func)
+        stats[stat] = stats.get(stat, 0) + changed
+        if am is not None and changed:
+            preserved = cfg_decl == _PRESERVES_CFG
+            am.invalidate(func, preserve=CFG_ANALYSES if preserved else ())
     publish_pass_stats(func.name, stats)
     return stats
 
 
-def optimize_module(module: Module, level: int = 1) -> Dict[str, Dict[str, int]]:
+def optimize_module(
+    module: Module, level: int = 1, am: Optional[AnalysisManager] = None
+) -> Dict[str, Dict[str, int]]:
     """Run the standard pipeline on every defined function."""
     return {
-        func.name: optimize_function(func, level)
+        func.name: optimize_function(func, level, am=am)
         for func in module.defined_functions
     }

@@ -131,12 +131,17 @@ def _transfer(
         _kill_for_call(avail, aa, inst)
 
 
-def forward_stores_to_loads(func: Function) -> int:
-    """Eliminate loads whose value is available; returns loads removed."""
+def forward_stores_to_loads(func: Function, am=None) -> int:
+    """Eliminate loads whose value is available; returns loads removed.
+
+    ``am`` (an :class:`repro.analysis.manager.AnalysisManager`) supplies a
+    cached CFG snapshot when available.  The pass rewrites loads only —
+    it always preserves the CFG tier; the caller owns the invalidation.
+    """
     if func.is_declaration:
         return 0
     aa = AliasAnalysis(func)
-    cfg = CFG(func)
+    cfg = am.cfg(func) if am is not None else CFG(func)
     blocks = cfg.reverse_post_order
 
     block_out: Dict[object, Optional[_AvailableValues]] = {b: None for b in blocks}

@@ -1,0 +1,228 @@
+"""``repro.bench``: schema round-trip, the regression gate, the committed
+baseline's speedup claim, and the CLI surface.
+
+``BENCH_baseline.json`` at the repo root is part of the repository's
+contract (see ``docs/performance.md``): it must validate against the
+``repro.bench/1`` schema and its ``reference`` section must document at
+least a 1.5x construction-phase speedup over the pre-cache compiler.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    FAST_SUBSET,
+    compare_bench,
+    default_workloads,
+    format_comparison,
+    load_bench_file,
+    run_bench,
+    summarize_bench,
+    validate_bench_file,
+    write_bench_json,
+)
+from repro.bench.compare import MIN_GATED_SECONDS
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_baseline.json")
+
+
+def _payload(phases, label="test", reference=None):
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "repeats": 1,
+        "analysis_cache": True,
+        "workloads": ["w"],
+        "phases": {
+            name: {"seconds": seconds, "per_workload": {"w": seconds}}
+            for name, seconds in phases.items()
+        },
+        "env": {},
+    }
+    if reference is not None:
+        payload["reference"] = reference
+    return payload
+
+
+class TestRunBench:
+    def test_measures_real_workload(self):
+        payload = run_bench(["blackscholes"], repeats=1, label="unit")
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["workloads"] == ["blackscholes"]
+        for phase in ("compile", "construction", "sim"):
+            assert payload["phases"][phase]["seconds"] > 0
+        # Sub-phases are contained in the construction total.
+        construction = payload["phases"]["construction"]["seconds"]
+        for sub in ("construction.ssa", "construction.cuts"):
+            assert payload["phases"][sub]["seconds"] <= construction
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(BenchError, match="unknown workload"):
+            run_bench(["nonesuch"], repeats=1)
+
+    def test_bad_repeats_raises(self):
+        with pytest.raises(BenchError, match="repeats"):
+            run_bench(["blackscholes"], repeats=0)
+
+    def test_default_workloads_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert default_workloads() == FAST_SUBSET
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert default_workloads() is None
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "BENCH_unit.json")
+        payload = _payload({"compile": 0.5, "construction": 0.1})
+        assert write_bench_json(path, payload) == 2
+        assert validate_bench_file(path) == 2
+        assert load_bench_file(path)["label"] == "test"
+
+    def test_rejects_wrong_schema_tag(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        payload = _payload({"compile": 0.5})
+        payload["schema"] = "repro.obs.metrics/1"
+        path_obj = tmp_path / "bad.json"
+        path_obj.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="not a repro.bench/1"):
+            load_bench_file(path)
+
+    def test_rejects_missing_label(self, tmp_path):
+        payload = _payload({"compile": 0.5})
+        del payload["label"]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="label"):
+            load_bench_file(str(path))
+
+    def test_rejects_malformed_phase(self, tmp_path):
+        payload = _payload({"compile": 0.5})
+        payload["phases"]["compile"]["seconds"] = "fast"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="numeric seconds"):
+            load_bench_file(str(path))
+
+    def test_rejects_malformed_reference(self, tmp_path):
+        payload = _payload({"compile": 0.5}, reference={"phases": []})
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="reference.phases"):
+            load_bench_file(str(path))
+
+    def test_rejects_unreadable_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="unreadable"):
+            load_bench_file(str(path))
+
+    def test_stats_summarize_recognizes_bench_dump(self, tmp_path):
+        from repro.obs import summarize_file
+
+        path = str(tmp_path / "BENCH_unit.json")
+        write_bench_json(path, _payload({"compile": 0.5}))
+        summary = summarize_file(path)
+        assert "valid bench dump" in summary
+        assert "compile" in summary
+
+
+class TestRegressionGate:
+    def test_detects_regression(self):
+        base = _payload({"construction": 0.100})
+        cur = _payload({"construction": 0.150})
+        regressions = compare_bench(cur, base, max_regression_pct=10.0)
+        assert [r.phase for r in regressions] == ["construction"]
+        assert regressions[0].pct == pytest.approx(50.0)
+
+    def test_within_threshold_passes(self):
+        base = _payload({"construction": 0.100})
+        cur = _payload({"construction": 0.105})
+        assert compare_bench(cur, base, max_regression_pct=10.0) == []
+
+    def test_sub_noise_phases_are_not_gated(self):
+        base = _payload({"construction": MIN_GATED_SECONDS / 2})
+        cur = _payload({"construction": MIN_GATED_SECONDS * 50})
+        assert compare_bench(cur, base, max_regression_pct=10.0) == []
+
+    def test_new_phase_is_not_a_regression(self):
+        base = _payload({"compile": 0.5})
+        cur = _payload({"compile": 0.5, "construction": 9.9})
+        assert compare_bench(cur, base, max_regression_pct=10.0) == []
+
+    def test_format_comparison_renders_both_sides(self):
+        base = _payload({"compile": 0.5})
+        cur = _payload({"compile": 0.25, "construction": 0.1})
+        table = format_comparison(cur, base)
+        assert "2.00x" in table
+        assert "construction" in table
+
+
+class TestSummarize:
+    def test_includes_speedup_vs_reference(self):
+        payload = _payload(
+            {"construction": 0.05},
+            reference={
+                "label": "before",
+                "phases": {"construction": {"seconds": 0.10}},
+            },
+        )
+        text = summarize_bench(payload)
+        assert "2.00x" in text
+        assert "before" in text
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_schema_valid(self):
+        payload = load_bench_file(BASELINE_PATH)
+        assert payload["label"] == "baseline"
+        assert payload["workloads"], "baseline measured no workloads"
+
+    def test_baseline_documents_construction_speedup(self):
+        payload = load_bench_file(BASELINE_PATH)
+        reference = payload.get("reference")
+        assert reference, "baseline lacks the pre-cache reference section"
+        ref_s = reference["phases"]["construction"]["seconds"]
+        cur_s = payload["phases"]["construction"]["seconds"]
+        assert ref_s / cur_s >= 1.5, (
+            f"committed baseline claims only {ref_s / cur_s:.2f}x "
+            "construction speedup (contract: >= 1.5x)"
+        )
+
+
+class TestCli:
+    def test_bench_cli_writes_validatable_dump(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "BENCH_cli.json")
+        assert main(["bench", "blackscholes", "--repeats", "1",
+                     "--label", "cli-unit", "--out", out]) == 0
+        assert validate_bench_file(out) > 0
+        assert load_bench_file(out)["label"] == "cli-unit"
+        captured = capsys.readouterr()
+        assert "construction" in captured.out
+
+    def test_bench_cli_regression_exit_code(self, tmp_path):
+        from repro.cli import main
+
+        base = _payload({"compile": 1e-4}, label="base")
+        base_path = str(tmp_path / "BENCH_base.json")
+        write_bench_json(base_path, base)
+        # compile on a real workload takes >> 0.0001s * 1.1 — but the
+        # phase is below MIN_GATED_SECONDS, so it must NOT gate.
+        assert main(["bench", "blackscholes", "--repeats", "1",
+                     "--baseline", base_path]) == 0
+
+    def test_bench_cli_gates_on_real_regression(self, tmp_path):
+        from repro.cli import main
+
+        base = _payload({"sim": MIN_GATED_SECONDS * 2}, label="base")
+        base_path = str(tmp_path / "BENCH_base.json")
+        write_bench_json(base_path, base)
+        # Simulating blackscholes takes far longer than 10ms + 10%.
+        assert main(["bench", "blackscholes", "--repeats", "1",
+                     "--baseline", base_path]) == 1
