@@ -15,7 +15,10 @@ Run:  python examples/fault_recovery.py
 
 from repro.compiler import compile_minic
 from repro.sim import Simulator
-from repro.sim.faults import FAULT_CONTROL, FAULT_VALUE, FaultPlan, fault_campaign, run_with_fault
+from repro.sim.faults import (
+    FAULT_CONTROL, FAULT_VALUE, FaultPlan, fault_campaign, format_rate,
+    run_with_fault,
+)
 
 KERNEL = """
 int hist[16];
@@ -71,7 +74,7 @@ def main():
             print(f"  {label}: injected={campaign.injected:3d} "
                   f"recovered-correctly={campaign.recovered_correctly:3d} "
                   f"wrong={campaign.wrong_result:2d} crashed={campaign.crashed:2d} "
-                  f"(recovery rate {campaign.recovery_rate:.0%})")
+                  f"(recovery rate {format_rate(campaign)})")
         print()
 
 

@@ -18,7 +18,7 @@ Run:  python examples/region_size_tradeoff.py
 from repro.compiler import compile_minic
 from repro.core import ConstructionConfig
 from repro.sim import Simulator
-from repro.sim.faults import fault_campaign
+from repro.sim.faults import fault_campaign, format_rate
 from repro.sim.path_trace import trace_paths
 
 KERNEL = """
@@ -64,7 +64,7 @@ def main():
                 build.program, reference, [], trials=25,
                 detection_latency=latency,
             )
-            rates.append(f"{campaign.recovery_rate:>7.0%} ")
+            rates.append(f"{format_rate(campaign):>7s} ")
         label = "unbounded" if bound is None else str(bound)
         print(f"{label:>9} {paths:>9.1f} {overhead:>+9.1%} " + " ".join(rates))
 

@@ -1,0 +1,18 @@
+// repro.fuzz reproducer (minimized)
+// generator: v1  campaign seed: 0  trial: 3  trial seed: 3
+// failing oracle(s): reexec
+// detail: [reexec] recovery at check point(s) [10]: result 8987576766849770283 != reference 8987576766849770284 [under ConstructionConfig(drop_hitting_set_cut=0, verify=False)]
+// replayed by tests/test_regression_corpus.py
+int g[8];
+int s1;
+
+int main() {
+  int acc = 1;
+  for (int i = 0; i < 3; i = i + 1) {
+    s1 = s1 ^ i;
+  }
+  int out = acc;
+  for (int z = 0; z < 8; z = z + 1) out = out * 31 + g[z];
+  out = out * 31 + s1;
+  return out;
+}

@@ -11,6 +11,9 @@ Commands:
   and the persistent artifact cache (``--no-cache`` to bypass)
 - ``campaign``        — suite-wide fault-injection campaign: sharded,
   resumable via a JSON-lines manifest, deterministic under any sharding
+- ``fuzz``            — differential fuzzing: seeded program generation,
+  interpreter/simulator differential + exhaustive re-execution +
+  multi-fault oracles, delta-debugged reproducers (``docs/fuzzing.md``)
 - ``bench``           — time compile/construction/sim phases per workload,
   emit schema-tagged ``BENCH_*.json``, and optionally gate against a
   baseline (``--baseline FILE --max-regression PCT``; see
@@ -204,7 +207,7 @@ def cmd_regions(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    from repro.sim.faults import fault_campaign
+    from repro.sim.faults import fault_campaign, format_rate
 
     source = _read_source(args.file)
     idem = compile_minic(source, idempotent=True, config=_config_from_args(args))
@@ -221,8 +224,45 @@ def cmd_faults(args) -> int:
         print(f"{label:10s}: injected={campaign.injected} "
               f"recovered={campaign.recovered_correctly} "
               f"wrong={campaign.wrong_result} crashed={campaign.crashed} "
-              f"({campaign.recovery_rate:.0%} recovery)")
+              f"({format_rate(campaign)} recovery)")
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import GEN_VERSION, format_fuzz_report, run_fuzz_campaign
+    from repro.harness.report import Telemetry
+
+    _setup_obs(args)
+    retry, unit_timeout, chaos = _resilience_from_args(args)
+    manifest_path = args.manifest
+    if manifest_path is None and not args.no_manifest:
+        tag = f"fuzz-g{GEN_VERSION}-seed{args.seed}-t{args.trials}"
+        manifest_path = os.path.join(".repro-cache", "campaigns", f"{tag}.jsonl")
+    if args.fresh and manifest_path and os.path.exists(manifest_path):
+        os.unlink(manifest_path)
+    telemetry = Telemetry(label="fuzz campaign")
+    summary = run_fuzz_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        shrink=args.shrink,
+        time_budget=args.time_budget,
+        manifest_path=manifest_path,
+        out_dir=args.out,
+        multi_fault=not args.no_multi_fault,
+        max_forced=args.max_forced,
+        retry=retry,
+        unit_timeout=unit_timeout,
+        chaos=chaos,
+        telemetry=telemetry,
+    )
+    print(format_fuzz_report(summary))
+    telemetry.finish()
+    if manifest_path:
+        telemetry.note(f"manifest: {manifest_path}")
+    print(telemetry.format_summary(), file=sys.stderr)
+    _finalize_obs(args)
+    return 0 if summary.ok else 1
 
 
 def cmd_experiment(args) -> int:
@@ -455,6 +495,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign against the oracle stack",
+    )
+    p.add_argument("--trials", type=int, default=50,
+                   help="fuzz trials (one generated program each)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; per-trial generator seeds derive "
+                        "from it spawn-key style")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="shard trials over N processes")
+    p.add_argument("--shrink", action="store_true", default=True,
+                   help="minimize failing programs with the delta-debugging "
+                        "reducer (default: on)")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="write raw failing programs without reduction")
+    p.add_argument("--time-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="stop launching new trials once this much wall "
+                        "clock has elapsed (completed trials stay in the "
+                        "manifest; resume to continue)")
+    p.add_argument("--max-forced", type=int, default=None, metavar="N",
+                   help="cap forced-recovery points per oracle mode "
+                        "(evenly spaced; default: exhaustive — every "
+                        "dynamic check point)")
+    p.add_argument("--no-multi-fault", action="store_true",
+                   help="skip the fault-during-recovery oracle")
+    p.add_argument("--out", default=os.path.join("examples", "regressions"),
+                   help="directory for (minimized) reproducer sources")
+    p.add_argument("--manifest", default=None,
+                   help="JSON-lines run manifest (default: derived path "
+                        "under .repro-cache/campaigns/)")
+    p.add_argument("--no-manifest", action="store_true",
+                   help="do not record or resume from a manifest")
+    p.add_argument("--fresh", action="store_true",
+                   help="discard any existing manifest before running")
+    _add_resilience_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "bench",

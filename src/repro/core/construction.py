@@ -74,6 +74,14 @@ class ConstructionConfig:
     trust_argument_noalias: bool = False
     #: Verify the result (no antidependence inside a region) and raise on bugs.
     verify: bool = True
+    #: **Test hook** (fuzzer oracle self-test): silently discard the Nth
+    #: chosen hitting-set cut, deliberately breaking the §4.2.1
+    #: invariant.  Only meaningful with ``verify=False`` (and
+    #: ``verify=False`` on :func:`repro.compiler.compile_minic` — both
+    #: the static verifier and the machine oracle catch the hole
+    #: otherwise).  The dynamic re-execution oracle in
+    #: :mod:`repro.fuzz.oracle` must catch what this breaks.
+    drop_hitting_set_cut: Optional[int] = None
 
 
 @dataclass
@@ -214,6 +222,8 @@ def construct_idempotent_regions(
                 heuristic=config.heuristic,
                 preselected=mandatory,
             )
+        if config.drop_hitting_set_cut is not None and chosen:
+            del chosen[config.drop_hitting_set_cut % len(chosen)]
         result.mandatory_cut_count = len(set(mandatory))
         result.hitting_set_cut_count = len(chosen)
 

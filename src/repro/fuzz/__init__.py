@@ -1,0 +1,78 @@
+"""repro.fuzz — differential fuzzing for the idempotence contract.
+
+The paper's promise (§3) is static: regions are constructed so that
+re-execution from the restart pointer is always safe.  This package
+earns dynamic trust in that promise at scale:
+
+- :mod:`repro.fuzz.generator` — seeded, hypothesis-free MiniC program
+  generation (every program reproducible from one integer seed);
+- :mod:`repro.fuzz.oracle` — three-way differential checking plus the
+  exhaustive re-execution and multi-fault oracles;
+- :mod:`repro.fuzz.reduce` — deterministic delta-debugging of failing
+  programs down to minimal reproducers;
+- :mod:`repro.fuzz.driver` — campaign orchestration on the
+  :mod:`repro.harness` executor/manifest stack (``repro fuzz`` CLI).
+
+See ``docs/fuzzing.md`` for oracle definitions and the regression
+corpus workflow.
+"""
+
+from repro.fuzz.generator import (
+    GEN_VERSION,
+    GenConfig,
+    GeneratedProgram,
+    ProgramSpec,
+    generate,
+    render,
+    trial_seed,
+)
+from repro.fuzz.oracle import (
+    ORACLE_DIFF_IDEMPOTENT,
+    ORACLE_DIFF_ORIGINAL,
+    ORACLE_MULTI_FAULT,
+    ORACLE_REEXEC,
+    ORACLE_REFERENCE,
+    ForcedRecovery,
+    OracleFailure,
+    OracleReport,
+    check_source,
+)
+from repro.fuzz.reduce import (
+    ReduceResult,
+    failure_predicate,
+    reduce_program,
+    reduce_spec,
+)
+from repro.fuzz.driver import (
+    FuzzFailure,
+    FuzzSummary,
+    format_fuzz_report,
+    run_fuzz_campaign,
+)
+
+__all__ = [
+    "GEN_VERSION",
+    "GenConfig",
+    "GeneratedProgram",
+    "ProgramSpec",
+    "generate",
+    "render",
+    "trial_seed",
+    "ORACLE_DIFF_IDEMPOTENT",
+    "ORACLE_DIFF_ORIGINAL",
+    "ORACLE_MULTI_FAULT",
+    "ORACLE_REEXEC",
+    "ORACLE_REFERENCE",
+    "ForcedRecovery",
+    "OracleFailure",
+    "OracleReport",
+    "check_source",
+    "ReduceResult",
+    "failure_predicate",
+    "reduce_program",
+    "reduce_spec",
+    "FuzzFailure",
+    "FuzzSummary",
+    "format_fuzz_report",
+    "run_fuzz_campaign",
+]

@@ -1,0 +1,331 @@
+"""Fuzz campaign orchestration on the PR 1/3 harness.
+
+A fuzz campaign is a set of independent trials — one generator seed
+each — run through :class:`~repro.harness.executor.TaskExecutor`
+(parallel, retried, chaos-testable) and recorded in the same JSON-lines
+:class:`~repro.harness.campaign.RunManifest` fault campaigns use, so
+fuzz runs are resumable and torn manifests self-heal.
+
+Statuses follow the campaign taxonomy:
+
+- ``done`` — all oracles passed; skipped on resume.
+- ``quarantined`` — an *oracle failure* (a real compiler bug witness):
+  recorded with the failing oracle set, skipped on resume (a failing
+  seed stays failing), surfaced in the report, minimized into a
+  reproducer.
+- ``failed`` — infrastructure failure (worker lost, timeout after
+  retries); re-run on resume.
+
+Determinism: trial ``i``'s generator seed is
+``derive_seed(seed, "fuzz.trial", i)`` (spawn-key style), so any
+``--jobs`` sharding or resumed invocation checks exactly the trial set
+a serial run does, and the summary is bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.fuzz.generator import (
+    GEN_VERSION,
+    GenConfig,
+    generate,
+    trial_seed,
+)
+from repro.fuzz.oracle import check_source
+from repro.fuzz.reduce import failure_predicate, reduce_program
+from repro.harness.campaign import (
+    RunManifest,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_QUARANTINED,
+    UnitRecord,
+)
+from repro.harness.executor import TaskExecutor
+from repro.harness.report import Telemetry
+from repro.harness.resilience import UNIT_ERROR, ChaosPolicy, RetryPolicy
+
+
+@dataclass
+class FuzzFailure:
+    """One failing trial: its coordinates and witness."""
+
+    index: int
+    seed: int                      # generator seed of the trial
+    oracles: Tuple[str, ...]
+    detail: str
+    reproducer: Optional[str] = None  # path of the (minimized) source
+
+
+@dataclass
+class FuzzSummary:
+    trials: int = 0
+    seed: int = 0
+    executed: int = 0
+    passed: int = 0
+    skipped: int = 0               # resumed from manifest as done
+    infra_failed: int = 0          # harness-level failures (retried on resume)
+    checkpoints: int = 0           # total forced-recovery points exercised
+    forced_runs: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    budget_exhausted: bool = False
+    remaining: int = 0             # trials not run (budget stop)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.infra_failed
+
+
+def _unit_id(seed: int, index: int) -> str:
+    return f"fuzz:g{GEN_VERSION}:seed{seed}:t{index}"
+
+
+def fuzz_unit(payload: dict) -> dict:
+    """Worker: generate trial ``index``'s program and run every oracle.
+
+    Returns a JSON-serializable row; oracle failures are *data*, not
+    exceptions — the parent decides quarantine, so the executor's retry
+    machinery stays reserved for genuine infrastructure faults.
+    """
+    gen_seed = payload["trial_seed"]
+    program = generate(gen_seed, GenConfig(**payload.get("gen", {})))
+    report = check_source(
+        program.source,
+        multi_fault=payload.get("multi_fault", True),
+        max_forced=payload.get("max_forced"),
+    )
+    obs.counter("fuzz.trials").inc(
+        status="pass" if report.ok else "fail"
+    )
+    return {
+        "trial_seed": gen_seed,
+        "index": payload["index"],
+        "ok": report.ok,
+        "oracles": list(report.failed_oracles),
+        "detail": "; ".join(str(f) for f in report.failures[:4]),
+        "checkpoints": report.checkpoints,
+        "forced_runs": report.forced_runs,
+        "instructions": report.instructions,
+    }
+
+
+def _write_reproducer(
+    out_dir: str, failure: FuzzFailure, source: str, minimized: bool,
+    campaign_seed: int,
+) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    name = f"fuzz-g{GEN_VERSION}-s{failure.seed}.c"
+    path = os.path.join(out_dir, name)
+    oracles = ",".join(failure.oracles) or "unknown"
+    header = (
+        f"// repro.fuzz reproducer ({'minimized' if minimized else 'raw'})\n"
+        f"// generator: v{GEN_VERSION}"
+        f"  campaign seed: {campaign_seed}"
+        f"  trial: {failure.index}"
+        f"  trial seed: {failure.seed}\n"
+        f"// failing oracle(s): {oracles}\n"
+        f"// detail: {failure.detail[:200]}\n"
+        f"// replayed by tests/test_regression_corpus.py\n"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(header + source)
+    obs.counter("fuzz.reproducers").inc()
+    return path
+
+
+def run_fuzz_campaign(
+    trials: int = 50,
+    seed: int = 0,
+    jobs: int = 1,
+    shrink: bool = True,
+    time_budget: Optional[float] = None,
+    manifest_path: Optional[str] = None,
+    out_dir: str = os.path.join("examples", "regressions"),
+    gen: Optional[dict] = None,
+    multi_fault: bool = True,
+    max_forced: Optional[int] = None,
+    max_reproducers: int = 5,
+    retry: Optional[RetryPolicy] = None,
+    unit_timeout: Optional[float] = None,
+    chaos: Optional[ChaosPolicy] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> FuzzSummary:
+    """Run a differential fuzzing campaign; returns the summary.
+
+    ``time_budget`` (seconds) stops launching new trials once exceeded;
+    completed trials are already in the manifest, so a later invocation
+    picks up where the budget ran out.
+    """
+    started = time.monotonic()
+    telemetry = telemetry or Telemetry(label="fuzz campaign")
+    observer = obs.get_observer()
+    manifest = RunManifest(manifest_path) if manifest_path else None
+    if manifest_path:
+        observer.log(f"fuzz manifest: {manifest_path}")
+
+    units: List[Tuple[str, dict]] = []
+    for index in range(trials):
+        units.append((
+            _unit_id(seed, index),
+            {
+                "index": index,
+                "trial_seed": trial_seed(seed, index),
+                "gen": dict(gen or {}),
+                "multi_fault": multi_fault,
+                "max_forced": max_forced,
+            },
+        ))
+
+    records: Dict[str, UnitRecord] = manifest.load() if manifest else {}
+    summary = FuzzSummary(trials=trials, seed=seed)
+    todo: List[Tuple[str, dict]] = []
+    for uid, payload in units:
+        record = records.get(uid)
+        if record is not None and record.ok:
+            summary.skipped += 1
+        elif record is not None and record.quarantined:
+            # A recorded oracle failure stays failing: keep its witness
+            # without re-running the trial.
+            summary.skipped += 1
+        else:
+            todo.append((uid, payload))
+    if manifest is not None:
+        observer.log(
+            f"fuzz resume: {summary.skipped} of {trials} trials already "
+            f"in manifest, {len(todo)} to run"
+        )
+
+    resilient = retry is not None or unit_timeout is not None or chaos is not None
+    executor = TaskExecutor(
+        jobs, retry=retry, unit_timeout=unit_timeout, chaos=chaos
+    )
+    with telemetry.phase("fuzz", units=len(todo)):
+        stream = executor.imap(
+            fuzz_unit,
+            [payload for _, payload in todo],
+            keys=[uid for uid, _ in todo],
+        )
+        for result in stream:
+            if result.ok and result.value.get("ok"):
+                record = UnitRecord(
+                    unit_id=str(result.key), status=STATUS_DONE,
+                    seconds=result.seconds, data=result.value,
+                    attempts=result.attempts,
+                )
+                summary.executed += 1
+                observer.counter("fuzz.units").inc(status="passed")
+            elif result.ok:
+                # Oracle failure: quarantine the seed (permanently
+                # failing by construction — retrying cannot help).
+                record = UnitRecord(
+                    unit_id=str(result.key), status=STATUS_QUARANTINED,
+                    seconds=result.seconds, data=result.value,
+                    attempts=result.attempts,
+                )
+                summary.executed += 1
+                observer.counter("fuzz.units").inc(status="quarantined")
+            else:
+                status = STATUS_QUARANTINED if resilient else STATUS_FAILED
+                record = UnitRecord(
+                    unit_id=str(result.key), status=status,
+                    seconds=result.seconds,
+                    data={"error": result.error, "infra": True,
+                          "category": result.category or UNIT_ERROR},
+                    attempts=result.attempts,
+                )
+                observer.counter("fuzz.units").inc(status="infra_failed")
+            records[record.unit_id] = record
+            if manifest:
+                manifest.append(record)
+            if (
+                time_budget is not None
+                and time.monotonic() - started >= time_budget
+            ):
+                summary.budget_exhausted = True
+                stream.close()
+                break
+
+    # ---- settle: fold every known record into the summary ------------
+    seen = 0
+    for index, (uid, payload) in enumerate(units):
+        record = records.get(uid)
+        if record is None:
+            continue
+        seen += 1
+        data = record.data or {}
+        if record.ok:
+            summary.passed += 1
+            summary.checkpoints += int(data.get("checkpoints", 0))
+            summary.forced_runs += int(data.get("forced_runs", 0))
+        elif data.get("infra") or "oracles" not in data:
+            summary.infra_failed += 1
+        else:
+            summary.checkpoints += int(data.get("checkpoints", 0))
+            summary.forced_runs += int(data.get("forced_runs", 0))
+            summary.failures.append(FuzzFailure(
+                index=index,
+                seed=int(data.get("trial_seed", payload["trial_seed"])),
+                oracles=tuple(data.get("oracles", [])),
+                detail=str(data.get("detail", "")),
+            ))
+    summary.remaining = trials - seen
+    summary.failures.sort(key=lambda f: f.index)
+
+    # ---- minimize + persist reproducers ------------------------------
+    for failure in summary.failures[:max_reproducers]:
+        program = generate(
+            failure.seed, GenConfig(**(gen or {}))
+        )
+        source = program.source
+        minimized = False
+        if shrink and failure.oracles:
+            predicate = failure_predicate(
+                failure.oracles, multi_fault=multi_fault,
+                max_forced=max_forced,
+            )
+            with telemetry.phase("shrink"):
+                try:
+                    reduced = reduce_program(program, predicate)
+                    source = reduced.source
+                    minimized = True
+                except ValueError:
+                    # The failure did not reproduce in-process (e.g. a
+                    # flaky environment); keep the raw program.
+                    pass
+        failure.reproducer = _write_reproducer(
+            out_dir, failure, source, minimized, seed
+        )
+    return summary
+
+
+def format_fuzz_report(summary: FuzzSummary) -> str:
+    lines = [
+        f"fuzz: {summary.trials} trials, seed {summary.seed} "
+        f"(generator v{GEN_VERSION})",
+        f"  passed:      {summary.passed}",
+        f"  oracle fail: {len(summary.failures)}",
+        f"  infra fail:  {summary.infra_failed}",
+        f"  resumed:     {summary.skipped}",
+        f"  forced recoveries exercised: {summary.forced_runs} "
+        f"(over {summary.checkpoints} dynamic check points)",
+    ]
+    if summary.budget_exhausted:
+        lines.append(
+            f"  time budget exhausted: {summary.remaining} trials not run "
+            "(resume with the same manifest to continue)"
+        )
+    for failure in summary.failures:
+        oracles = ",".join(failure.oracles) or "?"
+        lines.append(
+            f"  ! trial {failure.index} seed {failure.seed} "
+            f"failed [{oracles}]"
+        )
+        if failure.reproducer:
+            lines.append(f"    reproducer: {failure.reproducer}")
+        if failure.detail:
+            lines.append(f"    {failure.detail[:160]}")
+    return "\n".join(lines)

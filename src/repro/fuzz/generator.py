@@ -1,0 +1,330 @@
+"""Seeded, hypothesis-free MiniC program generator.
+
+Every program is a pure function of one integer seed: ``generate(seed)``
+always returns the same :class:`GeneratedProgram` for the same seed and
+generator version (:data:`GEN_VERSION`), across processes, platforms,
+and Python versions.  That is the fuzzer's reproducibility contract —
+a failing trial is fully described by its seed, and the regression
+corpus records seeds alongside minimized sources.
+
+The generator targets the constructs the region construction actually
+has to reason about (paper §3/§4): global and array mutation (memory
+antidependences), self-dependent accumulators (§4.2.2 loop case
+analysis), nested loops and branches (cut placement), pointer writes
+through ``&g[i]`` (alias analysis), and helper-function calls
+(mandatory call cuts).  Programs are integer-only and terminate by
+construction: every loop has a compile-time trip count.
+
+Programs are built as a small statement tree (:class:`Leaf`,
+:class:`If`, :class:`Loop`, :class:`Helper`, :class:`ProgramSpec`) and
+rendered to MiniC text at the end.  The tree — not the text — is what
+:mod:`repro.fuzz.reduce` shrinks, so every reduction step yields a
+syntactically valid program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.harness.executor import derive_seed
+
+#: Bumped whenever a change alters the seed → program mapping.  Unit ids
+#: and reproducer filenames embed it, so a stale manifest or corpus
+#: entry can never masquerade as a fresh one.
+GEN_VERSION = 1
+
+
+@dataclass
+class GenConfig:
+    """Shape knobs.  Defaults keep dynamic runs small (a few hundred
+    instructions) so the exhaustive re-execution oracle — one forced
+    recovery per dynamic check point — stays cheap per trial."""
+
+    n_globals: int = 8       # global array size; must be a power of two
+    n_scalars: int = 2       # global int scalars s0, s1, ...
+    max_helpers: int = 2     # helper functions callable from main
+    min_stmts: int = 3       # top-level statements in the main loop
+    max_stmts: int = 6
+    max_depth: int = 2       # nesting depth of if/loop statements
+    max_trips: int = 4       # trip count of any generated loop
+    max_const: int = 9       # magnitude of literal constants
+
+
+# ----------------------------------------------------------------------
+# Statement tree
+# ----------------------------------------------------------------------
+@dataclass
+class Leaf:
+    """One or more complete statements with no reducible structure."""
+
+    text: str
+    uses: Optional[str] = None  # helper name this leaf calls, if any
+
+
+@dataclass
+class If:
+    cond: str
+    body: List["Stmt"]
+    orelse: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Loop:
+    var: str
+    trips: int
+    body: List["Stmt"]
+    style: str = "for"  # "for" | "while"
+
+
+Stmt = Union[Leaf, If, Loop]
+
+
+@dataclass
+class Helper:
+    name: str
+    body: List[Stmt]  # statements over locals a, b, t
+    ret: str
+
+
+@dataclass
+class ProgramSpec:
+    n_globals: int
+    scalars: List[str]
+    helpers: List[Helper]
+    body: List[Stmt]  # the body of main's outer loop, plus trailing stmts
+    outer_var: str = "i"
+    outer_trips: int = 4
+
+
+@dataclass
+class GeneratedProgram:
+    seed: int
+    spec: ProgramSpec
+
+    @property
+    def source(self) -> str:
+        return render(self.spec)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _render_stmts(stmts: List[Stmt], indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    for stmt in stmts:
+        if isinstance(stmt, Leaf):
+            for line in stmt.text.splitlines():
+                lines.append(pad + line)
+        elif isinstance(stmt, If):
+            lines.append(pad + f"if ({stmt.cond}) {{")
+            _render_stmts(stmt.body, indent + 1, lines)
+            if stmt.orelse:
+                lines.append(pad + "} else {")
+                _render_stmts(stmt.orelse, indent + 1, lines)
+            lines.append(pad + "}")
+        elif isinstance(stmt, Loop):
+            if stmt.style == "while":
+                lines.append(pad + f"int {stmt.var} = {stmt.trips};")
+                lines.append(pad + f"while ({stmt.var} > 0) {{")
+                _render_stmts(stmt.body, indent + 1, lines)
+                lines.append(pad + f"  {stmt.var} = {stmt.var} - 1;")
+                lines.append(pad + "}")
+            else:
+                lines.append(
+                    pad + f"for (int {stmt.var} = 0; {stmt.var} < {stmt.trips}; "
+                    f"{stmt.var} = {stmt.var} + 1) {{"
+                )
+                _render_stmts(stmt.body, indent + 1, lines)
+                lines.append(pad + "}")
+        else:  # pragma: no cover - tree is closed over the three kinds
+            raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def render(spec: ProgramSpec) -> str:
+    """The MiniC source of a program spec."""
+    lines: List[str] = [f"int g[{spec.n_globals}];"]
+    for scalar in spec.scalars:
+        lines.append(f"int {scalar};")
+    lines.append("")
+    for helper in spec.helpers:
+        lines.append(f"int {helper.name}(int a, int b) {{")
+        lines.append("  int t = a;")
+        _render_stmts(helper.body, 1, lines)
+        lines.append(f"  return {helper.ret};")
+        lines.append("}")
+        lines.append("")
+    lines.append("int main() {")
+    lines.append("  int acc = 1;")
+    lines.append(
+        f"  for (int {spec.outer_var} = 0; {spec.outer_var} < "
+        f"{spec.outer_trips}; {spec.outer_var} = {spec.outer_var} + 1) {{"
+    )
+    _render_stmts(spec.body, 2, lines)
+    lines.append("  }")
+    # Fold every piece of observable state into the return value so the
+    # scalar result alone already witnesses most divergences (final
+    # global memory is additionally compared cell-by-cell by the oracle).
+    lines.append("  int out = acc;")
+    lines.append(
+        f"  for (int z = 0; z < {spec.n_globals}; z = z + 1) "
+        "out = out * 31 + g[z];"
+    )
+    for scalar in spec.scalars:
+        lines.append(f"  out = out * 31 + {scalar};")
+    lines.append("  return out;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+class _Gen:
+    def __init__(self, seed: int, config: GenConfig) -> None:
+        self.rng = random.Random(derive_seed(seed, "fuzz.gen", GEN_VERSION))
+        self.config = config
+        self.counter = 0  # fresh-name supply (loop vars, pointers)
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # -- expressions ---------------------------------------------------
+    def const(self, lo: Optional[int] = None, hi: Optional[int] = None) -> str:
+        lo = -self.config.max_const if lo is None else lo
+        hi = self.config.max_const if hi is None else hi
+        value = self.rng.randint(lo, hi)
+        return f"({value})" if value < 0 else str(value)
+
+    def index(self, scope: List[str]) -> str:
+        """An always-in-bounds index into g (n_globals is a power of two;
+        masking a two's-complement value is non-negative)."""
+        mask = self.config.n_globals - 1
+        if scope and self.rng.random() < 0.6:
+            var = self.rng.choice(scope)
+            return f"(({var} + {self.const(0, mask)}) & {mask})"
+        return str(self.rng.randint(0, mask))
+
+    def atom(self, scope: List[str]) -> str:
+        roll = self.rng.random()
+        if roll < 0.35 or not scope:
+            return self.const()
+        if roll < 0.7:
+            return self.rng.choice(scope)
+        return f"g[{self.index(scope)}]"
+
+    def expr(self, scope: List[str], depth: int = 2) -> str:
+        if depth <= 0 or self.rng.random() < 0.35:
+            return self.atom(scope)
+        op = self.rng.choice(
+            ["+", "+", "-", "*", "^", "&", "|", "<<", ">>", "/", "%"]
+        )
+        left = self.expr(scope, depth - 1)
+        if op in ("<<", ">>"):
+            right = str(self.rng.randint(0, 7))  # bounded shift amount
+        elif op in ("/", "%"):
+            right = str(self.rng.randint(1, self.config.max_const))  # nonzero
+        else:
+            right = self.expr(scope, depth - 1)
+        return f"({left} {op} {right})"
+
+    def cond(self, scope: List[str]) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"({self.expr(scope, 1)} {op} {self.expr(scope, 1)})"
+
+    # -- statements ----------------------------------------------------
+    def stmt(self, scope: List[str], acc: str, depth: int,
+             helpers: List[Helper]) -> Stmt:
+        kinds = ["mutate", "mutate", "scalar", "accumulate", "accumulate",
+                 "ptr"]
+        if depth > 0:
+            kinds += ["branch", "branch", "loop"]
+        if helpers:
+            kinds.append("call")
+        kind = self.rng.choice(kinds)
+        if kind == "mutate":
+            idx = self.index(scope)
+            op = self.rng.choice(["+", "^", "*", "-"])
+            return Leaf(f"g[{idx}] = g[{idx}] {op} {self.expr(scope, 1)};")
+        if kind == "scalar":
+            scalar = self.rng.choice(
+                [f"s{k}" for k in range(self.config.n_scalars)]
+            )
+            op = self.rng.choice(["+", "^", "*"])
+            return Leaf(f"{scalar} = {scalar} {op} {self.expr(scope, 1)};")
+        if kind == "accumulate":
+            mult = self.rng.choice([3, 5, 7, 31])
+            return Leaf(f"{acc} = {acc} * {mult} + {self.expr(scope, 1)};")
+        if kind == "ptr":
+            ptr = self.fresh("p")
+            idx = self.index(scope)
+            return Leaf(
+                f"int *{ptr} = &g[{idx}];\n"
+                f"*{ptr} = *{ptr} + {self.expr(scope, 1)};"
+            )
+        if kind == "call":
+            helper = self.rng.choice(helpers)
+            return Leaf(
+                f"{acc} = {acc} + {helper.name}"
+                f"({self.expr(scope, 1)}, {self.expr(scope, 1)});",
+                uses=helper.name,
+            )
+        if kind == "branch":
+            then = self.stmts(scope, acc, depth - 1, helpers,
+                              self.rng.randint(1, 2))
+            orelse = (
+                self.stmts(scope, acc, depth - 1, helpers, 1)
+                if self.rng.random() < 0.5 else []
+            )
+            return If(self.cond(scope), then, orelse)
+        # loop
+        var = self.fresh("j")
+        style = "while" if self.rng.random() < 0.3 else "for"
+        body_scope = scope + ([var] if style == "for" else [])
+        body = self.stmts(body_scope, acc, depth - 1, helpers,
+                          self.rng.randint(1, 2))
+        return Loop(var, self.rng.randint(1, self.config.max_trips),
+                    body, style=style)
+
+    def stmts(self, scope: List[str], acc: str, depth: int,
+              helpers: List[Helper], count: int) -> List[Stmt]:
+        return [self.stmt(scope, acc, depth, helpers) for _ in range(count)]
+
+    # -- whole program -------------------------------------------------
+    def program(self, seed: int) -> GeneratedProgram:
+        config = self.config
+        scalars = [f"s{k}" for k in range(config.n_scalars)]
+        helpers: List[Helper] = []
+        for index in range(self.rng.randint(0, config.max_helpers)):
+            body = self.stmts(["a", "b", "t"], "t", 1, [],
+                              self.rng.randint(1, 2))
+            helpers.append(Helper(
+                name=f"h{index}",
+                body=body,
+                ret=self.expr(["a", "b", "t"], 1),
+            ))
+        count = self.rng.randint(config.min_stmts, config.max_stmts)
+        body = self.stmts(["i"], "acc", config.max_depth, helpers, count)
+        spec = ProgramSpec(
+            n_globals=config.n_globals,
+            scalars=scalars,
+            helpers=helpers,
+            body=body,
+            outer_trips=self.rng.randint(2, config.max_trips),
+        )
+        return GeneratedProgram(seed=seed, spec=spec)
+
+
+def generate(seed: int, config: Optional[GenConfig] = None) -> GeneratedProgram:
+    """The program of ``seed``: same seed, same program, forever
+    (within one :data:`GEN_VERSION`)."""
+    return _Gen(seed, config or GenConfig()).program(seed)
+
+
+def trial_seed(campaign_seed: int, index: int) -> int:
+    """Trial ``index``'s generator seed, derived spawn-key style so any
+    sharding of a fuzz campaign draws the exact trial set a serial run
+    does (the same convention as :func:`repro.sim.faults.trial_plan`)."""
+    return derive_seed(campaign_seed, "fuzz.trial", index)

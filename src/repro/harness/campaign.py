@@ -34,7 +34,12 @@ from repro.harness.resilience import (
     RetryPolicy,
 )
 from repro.obs.context import get_observer
-from repro.sim.faults import FAULT_VALUE, CampaignResult, fault_campaign
+from repro.sim.faults import (
+    FAULT_VALUE,
+    CampaignResult,
+    fault_campaign,
+    format_rate,
+)
 from repro.sim.simulator import Simulator
 
 FLAVOURS = ("original", "idempotent")
@@ -410,10 +415,13 @@ def run_fault_campaign(
             continue
         data = record.data
         key = (data["workload"], data["flavour"])
+        # ``.get`` keeps manifests written before the ``undetected``
+        # bucket existed loadable (they recorded no such faults).
         shard_result = CampaignResult(**{
-            f: data[f]
+            f: data.get(f, 0)
             for f in ("trials", "injected", "detected",
-                      "recovered_correctly", "wrong_result", "crashed")
+                      "recovered_correctly", "wrong_result", "crashed",
+                      "undetected")
         })
         summary.results.setdefault(key, CampaignResult()).merge(shard_result)
     return summary
@@ -427,16 +435,20 @@ def format_campaign_report(summary: FaultCampaignSummary) -> str:
         rows.append([
             name, flavour, result.trials, result.injected,
             result.recovered_correctly, result.wrong_result, result.crashed,
-            f"{result.recovery_rate:.0%}",
+            format_rate(result),
         ])
     lines = [format_table(headers, rows), ""]
     for flavour in FLAVOURS:
         total = summary.flavour_totals(flavour)
+        undetected = (
+            f" undetected={total.undetected}" if total.undetected else ""
+        )
         lines.append(
             f"{flavour:10s}: injected={total.injected} "
             f"recovered={total.recovered_correctly} "
-            f"wrong={total.wrong_result} crashed={total.crashed} "
-            f"({total.recovery_rate:.0%} recovery)"
+            f"wrong={total.wrong_result} crashed={total.crashed}"
+            f"{undetected} "
+            f"({format_rate(total)} recovery)"
         )
     units_line = (
         f"units: {summary.executed_units} executed, "

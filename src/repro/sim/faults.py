@@ -152,7 +152,16 @@ def run_with_fault(
 
 @dataclass
 class CampaignResult:
-    """Aggregate of a fault-injection campaign."""
+    """Aggregate of a fault-injection campaign.
+
+    Injected trials land in exactly one of four disjoint buckets:
+    ``crashed``, ``recovered_correctly`` (detected *and* reproduced the
+    reference), ``wrong_result`` (diverged from the reference, whether
+    or not detection fired), or ``undetected`` (the fault slipped past
+    every check point — detection latency ran past program end — yet
+    the result happened to be correct).  An undetected fault is never
+    reported as recovered: nothing recovered it.
+    """
 
     trials: int = 0
     injected: int = 0
@@ -160,10 +169,19 @@ class CampaignResult:
     recovered_correctly: int = 0
     wrong_result: int = 0
     crashed: int = 0
+    undetected: int = 0
 
     @property
     def recovery_rate(self) -> float:
-        return self.recovered_correctly / self.injected if self.injected else 0.0
+        """Fraction of injected faults recovered correctly.
+
+        A campaign that injected nothing has no recovery rate: it
+        returns NaN rather than a misleading 0.0 (which reads as "every
+        fault was lost") — use :func:`format_rate` for display.
+        """
+        if not self.injected:
+            return float("nan")
+        return self.recovered_correctly / self.injected
 
     def merge(self, other: "CampaignResult") -> "CampaignResult":
         """Fold in another shard of the same campaign (in place)."""
@@ -173,7 +191,15 @@ class CampaignResult:
         self.recovered_correctly += other.recovered_correctly
         self.wrong_result += other.wrong_result
         self.crashed += other.crashed
+        self.undetected += other.undetected
         return self
+
+
+def format_rate(result: CampaignResult) -> str:
+    """``recovery_rate`` for reports: ``"n/a"`` when nothing was injected."""
+    if not result.injected:
+        return "n/a"
+    return f"{result.recovery_rate:.0%}"
 
 
 def trial_plan(
@@ -235,12 +261,21 @@ def fault_campaign(
         result.injected += 1
         if outcome.detected:
             result.detected += 1
+        correct = (
+            outcome.result == reference_result
+            and outcome.output == reference_output
+        )
         if outcome.crashed:
             result.crashed += 1
-        elif outcome.result == reference_result and outcome.output == reference_output:
+        elif not correct:
+            result.wrong_result += 1
+        elif outcome.detected:
             result.recovered_correctly += 1
         else:
-            result.wrong_result += 1
+            # Fault injected, never detected (latency outlived the
+            # program), result coincidentally correct: benign, but NOT
+            # a recovery — nothing recovered it.
+            result.undetected += 1
     _publish_campaign_metrics(result, kind)
     return result
 
@@ -251,7 +286,7 @@ def _publish_campaign_metrics(result: CampaignResult, kind: str) -> None:
 
     events = obs.counter("sim.fault_events")
     for outcome in ("trials", "injected", "detected", "recovered_correctly",
-                    "wrong_result", "crashed"):
+                    "wrong_result", "crashed", "undetected"):
         count = getattr(result, outcome)
         if count:
             events.inc(count, outcome=outcome, kind=kind)

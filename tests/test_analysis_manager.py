@@ -35,7 +35,7 @@ from repro.ir.instructions import Boundary
 from repro.ir.verifier import cfg_checksum
 from repro.transforms.simplifycfg import simplify_cfg
 
-from tests.test_random_programs import programs
+from tests.test_random_programs import sources
 
 BRANCHY = """
 int g[4];
@@ -184,7 +184,7 @@ _SETTINGS = settings(
 
 class TestCachedVsFresh:
     @_SETTINGS
-    @given(source=programs())
+    @given(source=sources())
     def test_cached_analyses_agree_with_fresh(self, source):
         module = compile_source(source)
         am = AnalysisManager(debug=True)
@@ -214,7 +214,7 @@ class TestCachedVsFresh:
             ) == sorted(lp.header.name for lp in LoopInfo(func).loops)
 
     @_SETTINGS
-    @given(source=programs())
+    @given(source=sources())
     def test_pipeline_output_bit_identical_with_and_without_cache(self, source):
         cached = compile_minic(source, idempotent=True, analysis_cache=True)
         fresh = compile_minic(source, idempotent=True, analysis_cache=False)

@@ -1,0 +1,115 @@
+"""Fault-injection edge cases: end-of-program faults, detection latency
+outliving the run, and empty-campaign accounting."""
+
+import math
+
+from repro.compiler import compile_minic
+from repro.sim import Simulator
+from repro.sim.faults import (
+    CampaignResult,
+    FaultPlan,
+    fault_campaign,
+    format_rate,
+    run_with_fault,
+)
+
+SOURCE = """
+int g[4];
+int main() {
+  int acc = 1;
+  for (int i = 0; i < 6; i = i + 1) {
+    g[i % 4] = g[i % 4] + i;
+    acc = acc * 3 + g[(i + 1) % 4];
+  }
+  return acc + g[0] + g[1] + g[2] + g[3];
+}
+"""
+
+
+def _build():
+    build = compile_minic(SOURCE, idempotent=True)
+    clean = Simulator(build.program)
+    reference = clean.run("main")
+    return build.program, reference, list(clean.output), clean.instructions
+
+
+class TestEndOfProgramFaults:
+    def test_fault_targeting_final_dynamic_instruction(self):
+        program, reference, ref_output, span = _build()
+        # Targets at and just before the last dynamic instruction: the
+        # injector must stay well-behaved whether or not a fault can
+        # still land (the final ``ret`` has no destination register).
+        for target in (span - 1, span):
+            outcome = run_with_fault(program, FaultPlan(target))
+            assert not outcome.crashed
+            if not outcome.injected:
+                assert not outcome.detected and not outcome.recovered
+                assert outcome.result == reference
+            else:
+                # Never "recovered" without detection having fired.
+                assert outcome.detected or not outcome.recovered
+
+    def test_fault_past_program_end_never_injects(self):
+        program, reference, ref_output, span = _build()
+        outcome = run_with_fault(program, FaultPlan(span + 100))
+        assert not outcome.injected
+        assert not outcome.detected
+        assert outcome.result == reference
+
+
+class TestDetectionLatencyPastEnd:
+    def test_undetected_fault_is_not_recovered(self):
+        program, reference, ref_output, span = _build()
+        plan = FaultPlan(
+            target_instruction=max(1, span // 2),
+            detection_latency=10**9,  # no check point will ever qualify
+        )
+        outcome = run_with_fault(program, plan)
+        assert outcome.injected
+        assert not outcome.detected
+        assert not outcome.recovered
+
+    def test_campaign_buckets_undetected_separately(self):
+        program, reference, ref_output, _ = _build()
+        result = fault_campaign(
+            program, reference, ref_output,
+            trials=20, detection_latency=10**9,
+        )
+        assert result.detected == 0
+        assert result.recovered_correctly == 0
+        # Every injected fault lands in exactly one remaining bucket.
+        assert (
+            result.crashed + result.wrong_result + result.undetected
+            == result.injected
+        )
+
+
+class TestEmptyCampaignAccounting:
+    def test_recovery_rate_nan_when_nothing_injected(self):
+        result = CampaignResult(trials=5)
+        assert math.isnan(result.recovery_rate)
+        assert format_rate(result) == "n/a"
+
+    def test_zero_trial_campaign(self):
+        program, reference, ref_output, _ = _build()
+        result = fault_campaign(program, reference, ref_output, trials=0)
+        assert result.injected == 0
+        assert math.isnan(result.recovery_rate)
+
+    def test_merge_preserves_all_buckets(self):
+        left = CampaignResult(trials=2, injected=2, detected=1,
+                              recovered_correctly=1, undetected=1)
+        right = CampaignResult(trials=3, injected=2, detected=2,
+                               recovered_correctly=1, wrong_result=1)
+        left.merge(right)
+        assert left.trials == 5
+        assert left.injected == 4
+        assert left.undetected == 1
+        assert left.recovered_correctly == 2
+        assert left.recovery_rate == 0.5
+
+    def test_merge_of_empty_shards_stays_nan(self):
+        left = CampaignResult(trials=1)
+        left.merge(CampaignResult(trials=1))
+        assert math.isnan(left.recovery_rate)
+        assert format_rate(left) == "n/a"

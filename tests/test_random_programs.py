@@ -1,7 +1,13 @@
 """Randomized structured-program testing (hypothesis).
 
-Generates small MiniC programs with loops, branches, and global-state
-mutation, then checks the strongest whole-pipeline properties we have:
+Programs come from :mod:`repro.fuzz.generator` — the same seeded
+generator the ``repro fuzz`` campaign uses — so every counterexample
+hypothesis shrinks to is reproducible from one integer seed (and can be
+fed straight to ``repro.fuzz.reduce`` for further minimization).
+Hypothesis contributes only the seed choice; the program shape is
+entirely the generator's.
+
+Checked properties (the strongest whole-pipeline ones we have):
 
 1. interpreter == simulator for the original binary;
 2. interpreter == simulator for the idempotent binary (construction and
@@ -11,60 +17,28 @@ mutation, then checks the strongest whole-pipeline properties we have:
 4. a fault injected anywhere recovers to the exact fault-free result.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.compiler import compile_minic
 from repro.frontend import compile_source
+from repro.fuzz.generator import generate
 from repro.interp import Interpreter
 from repro.sim import Simulator
 from repro.sim.faults import FaultPlan, run_with_fault
 
-# ----------------------------------------------------------------------
-# Structured program generator
-# ----------------------------------------------------------------------
-_STMT_KINDS = st.sampled_from(["mutate", "accumulate", "branch", "innerloop"])
+# Seeds index into the generator's full program space; hypothesis
+# explores and shrinks over this one integer.
+_SEEDS = st.integers(0, 2**32 - 1)
 
 
-@st.composite
-def programs(draw):
-    n_stmts = draw(st.integers(2, 6))
-    lines = []
-    for index in range(n_stmts):
-        kind = draw(_STMT_KINDS)
-        idx = draw(st.integers(0, 3))
-        const = draw(st.integers(-7, 7))
-        if kind == "mutate":
-            op = draw(st.sampled_from(["+", "^", "*"]))
-            lines.append(f"    g[{idx}] = g[{idx}] {op} ({const} + i);")
-        elif kind == "accumulate":
-            lines.append(f"    acc = acc + g[{idx}] + {const};")
-        elif kind == "branch":
-            op = draw(st.sampled_from(["<", ">", "=="]))
-            lines.append(
-                f"    if (acc % 7 {op} {draw(st.integers(0, 6))}) "
-                f"g[{idx}] = g[{idx}] + {const}; else acc = acc ^ {const};"
-            )
-        else:  # innerloop
-            trips = draw(st.integers(1, 4))
-            lines.append(
-                f"    for (int j = 0; j < {trips}; j = j + 1) "
-                f"acc = acc + g[(i + j) % 4];"
-            )
-    trips = draw(st.integers(3, 10))
-    body = "\n".join(lines)
-    return f"""
-int g[4];
-int main() {{
-  int acc = 1;
-  for (int i = 0; i < {trips}; i = i + 1) {{
-{body}
-  }}
-  int out = acc;
-  for (int k = 0; k < 4; k = k + 1) out = out * 31 + g[k];
-  return out;
-}}
-"""
+def _source(seed: int) -> str:
+    return generate(seed).source
+
+
+def sources():
+    """Strategy over generator-produced MiniC sources (shared with other
+    suites that want random whole programs)."""
+    return _SEEDS.map(_source)
 
 
 _SETTINGS = settings(
@@ -76,15 +50,17 @@ _SETTINGS = settings(
 
 class TestRandomStructuredPrograms:
     @_SETTINGS
-    @given(source=programs())
-    def test_differential_original(self, source):
+    @given(seed=_SEEDS)
+    def test_differential_original(self, seed):
+        source = _source(seed)
         expected = Interpreter(compile_source(source)).run("main")
         program = compile_minic(source, idempotent=False).program
         assert Simulator(program).run("main") == expected
 
     @_SETTINGS
-    @given(source=programs())
-    def test_differential_idempotent(self, source):
+    @given(seed=_SEEDS)
+    def test_differential_idempotent(self, seed):
+        source = _source(seed)
         expected = Interpreter(compile_source(source)).run("main")
         program = compile_minic(source, idempotent=True).program
         assert Simulator(program).run("main") == expected
@@ -94,9 +70,9 @@ class TestRandomStructuredPrograms:
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
     )
-    @given(source=programs(), fraction=st.floats(0.05, 0.95))
-    def test_fault_recovery_anywhere(self, source, fraction):
-        build = compile_minic(source, idempotent=True)
+    @given(seed=_SEEDS, fraction=st.floats(0.05, 0.95))
+    def test_fault_recovery_anywhere(self, seed, fraction):
+        build = compile_minic(_source(seed), idempotent=True)
         clean = Simulator(build.program)
         reference = clean.run("main")
         target = max(1, int(clean.instructions * fraction))
@@ -110,10 +86,11 @@ class TestRandomStructuredPrograms:
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
     )
-    @given(source=programs())
-    def test_region_size_bound_preserves_semantics(self, source):
+    @given(seed=_SEEDS)
+    def test_region_size_bound_preserves_semantics(self, seed):
         from repro.core import ConstructionConfig
 
+        source = _source(seed)
         expected = Interpreter(compile_source(source)).run("main")
         config = ConstructionConfig(max_region_size=6)
         program = compile_minic(source, idempotent=True, config=config).program

@@ -1,0 +1,45 @@
+"""Replay the committed regression corpus through the full oracle stack.
+
+``examples/regressions/`` holds minimized reproducers of failures the
+fuzzer once found (under deliberately broken configurations or real
+bugs since fixed).  Each must now pass *every* oracle — differential,
+exhaustive re-execution, and multi-fault — on the current compiler; a
+failure here means a fixed bug has come back.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.oracle import check_source
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples", "regressions",
+)
+
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.c")))
+
+
+def _corpus_id(path):
+    return os.path.basename(path)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=_corpus_id)
+def test_reproducer_passes_all_oracles(path):
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    report = check_source(source, multi_fault=True)
+    assert report.ok, (
+        f"regression corpus entry {os.path.basename(path)} fails "
+        f"{report.failed_oracles}: {report.failures[0]}"
+    )
+    assert report.forced_runs > 0  # the replay really exercised recovery
+
+
+def test_corpus_is_nonempty():
+    # The corpus ships with at least the seed entry produced by the
+    # broken-construction self-test; an empty glob would silently turn
+    # this whole module into a no-op.
+    assert CORPUS, f"no regression corpus found under {CORPUS_DIR}"
