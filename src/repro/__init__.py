@@ -20,4 +20,23 @@ Subpackages: ``ir``, ``frontend``, ``analysis``, ``transforms``, ``core``,
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+
+def repro_version() -> str:
+    """The installed package version, from importlib metadata.
+
+    Falls back to the hardcoded ``__version__`` when the package is not
+    installed (e.g. running from a source checkout via ``PYTHONPATH``).
+    The string feeds ``repro --version``, the serve protocol handshake,
+    and the provenance section of ``BENCH_serve.json``.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
+__all__ = ["__version__", "repro_version"]

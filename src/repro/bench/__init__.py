@@ -19,6 +19,14 @@ See ``docs/performance.md`` for the workflow and the JSON schema.
 """
 
 from repro.bench.compare import BenchRegression, compare_bench, format_comparison
+from repro.bench.serve import (
+    SERVE_BENCH_SCHEMA,
+    load_serve_bench_file,
+    serve_bench_payload,
+    summarize_serve_bench,
+    validate_serve_bench_file,
+    write_serve_bench_json,
+)
 from repro.bench.runner import (
     BENCH_SCHEMA,
     FAST_SUBSET,
@@ -36,12 +44,18 @@ __all__ = [
     "BenchError",
     "BenchRegression",
     "FAST_SUBSET",
+    "SERVE_BENCH_SCHEMA",
     "compare_bench",
     "default_workloads",
     "format_comparison",
     "load_bench_file",
+    "load_serve_bench_file",
     "run_bench",
+    "serve_bench_payload",
     "summarize_bench",
+    "summarize_serve_bench",
     "validate_bench_file",
+    "validate_serve_bench_file",
     "write_bench_json",
+    "write_serve_bench_json",
 ]

@@ -1,0 +1,130 @@
+"""``BENCH_serve.json`` — the serving-throughput benchmark schema.
+
+Where ``repro.bench/1`` dumps record *compiler phase* wall-times,
+``repro.serve.bench/1`` dumps record what the ROADMAP's service metric
+asks for: sustained requests/sec and p50/p99 front-end latency from one
+seeded load-generator run, with provenance (package version, seed,
+concurrency) and the admission-control outcome (rejections, retries,
+check mismatches).  ``repro stats FILE`` validates and summarizes these
+like every other observability artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Dict
+
+from repro.bench.runner import BenchError
+
+#: Schema tag stamped into serve bench dumps (bump on layout change).
+SERVE_BENCH_SCHEMA = "repro.serve.bench/1"
+
+#: Required numeric fields of the ``latency_ms`` section.
+_LATENCY_FIELDS = ("count", "mean", "p50", "p99", "max")
+
+#: Required top-level integer counters.
+_COUNTER_FIELDS = ("trials", "completed", "errors", "rejected", "retries",
+                   "mismatches")
+
+
+def serve_bench_payload(
+    label: str,
+    version: str,
+    seed: int,
+    concurrency: int,
+    flavour: str,
+    emit: str,
+    counters: Dict[str, int],
+    latency_ms: Dict[str, float],
+    throughput_rps: float,
+    elapsed_s: float,
+    checked: bool,
+    server_version: str,
+) -> dict:
+    """Assemble a schema-complete serve bench dump."""
+    payload = {
+        "schema": SERVE_BENCH_SCHEMA,
+        "label": label,
+        "version": version,
+        "server_version": server_version,
+        "seed": seed,
+        "concurrency": concurrency,
+        "flavour": flavour,
+        "emit": emit,
+        "checked": bool(checked),
+        "throughput_rps": round(float(throughput_rps), 3),
+        "elapsed_s": round(float(elapsed_s), 6),
+        "latency_ms": {
+            name: round(float(latency_ms[name]), 3)
+            for name in _LATENCY_FIELDS
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    for name in _COUNTER_FIELDS:
+        payload[name] = int(counters[name])
+    return payload
+
+
+def write_serve_bench_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_serve_bench_file(path: str) -> dict:
+    """Read and schema-validate a serve bench dump; returns the payload."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise BenchError(f"{path}: unreadable serve bench dump ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != SERVE_BENCH_SCHEMA:
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        raise BenchError(
+            f"{path}: not a {SERVE_BENCH_SCHEMA} dump (schema={schema!r})"
+        )
+    for field in ("label", "version", "server_version"):
+        if not isinstance(payload.get(field), str):
+            raise BenchError(f"{path}: missing string {field!r}")
+    for field in ("seed", "concurrency") + _COUNTER_FIELDS:
+        if not isinstance(payload.get(field), int):
+            raise BenchError(f"{path}: missing integer {field!r}")
+    for field in ("throughput_rps", "elapsed_s"):
+        if not isinstance(payload.get(field), (int, float)):
+            raise BenchError(f"{path}: missing numeric {field!r}")
+    latency = payload.get("latency_ms")
+    if not isinstance(latency, dict):
+        raise BenchError(f"{path}: missing latency_ms section")
+    for field in _LATENCY_FIELDS:
+        if not isinstance(latency.get(field), (int, float)):
+            raise BenchError(f"{path}: latency_ms lacks numeric {field!r}")
+    return payload
+
+
+def validate_serve_bench_file(path: str) -> int:
+    """Schema-check a serve bench dump; returns its completed count."""
+    return int(load_serve_bench_file(path)["completed"])
+
+
+def summarize_serve_bench(payload: dict) -> str:
+    """Human rendering of a serve bench dump (``repro stats`` view)."""
+    latency = payload["latency_ms"]
+    lines = [
+        f"label: {payload['label']}  version: {payload['version']}"
+        f"  seed: {payload['seed']}  concurrency: {payload['concurrency']}",
+        f"  requests   {payload['completed']}/{payload['trials']} ok, "
+        f"{payload['errors']} errors, {payload['rejected']} rejected "
+        f"({payload['retries']} retries), "
+        f"{payload['mismatches']} check mismatches"
+        + ("" if payload.get("checked") else " (check off)"),
+        f"  throughput {payload['throughput_rps']:.1f} req/s over "
+        f"{payload['elapsed_s']:.3f}s",
+        f"  latency    p50 {latency['p50']:.2f} ms   "
+        f"p99 {latency['p99']:.2f} ms   mean {latency['mean']:.2f} ms   "
+        f"max {latency['max']:.2f} ms",
+    ]
+    return "\n".join(lines)

@@ -18,9 +18,20 @@ Commands:
   emit schema-tagged ``BENCH_*.json``, and optionally gate against a
   baseline (``--baseline FILE --max-regression PCT``; see
   ``docs/performance.md``)
+- ``serve``           — long-lived async compile/run/faults service over
+  newline-delimited JSON, with admission control, request batching onto
+  one persistent worker pool, shared build/analysis caches, and graceful
+  drain (``docs/serving.md``); ``--load`` runs a self-contained
+  server+loadgen benchmark
+- ``loadgen``         — deterministic seeded load generator against a
+  running ``repro serve``; emits a ``BENCH_serve.json`` (requests/sec,
+  p50/p99 latency) that ``repro stats`` validates
 - ``stats``           — validate and summarize emitted trace/metrics/bench
   files
 - ``workloads``       — list the benchmark suite
+
+``repro --version`` prints the package version (also stamped into the
+serve handshake and every ``BENCH_serve.json``).
 
 The ``experiment`` and ``campaign`` commands print a telemetry summary
 (wall time, per-phase breakdown, cache effectiveness) to stderr, so
@@ -43,8 +54,8 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.codegen import format_machine_function
-from repro.compiler import compile_minic
+from repro import repro_version
+from repro.compiler import compile_minic, format_asm_listing
 from repro.core import ConstructionConfig, construct_module_regions
 from repro.frontend import compile_source
 from repro.ir import format_module
@@ -163,11 +174,10 @@ def cmd_compile(args) -> int:
         idempotent=not args.original,
         config=_config_from_args(args),
     )
-    for mfunc in result.program.functions.values():
-        print(format_machine_function(mfunc))
-        stats = result.alloc_stats[mfunc.name]
-        print(f"  ; vregs={stats.vregs} spilled={stats.spilled} "
-              f"extended={stats.extended}\n")
+    # The serve front-end's --check contract compares its responses
+    # byte-for-byte against this output, so both must go through
+    # format_asm_listing.
+    sys.stdout.write(format_asm_listing(result))
     return 0
 
 
@@ -398,6 +408,96 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _serve_config_from_args(args):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        max_inflight_bytes=args.max_inflight_bytes,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+        retries=args.retries,
+        unit_timeout=args.unit_timeout,
+    )
+
+
+def _run_load(host: str, port: int, args) -> int:
+    """Shared loadgen driver for ``loadgen`` and ``serve --load``."""
+    from repro.bench import validate_serve_bench_file, write_serve_bench_json
+    from repro.serve import LoadConfig, format_load_report, run_loadgen
+
+    config = LoadConfig(
+        trials=args.trials,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        flavour=args.flavour,
+        emit=args.emit,
+        check=args.check,
+        rps=args.rps,
+    )
+    report = run_loadgen(host, port, config)
+    print(format_load_report(report))
+    if args.out:
+        write_serve_bench_json(args.out, report.bench_payload())
+        count = validate_serve_bench_file(args.out)
+        print(f"[serve] bench: {args.out} ({count} completed requests)",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ServerThread, run_server
+
+    _setup_obs(args)
+    config = _serve_config_from_args(args)
+    if args.load:
+        thread = ServerThread(config)
+        host, port = thread.start()
+        print(f"[serve] listening on {host}:{port} "
+              f"(jobs={config.jobs}, load mode)", file=sys.stderr)
+        try:
+            status = _run_load(host, port, args)
+        finally:
+            thread.stop()
+        _finalize_obs(args)
+        return status
+
+    def announce(server) -> None:
+        print(f"[serve] listening on {server.host}:{server.port} "
+              f"(jobs={config.jobs})", file=sys.stderr)
+
+    status = run_server(config, drain_after=args.drain_after,
+                        announce=announce)
+    _finalize_obs(args)
+    return status
+
+
+def cmd_loadgen(args) -> int:
+    from repro.obs import write_metrics_json
+    from repro.serve import ProtocolError, ServeClient
+
+    status = _run_load(args.host, args.port, args)
+    if args.fetch_metrics or args.stop_server:
+        try:
+            with ServeClient(args.host, args.port) as client:
+                if args.fetch_metrics:
+                    payload = client.metrics()
+                    count = write_metrics_json(
+                        args.fetch_metrics, payload["metrics"]
+                    )
+                    print(f"[serve] metrics: {args.fetch_metrics} "
+                          f"({count} instruments)", file=sys.stderr)
+                if args.stop_server:
+                    client.shutdown()
+        except (OSError, ProtocolError) as exc:
+            print(f"[serve] post-run request failed: {exc}", file=sys.stderr)
+            return 1
+    return status
+
+
 def cmd_stats(args) -> int:
     from repro.obs import ObsExportError, summarize_file
 
@@ -425,6 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Idempotent processing: compiler, simulator, experiments.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {repro_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="compile MiniC; dump IR or machine code")
@@ -562,6 +664,100 @@ def build_parser() -> argparse.ArgumentParser:
                         "recompute-everything pipeline; output IR is "
                         "bit-identical either way)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived NDJSON compile/run/faults service "
+             "(docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="interface to bind (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0: pick a free port; the bound "
+                        "address is printed to stderr)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes in the persistent compile pool")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission control: max queued work requests "
+                        "before rejection with retry_after")
+    p.add_argument("--max-inflight-bytes", type=int, default=8 * 1024 * 1024,
+                   help="admission control: max total bytes of queued "
+                        "request sources")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   metavar="SECONDS",
+                   help="coalescing window before a batch is dispatched")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="max requests dispatched per batch")
+    p.add_argument("--drain-after", type=float, default=None,
+                   metavar="SECONDS",
+                   help="gracefully drain and exit after this long "
+                        "(default: run until SIGINT/SIGTERM)")
+    p.add_argument("--load", action="store_true",
+                   help="self-contained benchmark: start the server, run "
+                        "the seeded load generator against it, drain, exit")
+    p.add_argument("--trials", type=int, default=20,
+                   help="with --load: requests in the synthetic stream")
+    p.add_argument("--seed", type=int, default=0,
+                   help="with --load: stream seed (programs + pacing)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="with --load: client connections")
+    p.add_argument("--flavour", choices=["idempotent", "original"],
+                   default="idempotent",
+                   help="with --load: compile flavour requested")
+    p.add_argument("--emit", choices=["ir", "asm"], default="asm",
+                   help="with --load: compile output requested")
+    p.add_argument("--check", action="store_true",
+                   help="with --load: byte-compare every response against "
+                        "a one-shot in-process compile")
+    p.add_argument("--rps", type=float, default=None,
+                   help="with --load: target arrival rate (default: "
+                        "closed-loop, no pacing)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="with --load: write a BENCH_serve.json dump")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="re-execute transiently failed work units up to "
+                        "N extra times (same semantics as campaign)")
+    p.add_argument("--unit-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill work units running longer than this; the "
+                        "pool is rebuilt and surviving units resubmitted")
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="seeded load generator against a running repro serve",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="server host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, required=True,
+                   help="server port (from the serve stderr banner)")
+    p.add_argument("--trials", type=int, default=20,
+                   help="requests in the synthetic stream")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stream seed; programs and pacing derive from it "
+                        "spawn-key style (no wall clock in the stream)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="client connections (worker threads)")
+    p.add_argument("--flavour", choices=["idempotent", "original"],
+                   default="idempotent",
+                   help="compile flavour requested")
+    p.add_argument("--emit", choices=["ir", "asm"], default="asm",
+                   help="compile output requested")
+    p.add_argument("--check", action="store_true",
+                   help="byte-compare every response against a one-shot "
+                        "in-process compile")
+    p.add_argument("--rps", type=float, default=None,
+                   help="target arrival rate (default: closed-loop)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write a BENCH_serve.json dump (repro stats "
+                        "validates it)")
+    p.add_argument("--fetch-metrics", metavar="FILE", default=None,
+                   help="after the run, dump the server's metrics "
+                        "snapshot to FILE (repro stats validates it)")
+    p.add_argument("--stop-server", action="store_true",
+                   help="after the run, ask the server to drain and exit")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "stats",

@@ -464,7 +464,13 @@ def allocate_function(mfunc: MachineFunction, idempotent: bool = False) -> Alloc
     allocatable = {CLASS_INT: INT_ALLOCATABLE, CLASS_FLOAT: FLOAT_ALLOCATABLE}
     arg_reg_count = 4
 
-    ordered = sorted(intervals.values(), key=lambda iv: (iv.start, iv.end))
+    # Total order: interval ties must not fall back to dict insertion
+    # order, which follows Set[Reg] iteration (= string hashing) in
+    # build_intervals and therefore varies across interpreter processes.
+    ordered = sorted(
+        intervals.values(),
+        key=lambda iv: (iv.start, iv.end, iv.reg.rclass, iv.reg.index),
+    )
     active: List[Interval] = []
 
     for interval in ordered:

@@ -58,6 +58,7 @@ def compile_ir_module(
     config: Optional[ConstructionConfig] = None,
     verify: bool = True,
     analysis_cache: bool = True,
+    manager=None,
 ) -> CompileResult:
     """Compile an IR module (mutated in place) down to machine code.
 
@@ -72,7 +73,8 @@ def compile_ir_module(
     if idempotent:
         with obs.span("construction.module", module=module.name, flavour=flavour):
             construction = construct_module_regions(
-                module, config, analysis_cache=analysis_cache
+                module, config, analysis_cache=analysis_cache,
+                manager=manager,
             )
     else:
         with obs.span("transforms.module", module=module.name, flavour=flavour):
@@ -109,13 +111,40 @@ def compile_minic(
     verify: bool = True,
     name: str = "minic",
     analysis_cache: bool = True,
+    manager=None,
 ) -> CompileResult:
-    """Compile MiniC source text to machine code."""
+    """Compile MiniC source text to machine code.
+
+    ``manager`` optionally supplies a shared
+    :class:`~repro.analysis.manager.AnalysisManager` (see
+    :func:`repro.core.construction.construct_module_regions`).
+    """
     flavour = "idempotent" if idempotent else "original"
     with obs.span("compile.minic", name=name, flavour=flavour):
         with obs.span("frontend.compile", name=name):
             module = compile_source(source, name)
         return compile_ir_module(
             module, idempotent=idempotent, config=config, verify=verify,
-            analysis_cache=analysis_cache,
+            analysis_cache=analysis_cache, manager=manager,
         )
+
+
+def format_asm_listing(result: CompileResult) -> str:
+    """The canonical machine-code listing of a build.
+
+    One block per function: the formatted machine code followed by its
+    allocator statistics line.  This is exactly what ``repro compile``
+    prints, factored out so the serve protocol can return byte-identical
+    text (the loadgen ``--check`` contract).
+    """
+    from repro.codegen import format_machine_function
+
+    blocks = []
+    for mfunc in result.program.functions.values():
+        stats = result.alloc_stats[mfunc.name]
+        blocks.append(
+            format_machine_function(mfunc)
+            + f"\n  ; vregs={stats.vregs} spilled={stats.spilled} "
+              f"extended={stats.extended}\n\n"
+        )
+    return "".join(blocks)

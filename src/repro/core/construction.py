@@ -301,14 +301,20 @@ def construct_module_regions(
     module: Module,
     config: Optional[ConstructionConfig] = None,
     analysis_cache: bool = True,
+    manager: Optional[AnalysisManager] = None,
 ) -> Dict[str, ConstructionResult]:
     """Run the region construction over every defined function.
 
     ``analysis_cache=False`` makes every construction phase recompute
     its graph analyses from scratch (bit-identical output, used by the
-    ``repro bench`` cached-vs-fresh comparison and by tests).
+    ``repro bench`` cached-vs-fresh comparison and by tests).  Passing
+    an explicit ``manager`` lets long-lived callers (the ``repro serve``
+    workers) share one :class:`AnalysisManager` across successive
+    compiles instead of building a fresh one per module; output is
+    bit-identical either way.
     """
-    manager = AnalysisManager() if analysis_cache else NullAnalysisManager()
+    if manager is None:
+        manager = AnalysisManager() if analysis_cache else NullAnalysisManager()
     return {
         func.name: construct_idempotent_regions(func, config, manager=manager)
         for func in module.defined_functions

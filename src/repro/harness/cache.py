@@ -36,7 +36,7 @@ from repro.obs.context import get_observer
 
 #: Stamp mixed into every cache key.  Bump when the compiler pipeline
 #: changes in a way that affects build output for unchanged inputs.
-PIPELINE_VERSION = "idem-pipeline-v1"
+PIPELINE_VERSION = "idem-pipeline-v2"  # v2: deterministic regalloc order
 
 #: Default on-disk location, overridable via ``REPRO_CACHE_DIR``.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -347,14 +347,22 @@ def cached_compile(
     config: Optional[ConstructionConfig] = None,
     name: str = "minic",
     cache: Optional[ArtifactCache] = None,
+    manager=None,
 ) -> CompileResult:
-    """``compile_minic`` through the artifact cache."""
+    """``compile_minic`` through the artifact cache.
+
+    ``manager`` optionally shares an
+    :class:`~repro.analysis.manager.AnalysisManager` across cache-miss
+    builds (the ``repro serve`` workers do); it does not enter the cache
+    key because it cannot change build output.
+    """
     if cache is None:
         cache = default_cache()
     key = cache_key(source, idempotent=idempotent, config=config, name=name)
     artifact = cache.get(key)
     if isinstance(artifact, CompileResult):
         return artifact
-    result = compile_minic(source, idempotent=idempotent, config=config, name=name)
+    result = compile_minic(source, idempotent=idempotent, config=config,
+                           name=name, manager=manager)
     cache.put(key, result)
     return result

@@ -1,0 +1,52 @@
+"""repro.serve — the async compile/campaign service.
+
+``repro serve`` turns the one-shot CLI pipeline into a long-lived
+front-end: an asyncio NDJSON server (stdlib only) that accepts
+compile / run / fault-campaign requests, applies admission control with
+back-pressure, batches queued work onto one persistent
+:class:`~repro.harness.executor.TaskExecutor` pool, and shares the
+on-disk artifact cache and per-process analysis caches across requests.
+``repro loadgen`` replays seeded :mod:`repro.fuzz` programs against it
+and emits a ``BENCH_serve.json`` validated by ``repro stats``.
+
+Layers (see ``docs/serving.md``):
+
+- :mod:`repro.serve.protocol` — wire format, request validation, work
+  keys, handshake;
+- :mod:`repro.serve.work` — the picklable unit executed in worker
+  processes (shared caches live here);
+- :mod:`repro.serve.scheduler` — admission control + batching onto the
+  persistent executor;
+- :mod:`repro.serve.server` — the asyncio front-end, request
+  observability, graceful drain;
+- :mod:`repro.serve.client` — blocking NDJSON client;
+- :mod:`repro.serve.loadgen` — deterministic synthetic traffic and the
+  serve bench dump.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadReport,
+    format_load_report,
+    run_loadgen,
+)
+from repro.serve.protocol import PROTOCOL, ProtocolError
+from repro.serve.scheduler import AdmissionError, BatchScheduler, ServeConfig
+from repro.serve.server import ReproServer, ServerThread, run_server
+
+__all__ = [
+    "AdmissionError",
+    "BatchScheduler",
+    "LoadConfig",
+    "LoadReport",
+    "PROTOCOL",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "format_load_report",
+    "run_loadgen",
+    "run_server",
+]

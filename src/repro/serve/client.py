@@ -1,0 +1,121 @@
+"""Blocking NDJSON client for the ``repro serve`` protocol.
+
+One :class:`ServeClient` wraps one TCP connection: the constructor
+performs the handshake (reads the server's hello, checks protocol and
+records the server version), then :meth:`request` sends one line and
+reads one response line.  Responses arrive in request order per
+connection; concurrency comes from opening more connections (the load
+generator runs one client per worker thread).
+
+``request`` raises only on transport/protocol failures.  Application
+outcomes — ``status`` of ``ok`` / ``error`` / ``rejected`` — are
+returned as data so callers (the loadgen's rejected-retry loop) can
+react without exception control flow.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    check_hello,
+    config_to_wire,
+    decode_line,
+    encode_line,
+)
+
+
+class ServeClient:
+    """One connection to a serve front-end (context-manager friendly)."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 120.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._counter = 0
+        self.hello = check_hello(decode_line(self._read_line()))
+        #: Server version from the handshake (stamped into bench dumps).
+        self.server_version: str = self.hello["version"]
+
+    # ------------------------------------------------------------------
+    def _read_line(self) -> bytes:
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ProtocolError("server closed the connection")
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("response line exceeds the protocol limit")
+        return line
+
+    def _next_rid(self) -> str:
+        self._counter += 1
+        return f"c{self._counter}"
+
+    def request(self, op: str, rid: Optional[str] = None,
+                **fields: object) -> Dict[str, object]:
+        """Send one request; returns the decoded response object."""
+        message: Dict[str, object] = {
+            "id": rid or self._next_rid(), "op": op
+        }
+        message.update(fields)
+        self._sock.sendall(encode_line(message))
+        response = decode_line(self._read_line())
+        if response.get("id") not in (message["id"], None):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {message['id']!r}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def compile(self, source: str, flavour: str = "idempotent",
+                emit: str = "asm", config=None,
+                rid: Optional[str] = None) -> Dict[str, object]:
+        return self.request(
+            "compile", rid=rid, source=source, flavour=flavour,
+            emit=emit, config=config_to_wire(config),
+        )
+
+    def run(self, source: str, entry: str = "main",
+            flavour: str = "idempotent", config=None,
+            rid: Optional[str] = None) -> Dict[str, object]:
+        return self.request(
+            "run", rid=rid, source=source, entry=entry, flavour=flavour,
+            config=config_to_wire(config),
+        )
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's metrics snapshot (schema-tagged, ``repro
+        stats``-compatible when written to a file)."""
+        response = self.request("metrics")
+        if response.get("status") != "ok":
+            raise ProtocolError(f"metrics request failed: {response}")
+        return response["payload"]
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the server to drain and exit; the connection closes."""
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

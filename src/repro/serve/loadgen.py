@@ -1,0 +1,304 @@
+"""Deterministic synthetic traffic for the compile service.
+
+The load generator replays :mod:`repro.fuzz` generator programs as
+compile requests.  The **request stream is a pure function of the
+campaign seed**: program ``i`` is ``generate(trial_seed(seed, i))`` —
+the same spawn-key derivation fuzz campaigns use — and the arrival
+schedule (per-request pacing gaps) derives from ``derive_seed(seed,
+"serve.gap", i)``.  No wall-clock material enters any request, so two
+runs with one seed send byte-identical request lines in the same
+per-connection order; only the measured latencies differ.
+
+Closed-loop execution: ``concurrency`` worker threads each own one
+connection and pull the next request index from a shared cursor.  A
+``rejected`` response (admission control) is retried after the server's
+``retry_after`` hint, up to ``max_attempts`` per request — rejections
+and retries are counted, not fatal, so an overload run still completes
+every request eventually while the bench dump records the back-pressure.
+
+``check=True`` holds every response to the one-shot oracle: the payload
+text must be **byte-identical** to compiling the same source in-process
+(the exact text ``repro compile`` prints).  Mismatches fail the run.
+
+Results land in a ``BENCH_serve.json`` (schema
+:data:`repro.bench.serve.SERVE_BENCH_SCHEMA`): sustained req/s, p50/p99
+latency, rejection/retry counters, and version provenance — validated
+by ``repro stats`` like every other artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import repro_version
+from repro.bench.serve import serve_bench_payload
+from repro.compiler import compile_minic, format_asm_listing
+from repro.fuzz.generator import generate, trial_seed
+from repro.harness.executor import derive_seed
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ProtocolError
+
+
+@dataclass
+class LoadConfig:
+    """One load-generator run (see ``docs/serving.md``)."""
+
+    trials: int = 20            # requests in the stream
+    seed: int = 0               # stream seed (programs + schedule)
+    concurrency: int = 2        # connections / worker threads
+    flavour: str = "idempotent"
+    emit: str = "asm"
+    check: bool = False         # byte-compare against one-shot compiles
+    rps: Optional[float] = None  # target arrival rate (None = no pacing)
+    max_attempts: int = 200     # sends per request (rejections retry)
+    label: str = "loadgen"
+
+
+@dataclass
+class LoadReport:
+    """Everything one run measured (feeds the serve bench payload)."""
+
+    config: LoadConfig
+    server_version: str = "?"
+    completed: int = 0
+    errors: int = 0
+    rejected: int = 0           # rejection responses received
+    retries: int = 0            # re-sends after a rejection
+    mismatches: int = 0         # --check byte differences
+    latencies_ms: List[float] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.errors == 0
+            and self.mismatches == 0
+            and self.completed == self.config.trials
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    def latency_stats_ms(self) -> Dict[str, float]:
+        if not self.latencies_ms:
+            return {name: 0.0 for name in ("count", "mean", "p50", "p99", "max")}
+        ordered = sorted(self.latencies_ms)
+        return {
+            "count": float(len(ordered)),
+            "mean": sum(ordered) / len(ordered),
+            "p50": percentile(ordered, 50.0),
+            "p99": percentile(ordered, 99.0),
+            "max": ordered[-1],
+        }
+
+    def bench_payload(self) -> dict:
+        cfg = self.config
+        return serve_bench_payload(
+            label=cfg.label,
+            version=repro_version(),
+            server_version=self.server_version,
+            seed=cfg.seed,
+            concurrency=cfg.concurrency,
+            flavour=cfg.flavour,
+            emit=cfg.emit,
+            checked=cfg.check,
+            counters={
+                "trials": cfg.trials,
+                "completed": self.completed,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "retries": self.retries,
+                "mismatches": self.mismatches,
+            },
+            latency_ms=self.latency_stats_ms(),
+            throughput_rps=self.throughput_rps,
+            elapsed_s=self.elapsed_s,
+        )
+
+
+def percentile(ordered: List[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+# ----------------------------------------------------------------------
+# The deterministic request stream
+# ----------------------------------------------------------------------
+def stream_source(seed: int, index: int) -> str:
+    """Request ``index``'s MiniC source (pure function of the seed)."""
+    return generate(trial_seed(seed, index)).source
+
+
+def stream_gap_s(seed: int, index: int, rps: Optional[float]) -> float:
+    """Request ``index``'s pacing gap: deterministic, mean ``1/rps``."""
+    if not rps or rps <= 0:
+        return 0.0
+    # Uniform in [0, 2/rps) from the spawn-key stream: mean 1/rps.
+    unit = (derive_seed(seed, "serve.gap", index) % 1_000_000) / 1_000_000
+    return unit * 2.0 / rps
+
+
+def expected_compile_text(source: str, flavour: str, emit: str) -> str:
+    """The one-shot oracle: what ``repro compile`` prints for this work."""
+    if emit == "ir":
+        from repro.serve.work import format_ir_oneshot
+        from repro.core.construction import ConstructionConfig
+
+        return format_ir_oneshot(source, flavour, ConstructionConfig())
+    result = compile_minic(source, idempotent=flavour == "idempotent")
+    return format_asm_listing(result)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class _Cursor:
+    """Thread-safe request-index dispenser."""
+
+    def __init__(self, total: int) -> None:
+        self._next = 0
+        self._total = total
+        self._lock = threading.Lock()
+
+    def take(self) -> Optional[int]:
+        with self._lock:
+            if self._next >= self._total:
+                return None
+            index = self._next
+            self._next += 1
+            return index
+
+
+def run_loadgen(host: str, port: int, config: LoadConfig) -> LoadReport:
+    """Drive one seeded load run against a server; returns the report."""
+    report = LoadReport(config=config)
+    sources = [stream_source(config.seed, i) for i in range(config.trials)]
+    expected: Dict[str, str] = {}
+    if config.check:
+        for source in sources:
+            if source not in expected:
+                expected[source] = expected_compile_text(
+                    source, config.flavour, config.emit
+                )
+    cursor = _Cursor(config.trials)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        try:
+            client = ServeClient(host, port)
+        except (OSError, ProtocolError) as exc:
+            with lock:
+                report.failures.append(f"connect: {exc}")
+                report.errors += 1
+            return
+        with lock:
+            report.server_version = client.server_version
+        try:
+            while True:
+                index = cursor.take()
+                if index is None:
+                    return
+                _drive_one(client, index, sources[index], expected,
+                           config, report, lock)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, config.concurrency))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def _drive_one(
+    client: ServeClient,
+    index: int,
+    source: str,
+    expected: Dict[str, str],
+    config: LoadConfig,
+    report: LoadReport,
+    lock: threading.Lock,
+) -> None:
+    gap = stream_gap_s(config.seed, index, config.rps)
+    if gap:
+        time.sleep(gap)
+    rid = f"lg-{config.seed}-{index}"
+    attempts = 0
+    started = time.perf_counter()
+    while True:
+        attempts += 1
+        try:
+            response = client.compile(
+                source, flavour=config.flavour, emit=config.emit, rid=rid
+            )
+        except (OSError, ProtocolError) as exc:
+            with lock:
+                report.errors += 1
+                report.failures.append(f"{rid}: transport: {exc}")
+            return
+        status = response.get("status")
+        if status == "rejected":
+            with lock:
+                report.rejected += 1
+            if attempts >= config.max_attempts:
+                with lock:
+                    report.errors += 1
+                    report.failures.append(
+                        f"{rid}: still rejected after {attempts} attempts"
+                    )
+                return
+            with lock:
+                report.retries += 1
+            time.sleep(float(response.get("retry_after") or 0.01))
+            continue
+        latency_ms = (time.perf_counter() - started) * 1e3
+        if status != "ok":
+            with lock:
+                report.errors += 1
+                report.failures.append(
+                    f"{rid}: {status}: {response.get('error')}"
+                )
+            return
+        payload = response.get("payload") or {}
+        with lock:
+            report.completed += 1
+            report.latencies_ms.append(latency_ms)
+            if config.check:
+                want = expected[source]
+                if payload.get("text") != want:
+                    report.mismatches += 1
+                    report.failures.append(
+                        f"{rid}: response differs from one-shot compile "
+                        f"({len(str(payload.get('text')))} vs "
+                        f"{len(want)} bytes)"
+                    )
+        return
+
+
+def format_load_report(report: LoadReport) -> str:
+    """Human summary printed by ``repro loadgen`` / ``repro serve --load``."""
+    from repro.bench.serve import summarize_serve_bench
+
+    lines = [summarize_serve_bench(report.bench_payload())]
+    for failure in report.failures[:10]:
+        lines.append(f"  FAIL {failure}")
+    if len(report.failures) > 10:
+        lines.append(f"  ... {len(report.failures) - 10} more failures")
+    return "\n".join(lines)

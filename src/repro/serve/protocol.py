@@ -1,0 +1,244 @@
+"""The ``repro serve`` wire protocol: newline-delimited JSON.
+
+One TCP connection carries a sequence of requests and responses, one
+JSON object per line (UTF-8, ``\\n``-terminated).  On connect the server
+speaks first with a **hello** line::
+
+    {"type": "hello", "proto": "repro.serve/1", "version": "1.0.0", ...}
+
+after which the client sends requests and reads one response per
+request, in order.  Stdlib only — no third-party wire format.
+
+Requests
+--------
+
+Every request is an object with an ``op`` and a client-chosen ``id``
+(echoed verbatim on the response)::
+
+    {"id": "r1", "op": "compile", "source": "...", "flavour": "idempotent",
+     "emit": "asm", "config": {"heuristic": "loop", ...}}
+    {"id": "r2", "op": "run", "source": "...", "entry": "main"}
+    {"id": "r3", "op": "faults", "source": "...", "trials": 30, "kind": "value"}
+    {"id": "r4", "op": "metrics"}
+    {"id": "r5", "op": "ping"}
+    {"id": "r6", "op": "shutdown"}
+
+``config`` carries :class:`~repro.core.construction.ConstructionConfig`
+fields by name; omitted fields take their defaults, unknown fields are a
+protocol error.  Requests never carry wall-clock material — a request
+stream is a pure function of its generator seed (the loadgen
+determinism contract, ``docs/serving.md``).
+
+Responses
+---------
+
+::
+
+    {"id": "r1", "status": "ok", "payload": {...}}
+    {"id": "r1", "status": "rejected", "error": "queue full",
+     "retry_after": 0.05}
+    {"id": "r1", "status": "error", "error": "CompilationError: ..."}
+
+``status="rejected"`` is the admission-control/back-pressure signal:
+the request was *not* queued and may be retried after ``retry_after``
+seconds.  ``status="error"`` means the request was executed and failed
+(compile error, unknown workload); retrying will not help.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional
+
+from repro import repro_version
+from repro.core.construction import ConstructionConfig
+
+#: Protocol identifier, bumped on breaking wire changes.
+PROTOCOL = "repro.serve/1"
+
+#: Every operation the server understands.
+OPS = ("ping", "compile", "run", "faults", "metrics", "shutdown")
+
+#: Operations that enqueue compile work (subject to admission control);
+#: the rest are answered inline by the front-end.
+WORK_OPS = ("compile", "run", "faults")
+
+#: Hard cap on one encoded request/response line.  Doubles as the
+#: ``asyncio.start_server`` read limit, so an oversized request fails
+#: cleanly instead of buffering without bound.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request/response line or an invalid field value."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_line(message: Dict[str, object]) -> bytes:
+    """One message as a canonical NDJSON line (sorted keys, compact)."""
+    text = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    data = text.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    return data
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one received line; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable message line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message line is not a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# ConstructionConfig <-> wire
+# ----------------------------------------------------------------------
+def config_to_wire(config: Optional[ConstructionConfig]) -> Dict[str, object]:
+    """Non-default ConstructionConfig fields as a plain dict.
+
+    Only fields that differ from the defaults are sent, so the wire form
+    is stable under new config fields with default values.
+    """
+    if config is None:
+        return {}
+    defaults = ConstructionConfig()
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if getattr(config, f.name) != getattr(defaults, f.name)
+    }
+
+
+def config_from_wire(wire: Optional[Dict[str, object]]) -> ConstructionConfig:
+    """Build a ConstructionConfig from wire fields (unknown = error)."""
+    wire = wire or {}
+    if not isinstance(wire, dict):
+        raise ProtocolError("config must be an object")
+    known = {f.name for f in dataclasses.fields(ConstructionConfig)}
+    unknown = set(wire) - known
+    if unknown:
+        raise ProtocolError(f"unknown config field(s): {sorted(unknown)}")
+    try:
+        return ConstructionConfig(**wire)
+    except TypeError as exc:
+        raise ProtocolError(f"invalid config: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+def validate_request(message: Dict[str, object]) -> Dict[str, object]:
+    """Check a decoded request and return its normalized form.
+
+    The normalized request carries only semantic fields (plus ``id``):
+    it is what the scheduler hashes for batch coalescing, so two
+    requests for the same work normalize identically.
+    """
+    rid = message.get("id")
+    if not isinstance(rid, str) or not rid:
+        raise ProtocolError("request lacks a non-empty string 'id'")
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    normalized: Dict[str, object] = {"id": rid, "op": op}
+    if op in WORK_OPS:
+        source = message.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ProtocolError(f"op {op!r} requires MiniC 'source' text")
+        flavour = message.get("flavour", "idempotent")
+        if flavour not in ("idempotent", "original"):
+            raise ProtocolError(f"invalid flavour {flavour!r}")
+        config_from_wire(message.get("config"))  # validate field names now
+        normalized.update({
+            "source": source,
+            "flavour": flavour,
+            "config": dict(message.get("config") or {}),
+        })
+    if op == "compile":
+        emit = message.get("emit", "asm")
+        if emit not in ("asm", "ir"):
+            raise ProtocolError(f"invalid emit {emit!r} (asm or ir)")
+        normalized["emit"] = emit
+    if op in ("run", "faults"):
+        entry = message.get("entry", "main")
+        if not isinstance(entry, str) or not entry:
+            raise ProtocolError("'entry' must be a non-empty string")
+        normalized["entry"] = entry
+    if op == "faults":
+        trials = message.get("trials", 30)
+        if not isinstance(trials, int) or trials < 1:
+            raise ProtocolError("'trials' must be a positive integer")
+        kind = message.get("kind", "value")
+        if kind not in ("value", "control"):
+            raise ProtocolError(f"invalid fault kind {kind!r}")
+        seed = message.get("seed", 12345)
+        if not isinstance(seed, int):
+            raise ProtocolError("'seed' must be an integer")
+        normalized.update({"trials": trials, "kind": kind, "seed": seed})
+    return normalized
+
+
+def work_key(request: Dict[str, object]) -> str:
+    """Coalescing key: identical work units share one execution.
+
+    Everything semantic, nothing request-specific (``id`` excluded).
+    """
+    semantic = {k: v for k, v in request.items() if k != "id"}
+    return json.dumps(semantic, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Responses / handshake
+# ----------------------------------------------------------------------
+def make_hello(**extra: object) -> Dict[str, object]:
+    """The server's first line on every connection."""
+    hello: Dict[str, object] = {
+        "type": "hello",
+        "proto": PROTOCOL,
+        "version": repro_version(),
+    }
+    hello.update(extra)
+    return hello
+
+
+def check_hello(message: Dict[str, object]) -> Dict[str, object]:
+    """Client-side handshake check; returns the hello on success."""
+    if message.get("type") != "hello":
+        raise ProtocolError(f"expected hello, got {message.get('type')!r}")
+    proto = message.get("proto")
+    if proto != PROTOCOL:
+        raise ProtocolError(
+            f"protocol mismatch: server speaks {proto!r}, client {PROTOCOL!r}"
+        )
+    if not isinstance(message.get("version"), str):
+        raise ProtocolError("hello lacks a server version string")
+    return message
+
+
+def ok_response(rid: str, payload: Dict[str, object]) -> Dict[str, object]:
+    return {"id": rid, "status": "ok", "payload": payload}
+
+
+def error_response(rid: Optional[str], error: str) -> Dict[str, object]:
+    return {"id": rid, "status": "error", "error": error}
+
+
+def rejected_response(
+    rid: Optional[str], reason: str, retry_after: float
+) -> Dict[str, object]:
+    return {
+        "id": rid,
+        "status": "rejected",
+        "error": reason,
+        "retry_after": round(float(retry_after), 6),
+    }

@@ -1,0 +1,276 @@
+"""Admission control + batching scheduler for the compile service.
+
+The scheduler owns the bounded request queue and the shared
+:class:`~repro.harness.executor.TaskExecutor`.  Life of a request:
+
+1. **Admission** — :meth:`BatchScheduler.submit` accepts the request
+   only while the queue has depth and byte headroom; otherwise it raises
+   :class:`AdmissionError` carrying a ``retry_after`` hint, which the
+   front-end turns into a ``status="rejected"`` response.  This is the
+   back-pressure surface: an overloaded server answers cheaply and
+   immediately instead of buffering without bound.
+2. **Batching** — a scheduler task collects queued requests for up to
+   ``batch_window_s`` (or until ``batch_max`` are waiting), *coalesces*
+   duplicates (identical :func:`~repro.serve.protocol.work_key` — same
+   op, source, flavour, config — execute once and fan out to every
+   waiting request), and dispatches the unique units onto the executor.
+3. **Execution** — units run ``fn(item)`` on the persistent worker pool
+   (``TaskExecutor(persistent=True)``: the pool is *not* re-spawned per
+   batch), through the shared on-disk build cache, with the executor's
+   retry/timeout resilience semantics intact.
+
+One batch executes at a time; admission keeps running while a batch is
+on the pool because execution happens in a helper thread
+(``run_in_executor``) off the event loop.
+
+Metrics (all on the global :mod:`repro.obs` registry):
+``serve.batches``, ``serve.batch_size``, ``serve.coalesced``,
+``serve.queue_depth`` / ``serve.inflight_bytes`` gauges, and the
+executor's own ``harness.*`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.harness.executor import TaskExecutor
+from repro.harness.resilience import RetryPolicy
+from repro.obs.context import get_observer
+from repro.serve.protocol import work_key
+from repro.serve.work import execute_unit
+
+
+@dataclass
+class ServeConfig:
+    """Every knob of the serve subsystem (see ``docs/serving.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral, report actual
+    jobs: int = 1                      # executor pool width (1 = inline)
+    queue_depth: int = 64              # max queued work requests
+    max_inflight_bytes: int = 8 * 1024 * 1024  # queued+executing source
+    batch_window_s: float = 0.005      # coalescing window per batch
+    batch_max: int = 16                # max requests per batch
+    retry_after_s: float = 0.05        # hint sent with rejections
+    retries: Optional[int] = None      # executor retry budget (infra)
+    unit_timeout: Optional[float] = None  # per-unit wall-clock bound
+    label_request_ids: bool = True     # rid labels on serve.requests
+
+
+class AdmissionError(Exception):
+    """Request refused at the door; retry after ``retry_after`` seconds."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class _Pending:
+    __slots__ = ("request", "future", "nbytes", "key")
+
+    def __init__(self, request: Dict[str, object], future, nbytes: int):
+        self.request = request
+        self.future = future
+        self.nbytes = nbytes
+        self.key = work_key(request)
+
+
+class BatchScheduler:
+    """Bounded queue + coalescing batch dispatcher over one executor."""
+
+    def __init__(
+        self, config: ServeConfig, executor: Optional[TaskExecutor] = None
+    ) -> None:
+        self.config = config
+        retry = None
+        if config.retries is not None:
+            retry = RetryPolicy(max_attempts=max(1, config.retries + 1))
+        self.executor = executor or TaskExecutor(
+            jobs=config.jobs,
+            retry=retry,
+            unit_timeout=config.unit_timeout,
+            persistent=True,
+        )
+        self.draining = False
+        self._pending: Deque[_Pending] = deque()
+        self._executing = 0          # requests inside the running batch
+        self._inflight_bytes = 0     # source bytes queued + executing
+        self._task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._resume: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (event-loop side)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._wake = asyncio.Event()
+        self._resume = asyncio.Event()
+        self._resume.set()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._task = asyncio.create_task(self._run())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish queued + in-flight work, then return."""
+        self.draining = True
+        if self._idle is not None:
+            await self._idle.wait()
+
+    async def stop(self) -> None:
+        """Drain, stop the dispatcher, and shut the worker pool down."""
+        await self.drain()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.executor.close
+        )
+
+    # Test hooks: freeze/thaw dispatch so admission-control behaviour can
+    # be exercised deterministically (fill the queue while held).
+    def hold(self) -> None:
+        self._resume.clear()
+
+    def release(self) -> None:
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # Admission (event-loop side)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight_bytes(self) -> int:
+        return self._inflight_bytes
+
+    def submit(self, request: Dict[str, object]) -> "asyncio.Future":
+        """Admit one normalized work request; returns its result future.
+
+        Raises :class:`AdmissionError` when draining, when the queue is
+        at ``queue_depth``, or when admitting the request would push
+        queued+executing source bytes past ``max_inflight_bytes``.
+        """
+        config = self.config
+        nbytes = len(str(request.get("source", "")).encode("utf-8"))
+        if self.draining:
+            self._reject_metric("draining")
+            raise AdmissionError("draining", config.retry_after_s)
+        if len(self._pending) >= config.queue_depth:
+            self._reject_metric("queue-full")
+            raise AdmissionError(
+                f"queue full ({config.queue_depth} deep)",
+                config.retry_after_s,
+            )
+        if self._inflight_bytes + nbytes > config.max_inflight_bytes:
+            self._reject_metric("bytes")
+            raise AdmissionError(
+                f"in-flight byte budget exceeded "
+                f"({config.max_inflight_bytes} bytes)",
+                config.retry_after_s,
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(_Pending(request, future, nbytes))
+        self._inflight_bytes += nbytes
+        self._idle.clear()
+        self._wake.set()
+        self._publish_gauges()
+        return future
+
+    def _reject_metric(self, reason: str) -> None:
+        get_observer().counter(
+            "serve.rejected",
+            "requests refused by admission control",
+        ).inc(reason=reason)
+
+    def _publish_gauges(self) -> None:
+        observer = get_observer()
+        observer.gauge("serve.queue_depth").set(len(self._pending))
+        observer.gauge("serve.inflight_bytes").set(self._inflight_bytes)
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        config = self.config
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._executing == 0:
+                    self._idle.set()
+                self._wake.clear()
+                await self._wake.wait()
+            await self._resume.wait()
+            if (
+                config.batch_window_s > 0
+                and len(self._pending) < config.batch_max
+            ):
+                await asyncio.sleep(config.batch_window_s)
+                await self._resume.wait()
+            if not self._pending:
+                continue
+
+            batch: List[_Pending] = []
+            while self._pending and len(batch) < config.batch_max:
+                batch.append(self._pending.popleft())
+            groups: Dict[str, List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.key, []).append(pending)
+            unique = [waiters[0].request for waiters in groups.values()]
+
+            self._executing += len(batch)
+            self._publish_gauges()
+            observer = get_observer()
+            observer.counter("serve.batches").inc()
+            observer.histogram("serve.batch_size").observe(len(batch))
+            coalesced = len(batch) - len(unique)
+            if coalesced:
+                observer.counter(
+                    "serve.coalesced",
+                    "requests satisfied by another request's execution",
+                ).inc(coalesced)
+
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self._execute_batch, unique
+                )
+            except Exception as exc:  # defensive: executor never raises
+                outcomes = {
+                    key: ("error", f"{type(exc).__name__}: {exc}")
+                    for key in groups
+                }
+            for key, waiters in groups.items():
+                outcome = outcomes.get(
+                    key, ("error", "unit produced no result")
+                )
+                for pending in waiters:
+                    if not pending.future.done():
+                        pending.future.set_result(outcome)
+                    self._inflight_bytes -= pending.nbytes
+            self._executing -= len(batch)
+            if not self._pending and self._executing == 0:
+                self._idle.set()
+            self._publish_gauges()
+
+    def _execute_batch(
+        self, unique: List[Dict[str, object]]
+    ) -> Dict[str, Tuple[str, object]]:
+        """Helper-thread side: run unique units on the shared pool."""
+        keys = [work_key(item) for item in unique]
+        outcomes: Dict[str, Tuple[str, object]] = {}
+        for result in self.executor.imap(execute_unit, unique, keys=keys):
+            if result.ok:
+                outcomes[result.key] = ("ok", result.value)
+            else:
+                outcomes[result.key] = ("error", result.error)
+        return outcomes

@@ -1,0 +1,325 @@
+"""The asyncio front-end of ``repro serve``.
+
+Stdlib only: :func:`asyncio.start_server` speaking the newline-delimited
+JSON protocol of :mod:`repro.serve.protocol`.  Each connection is greeted
+with a hello line (protocol id + server version), then handled
+request-by-request: inline ops (``ping``, ``metrics``, ``shutdown``)
+answer immediately; work ops (``compile``, ``run``, ``faults``) pass
+through admission control into the :class:`~repro.serve.scheduler.
+BatchScheduler` and answer when their batch completes.
+
+Observability: every request is recorded as a ``serve.request`` span
+(request id, op, status, queue depth at admission) adopted into the
+global tracer, plus ``serve.requests`` counters and a
+``serve.latency_ms`` histogram labeled by op — and by request id too
+when ``ServeConfig.label_request_ids`` is on (bounded workloads only;
+label cardinality grows with the request stream).  The ``metrics`` op
+returns the same schema-tagged snapshot ``--metrics`` files carry, so a
+client can dump it to disk and validate it with ``repro stats``.
+
+Shutdown is a **graceful drain**: stop accepting connections, reject
+newly arriving work with ``status="rejected"`` (``reason=draining``),
+let queued and in-flight requests finish, flush responses, then exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import threading
+import time
+from typing import Dict, Optional, Set
+
+from repro.obs.context import get_observer
+from repro.obs.export import METRICS_SCHEMA
+from repro.obs.tracer import Span
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    WORK_OPS,
+    decode_line,
+    encode_line,
+    error_response,
+    make_hello,
+    ok_response,
+    rejected_response,
+    validate_request,
+)
+from repro.serve.scheduler import AdmissionError, BatchScheduler, ServeConfig
+
+
+class ReproServer:
+    """One listening socket, one scheduler, many NDJSON connections."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.scheduler = BatchScheduler(self.config)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stop_requested = asyncio.Event()
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        get_observer().tracer.instant(
+            "serve.start", host=self.host, port=self.port,
+            jobs=self.config.jobs,
+        )
+
+    def request_stop(self) -> None:
+        """Ask the server to drain and exit (signal/shutdown-op safe)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stop_requested.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish in-flight work, then tear down."""
+        if self._server is not None:
+            self._server.close()           # stop accepting connections
+            await self._server.wait_closed()
+        await self.scheduler.drain()       # queued + in-flight finish
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        await self.scheduler.stop()
+        get_observer().tracer.instant("serve.stop",
+                                      requests=self.requests_served)
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`request_stop`, then drain and return."""
+        await self.wait_stopped()
+        await self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            writer.write(encode_line(make_hello(pid=os.getpid())))
+            await writer.drain()
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_line(error_response(
+                        None, "request line exceeds the protocol limit"
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                close_after = bool(response.pop("_close", False))
+                writer.write(encode_line(response))
+                await writer.drain()
+                if close_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-conversation
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, object]:
+        started_ns = time.perf_counter_ns()
+        rid: Optional[str] = None
+        op = "?"
+        try:
+            message = decode_line(line)
+            rid = message.get("id") if isinstance(message.get("id"), str) \
+                else None
+            request = validate_request(message)
+            rid, op = request["id"], request["op"]
+            response = await self._dispatch(request)
+        except ProtocolError as exc:
+            response = error_response(rid, f"protocol: {exc}")
+        self.requests_served += 1
+        self._observe_request(rid, op, response, started_ns)
+        return response
+
+    async def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        rid, op = request["id"], request["op"]
+        if op == "ping":
+            return ok_response(rid, {"pong": True})
+        if op == "metrics":
+            snapshot = get_observer().metrics.snapshot()
+            return ok_response(
+                rid, {"schema": METRICS_SCHEMA, "metrics": snapshot}
+            )
+        if op == "shutdown":
+            self.request_stop()
+            response = ok_response(rid, {"draining": True})
+            response["_close"] = True
+            return response
+        assert op in WORK_OPS
+        try:
+            future = self.scheduler.submit(request)
+        except AdmissionError as exc:
+            return rejected_response(rid, exc.reason, exc.retry_after)
+        status, value = await future
+        if status == "ok":
+            return ok_response(rid, value)
+        return error_response(rid, str(value))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _observe_request(
+        self,
+        rid: Optional[str],
+        op: str,
+        response: Dict[str, object],
+        started_ns: int,
+    ) -> None:
+        observer = get_observer()
+        status = str(response.get("status", "error"))
+        latency_ms = (time.perf_counter_ns() - started_ns) / 1e6
+        labels = {"op": op, "status": status}
+        if self.config.label_request_ids and rid is not None:
+            labels["rid"] = rid
+        observer.counter(
+            "serve.requests", "requests handled by the serve front-end"
+        ).inc(**labels)
+        observer.histogram(
+            "serve.latency_ms", "front-end request latency (ms)"
+        ).observe(latency_ms, op=op)
+        tracer = observer.tracer
+        if tracer.enabled:
+            # Requests interleave on the event-loop thread, so a nested
+            # context-manager span would mis-parent; record a complete
+            # span with explicit timing instead.
+            tracer.adopt([Span(
+                name="serve.request",
+                start_ns=started_ns,
+                dur_ns=time.perf_counter_ns() - started_ns,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=tracer._next_id(),
+                attrs={"rid": rid, "op": op, "status": status,
+                       "queue_depth": self.scheduler.queue_depth},
+            )])
+
+
+# ----------------------------------------------------------------------
+# Blocking entry points
+# ----------------------------------------------------------------------
+def run_server(
+    config: Optional[ServeConfig] = None,
+    drain_after: Optional[float] = None,
+    announce=None,
+) -> int:
+    """Run a server until SIGINT/SIGTERM (or ``drain_after`` seconds).
+
+    ``announce(server)`` is called once listening (the CLI prints the
+    bound address to stderr).  Returns 0 after a clean drain.
+    """
+
+    async def _main() -> int:
+        server = ReproServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                import signal
+
+                loop.add_signal_handler(
+                    getattr(signal, signame), server.request_stop
+                )
+            except (NotImplementedError, OSError, ValueError):
+                pass  # platform without signal support in loops
+        if announce is not None:
+            announce(server)
+        if drain_after is not None:
+            loop.call_later(drain_after, server.request_stop)
+        await server.serve_until_stopped()
+        return 0
+
+    return asyncio.run(_main())
+
+
+class ServerThread:
+    """A server on a background thread (tests, ``repro serve --load``).
+
+    ``start()`` blocks until the socket is bound and returns
+    ``(host, port)``; ``stop()`` performs the same graceful drain as a
+    signal would and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.server: Optional[ReproServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self.server = ReproServer(self.config)
+            try:
+                await self.server.start()
+            finally:
+                self._loop = asyncio.get_running_loop()
+                self._ready.set()
+            await self.server.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    def start(self):
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError(f"serve thread failed: {self._error}")
+        if self.server is None or self.server.port is None:
+            raise RuntimeError("serve thread did not bind a socket")
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 60) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=timeout)
+        if self._error is not None:
+            raise RuntimeError(f"serve thread failed: {self._error}")
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

@@ -195,3 +195,65 @@ class TestBuildPairIntegration:
             ).run("main")
         finally:
             clear_build_memo()
+
+
+def _stress_worker(args):
+    """One process of the concurrency stress: hammer get/put/evict.
+
+    Runs against a tiny ``max_entries`` bound so every ``put`` races
+    other processes' reads with evictions.  Returns (hits, misses,
+    failures); any exception escaping a cache call is a failure — the
+    contract is "eviction racing a read is a miss, never an error".
+    """
+    root, worker, rounds = args
+    cache = ArtifactCache(root=root, max_entries=4)
+    payload = {"worker": worker, "blob": "x" * 512}
+    hits = misses = 0
+    failures = []
+    for i in range(rounds):
+        key = cache_key(f"shared source {i % 8}", idempotent=True)
+        try:
+            artifact = cache.get(key)
+            if artifact is None:
+                misses += 1
+                cache.put(key, dict(payload, i=i))
+            else:
+                hits += 1
+                if artifact["blob"] != payload["blob"]:
+                    failures.append(f"worker {worker}: torn read at {i}")
+        except Exception as exc:  # the contract under test: never raises
+            failures.append(f"worker {worker} round {i}: "
+                            f"{type(exc).__name__}: {exc}")
+    return hits, misses, failures
+
+
+class TestConcurrentMultiprocess:
+    def test_eviction_racing_reads_is_a_miss_never_an_error(self, tmp_path):
+        from multiprocessing import get_context
+
+        root = str(tmp_path / "shared-cache")
+        jobs = [(root, worker, 60) for worker in range(4)]
+        ctx = get_context()
+        with ctx.Pool(4) as pool:
+            outcomes = pool.map(_stress_worker, jobs)
+        failures = [f for _, _, fs in outcomes for f in fs]
+        assert failures == []
+        # Both outcomes must actually occur for the race to be exercised.
+        assert sum(h for h, _, _ in outcomes) > 0
+        assert sum(m for _, m, _ in outcomes) > 0
+        # The store respects its bound (within one racing insertion).
+        cache = ArtifactCache(root=root, max_entries=4)
+        assert cache.entry_count() <= 8
+
+    def test_read_of_entry_deleted_mid_lookup_is_a_miss(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        cache.put(key, {"x": 1})
+        os.unlink(cache.path_for(key))  # an evictor got there first
+        assert cache.get(key) is None
+        assert cache.stats.misses >= 1
+
+    def test_concurrent_identical_puts_last_writer_wins_atomically(self, cache):
+        key = cache_key(SOURCE, idempotent=True)
+        cache.put(key, {"version": 1})
+        cache.put(key, {"version": 2})  # atomic replace, no torn state
+        assert cache.get(key) == {"version": 2}

@@ -1,0 +1,156 @@
+"""Load generator: deterministic traffic, bench dumps, overload behaviour."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchError,
+    load_serve_bench_file,
+    validate_serve_bench_file,
+    write_serve_bench_json,
+)
+from repro.obs.export import summarize_file
+from repro.serve import LoadConfig, ServeConfig, ServerThread, run_loadgen
+from repro.serve.loadgen import (
+    format_load_report,
+    percentile,
+    stream_gap_s,
+    stream_source,
+)
+
+
+class TestDeterministicStream:
+    def test_sources_are_a_function_of_the_seed(self):
+        first = [stream_source(11, i) for i in range(5)]
+        second = [stream_source(11, i) for i in range(5)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert stream_source(1, 0) != stream_source(2, 0)
+
+    def test_indices_differ(self):
+        assert stream_source(1, 0) != stream_source(1, 1)
+
+    def test_gaps_deterministic_and_mean_bounded(self):
+        gaps = [stream_gap_s(5, i, rps=100.0) for i in range(200)]
+        assert gaps == [stream_gap_s(5, i, rps=100.0) for i in range(200)]
+        assert all(0 <= gap < 0.02 for gap in gaps)
+        assert 0.005 < sum(gaps) / len(gaps) < 0.015  # mean ~= 1/rps
+
+    def test_no_pacing_without_rps(self):
+        assert stream_gap_s(5, 3, rps=None) == 0.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        data = sorted(float(x) for x in range(1, 101))
+        assert percentile(data, 50.0) == 50.0
+        assert percentile(data, 99.0) == 99.0
+        assert percentile(data, 100.0) == 100.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 50.0) == 7.5
+        assert percentile([7.5], 99.0) == 7.5
+
+    def test_empty(self):
+        assert percentile([], 50.0) == 0.0
+
+
+@pytest.fixture(scope="module")
+def pooled_server():
+    """One warm two-worker server shared by the module's e2e tests."""
+    thread = ServerThread(ServeConfig(jobs=2, batch_window_s=0.002))
+    host, port = thread.start()
+    yield host, port
+    thread.stop()
+
+
+class TestLoadgenEndToEnd:
+    def test_checked_run_is_byte_identical(self, pooled_server):
+        host, port = pooled_server
+        report = run_loadgen(host, port, LoadConfig(
+            trials=6, seed=3, concurrency=3, check=True,
+        ))
+        assert report.ok, report.failures
+        assert report.completed == 6
+        assert report.mismatches == 0
+        assert len(report.latencies_ms) == 6
+
+    def test_bench_dump_validates(self, pooled_server, tmp_path):
+        host, port = pooled_server
+        report = run_loadgen(host, port, LoadConfig(
+            trials=4, seed=9, concurrency=2, check=True,
+        ))
+        assert report.ok, report.failures
+        path = tmp_path / "BENCH_serve.json"
+        write_serve_bench_json(str(path), report.bench_payload())
+        assert validate_serve_bench_file(str(path)) == 4
+        payload = load_serve_bench_file(str(path))
+        assert payload["throughput_rps"] > 0
+        assert payload["latency_ms"]["p99"] >= payload["latency_ms"]["p50"]
+        assert payload["server_version"] == report.server_version
+        summary = summarize_file(str(path))
+        assert "valid serve bench dump" in summary
+        assert "p99" in summary
+
+    def test_overload_rejects_then_recovers(self):
+        # A tiny queue and a wide window force admission control to fire;
+        # the loadgen's retry loop must still land every request.
+        thread = ServerThread(ServeConfig(
+            jobs=1, queue_depth=1, batch_window_s=0.05, batch_max=1,
+            retry_after_s=0.01,
+        ))
+        host, port = thread.start()
+        try:
+            report = run_loadgen(host, port, LoadConfig(
+                trials=8, seed=5, concurrency=4,
+            ))
+            assert report.completed == 8
+            assert report.errors == 0
+            assert report.rejected > 0
+            assert report.retries == report.rejected
+        finally:
+            thread.stop()
+
+    def test_report_text_mentions_the_measurements(self, pooled_server):
+        host, port = pooled_server
+        report = run_loadgen(host, port, LoadConfig(trials=2, seed=1,
+                                                    concurrency=1))
+        text = format_load_report(report)
+        assert "throughput" in text
+        assert "p50" in text and "p99" in text
+
+
+class TestBenchSchemaValidation:
+    def _payload(self, pooled_server, tmp_path):
+        host, port = pooled_server
+        report = run_loadgen(host, port, LoadConfig(trials=2, seed=1,
+                                                    concurrency=1))
+        path = tmp_path / "BENCH_serve.json"
+        write_serve_bench_json(str(path), report.bench_payload())
+        return path
+
+    def test_missing_counter_refused(self, pooled_server, tmp_path):
+        path = self._payload(pooled_server, tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["rejected"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="rejected"):
+            load_serve_bench_file(str(path))
+
+    def test_wrong_schema_refused(self, pooled_server, tmp_path):
+        path = self._payload(pooled_server, tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "repro.serve.bench/999"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="schema"):
+            load_serve_bench_file(str(path))
+
+    def test_missing_latency_field_refused(self, pooled_server, tmp_path):
+        path = self._payload(pooled_server, tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["latency_ms"]["p99"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchError, match="p99"):
+            load_serve_bench_file(str(path))

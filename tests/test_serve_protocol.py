@@ -1,0 +1,170 @@
+"""Wire protocol of the serve subsystem: framing, validation, keys."""
+
+import json
+
+import pytest
+
+from repro import repro_version
+from repro.core import ConstructionConfig
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    check_hello,
+    config_from_wire,
+    config_to_wire,
+    decode_line,
+    encode_line,
+    error_response,
+    make_hello,
+    ok_response,
+    rejected_response,
+    validate_request,
+    work_key,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"id": "r1", "op": "ping", "nested": {"a": [1, 2]}}
+        assert decode_line(encode_line(message)) == message
+
+    def test_one_line_per_message(self):
+        line = encode_line({"id": "x", "op": "ping"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_newlines_in_source_stay_escaped(self):
+        source = "int main() {\n  return 1;\n}\n"
+        line = encode_line({"id": "x", "op": "compile", "source": source})
+        assert line.count(b"\n") == 1
+        assert decode_line(line)["source"] == source
+
+    def test_oversized_message_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_line({"id": "x", "blob": "y" * (MAX_LINE_BYTES + 1)})
+
+    def test_non_object_line_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_garbage_line_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+
+
+class TestValidateRequest:
+    def _compile(self, **over):
+        message = {"id": "r1", "op": "compile", "source": "int main() { return 1; }"}
+        message.update(over)
+        return message
+
+    def test_compile_defaults(self):
+        request = validate_request(self._compile())
+        assert request["flavour"] == "idempotent"
+        assert request["emit"] == "asm"
+        assert request["config"] == {}
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(ProtocolError, match="op"):
+            validate_request(self._compile(op="transmogrify"))
+
+    def test_missing_id_refused(self):
+        message = self._compile()
+        del message["id"]
+        with pytest.raises(ProtocolError, match="id"):
+            validate_request(message)
+
+    def test_missing_source_refused(self):
+        message = self._compile()
+        del message["source"]
+        with pytest.raises(ProtocolError, match="source"):
+            validate_request(message)
+
+    def test_bad_flavour_refused(self):
+        with pytest.raises(ProtocolError, match="flavour"):
+            validate_request(self._compile(flavour="quick"))
+
+    def test_bad_emit_refused(self):
+        with pytest.raises(ProtocolError, match="emit"):
+            validate_request(self._compile(emit="elf"))
+
+    def test_faults_defaults(self):
+        request = validate_request(self._compile(op="faults"))
+        assert request["trials"] == 30
+        assert request["kind"] == "value"
+        assert request["seed"] == 12345
+
+    def test_run_entry_default(self):
+        request = validate_request(self._compile(op="run"))
+        assert request["entry"] == "main"
+
+
+class TestConfigWire:
+    def test_default_config_is_empty_wire(self):
+        assert config_to_wire(None) == {}
+        assert config_to_wire(ConstructionConfig()) == {}
+
+    def test_non_default_fields_roundtrip(self):
+        config = ConstructionConfig(heuristic="coverage", max_region_size=9)
+        wire = config_to_wire(config)
+        assert wire == {"heuristic": "coverage", "max_region_size": 9}
+        assert config_from_wire(wire) == config
+
+    def test_unknown_field_refused(self):
+        with pytest.raises(ProtocolError, match="config"):
+            config_from_wire({"optimise_harder": True})
+
+
+class TestWorkKey:
+    def _request(self, rid="a", **over):
+        message = {"id": rid, "op": "compile",
+                   "source": "int main() { return 2; }"}
+        message.update(over)
+        return validate_request(message)
+
+    def test_id_does_not_enter_the_key(self):
+        assert work_key(self._request("a")) == work_key(self._request("b"))
+
+    def test_source_enters_the_key(self):
+        other = self._request(source="int main() { return 3; }")
+        assert work_key(self._request()) != work_key(other)
+
+    def test_flavour_enters_the_key(self):
+        other = self._request(flavour="original")
+        assert work_key(self._request()) != work_key(other)
+
+    def test_key_is_canonical_json(self):
+        key = work_key(self._request())
+        assert "id" not in json.loads(key)
+
+
+class TestHello:
+    def test_hello_carries_protocol_and_version(self):
+        hello = make_hello(pid=123)
+        assert hello["proto"] == PROTOCOL
+        assert hello["version"] == repro_version()
+        assert check_hello(hello) is hello
+
+    def test_wrong_protocol_refused(self):
+        hello = make_hello(pid=1)
+        hello["proto"] = "repro.serve/999"
+        with pytest.raises(ProtocolError, match="protocol"):
+            check_hello(hello)
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = ok_response("r1", {"x": 1})
+        assert response == {"id": "r1", "status": "ok", "payload": {"x": 1}}
+
+    def test_error_shape(self):
+        response = error_response("r1", "nope")
+        assert response["status"] == "error"
+        assert response["error"] == "nope"
+
+    def test_rejected_carries_retry_after(self):
+        response = rejected_response("r1", "queue full", 0.25)
+        assert response["status"] == "rejected"
+        assert response["retry_after"] == 0.25
+        assert "queue full" in response["error"]

@@ -1,0 +1,287 @@
+"""End-to-end serve front-end: byte identity, batching, admission, drain.
+
+Every test runs a real :class:`~repro.serve.server.ServerThread` on an
+ephemeral port and talks to it over TCP with the blocking client — no
+mocked transport.  ``jobs=1`` keeps execution inline (fast, and the
+``TaskExecutor`` contract guarantees identical semantics to the pool
+path, which ``test_serve_loadgen`` exercises with real workers).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import repro_version
+from repro.compiler import compile_minic, format_asm_listing
+from repro.obs import get_observer, write_metrics_json
+from repro.obs.export import summarize_file
+from repro.serve import (
+    AdmissionError,
+    BatchScheduler,
+    ProtocolError,
+    ReproServer,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+from repro.serve.work import execute_unit, format_ir_oneshot
+from repro.core import ConstructionConfig
+
+SOURCE = """
+int add(int a, int b) { return a + b; }
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) { s = add(s, i); }
+  return s;
+}
+"""
+
+
+@pytest.fixture
+def server():
+    thread = ServerThread(ServeConfig(jobs=1, batch_window_s=0.001))
+    host, port = thread.start()
+    try:
+        yield host, port
+    finally:
+        thread.stop()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server
+    with ServeClient(host, port) as c:
+        yield c
+
+
+class TestHandshakeAndPing:
+    def test_hello_version(self, client):
+        assert client.server_version == repro_version()
+
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["status"] == "ok"
+        assert response["payload"] == {"pong": True}
+
+    def test_protocol_error_response_keeps_connection(self, client):
+        response = client.request("compile")  # no source
+        assert response["status"] == "error"
+        assert "source" in response["error"]
+        assert client.ping()["status"] == "ok"  # still usable
+
+
+class TestByteIdentity:
+    def test_asm_matches_one_shot_cli_output(self, client):
+        expected = format_asm_listing(compile_minic(SOURCE, idempotent=True))
+        response = client.compile(SOURCE)
+        assert response["status"] == "ok"
+        assert response["payload"]["text"] == expected
+
+    def test_original_flavour_matches(self, client):
+        expected = format_asm_listing(compile_minic(SOURCE, idempotent=False))
+        response = client.compile(SOURCE, flavour="original")
+        assert response["payload"]["text"] == expected
+
+    def test_ir_matches_one_shot(self, client):
+        expected = format_ir_oneshot(SOURCE, "idempotent",
+                                     ConstructionConfig())
+        response = client.compile(SOURCE, emit="ir")
+        assert response["payload"]["text"] == expected
+
+    def test_config_travels(self, client):
+        config = ConstructionConfig(heuristic="coverage")
+        expected = format_asm_listing(
+            compile_minic(SOURCE, idempotent=True, config=config)
+        )
+        response = client.compile(SOURCE, config=config)
+        assert response["payload"]["text"] == expected
+
+
+class TestRunAndFaults:
+    def test_run_reports_simulator_outcome(self, client):
+        response = client.request("run", source=SOURCE)
+        assert response["status"] == "ok"
+        payload = response["payload"]
+        assert payload["result"] == 10
+        assert payload["instructions"] > 0
+        assert payload["boundaries"] >= 0
+
+    def test_faults_campaigns_both_flavours(self, client):
+        response = client.request(
+            "faults", source=SOURCE, trials=5, kind="value", seed=7
+        )
+        assert response["status"] == "ok"
+        campaigns = response["payload"]["campaigns"]
+        assert set(campaigns) == {"idempotent", "original"}
+        assert campaigns["idempotent"]["injected"] == 5
+
+    def test_faults_deterministic_across_requests(self, client):
+        a = client.request("faults", source=SOURCE, trials=5, seed=7)
+        b = client.request("faults", source=SOURCE, trials=5, seed=7)
+        assert a["payload"] == b["payload"]
+
+
+class TestMetricsEndpoint:
+    def test_snapshot_is_stats_compatible(self, client, tmp_path):
+        client.compile(SOURCE)
+        payload = client.metrics()
+        path = tmp_path / "serve.metrics.json"
+        write_metrics_json(str(path), payload["metrics"])
+        summary = summarize_file(str(path))
+        assert "valid metrics dump" in summary
+
+    def test_request_id_labels_present(self, client):
+        client.compile(SOURCE, rid="req-label-probe")
+        metrics = client.metrics()["metrics"]
+        rows = metrics["serve.requests"]["values"]
+        assert any(
+            row["labels"].get("rid") == "req-label-probe" for row in rows
+        )
+
+    def test_latency_histogram_recorded(self, client):
+        client.compile(SOURCE)
+        metrics = client.metrics()["metrics"]
+        rows = metrics["serve.latency_ms"]["values"]
+        compile_rows = [r for r in rows if r["labels"].get("op") == "compile"]
+        assert compile_rows and compile_rows[0]["count"] >= 1
+
+
+class TestShutdownAndDrain:
+    def test_shutdown_op_drains_and_exits(self):
+        thread = ServerThread(ServeConfig(jobs=1))
+        host, port = thread.start()
+        with ServeClient(host, port) as client:
+            assert client.compile(SOURCE)["status"] == "ok"
+            response = client.shutdown()
+            assert response["status"] == "ok"
+        thread.stop()  # joins; raises if the loop died uncleanly
+
+    def test_queued_work_finishes_before_exit(self):
+        thread = ServerThread(
+            ServeConfig(jobs=1, batch_window_s=0.05, batch_max=4)
+        )
+        host, port = thread.start()
+        client = ServeClient(host, port)
+        try:
+            # The batch window keeps this request queued briefly; stop()
+            # must still answer it before the server exits.
+            response = client.compile(SOURCE)
+            assert response["status"] == "ok"
+        finally:
+            client.close()
+            thread.stop()
+
+
+class TestSchedulerDirect:
+    """Deterministic admission-control behaviour via the hold() hook."""
+
+    def _request(self, i, source="int main() { return 1; }"):
+        from repro.serve.protocol import validate_request
+
+        return validate_request(
+            {"id": f"r{i}", "op": "compile", "source": source}
+        )
+
+    def test_queue_full_rejection(self):
+        async def scenario():
+            scheduler = BatchScheduler(
+                ServeConfig(jobs=1, queue_depth=2, batch_window_s=0)
+            )
+            await scheduler.start()
+            scheduler.hold()
+            futures = [scheduler.submit(self._request(i)) for i in range(2)]
+            with pytest.raises(AdmissionError) as info:
+                scheduler.submit(self._request(99, source="int main() { return 99; }"))
+            assert "queue full" in str(info.value)
+            assert info.value.retry_after > 0
+            scheduler.release()
+            outcomes = await asyncio.gather(*futures)
+            assert all(status == "ok" for status, _ in outcomes)
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_byte_budget_rejection(self):
+        async def scenario():
+            scheduler = BatchScheduler(
+                ServeConfig(jobs=1, max_inflight_bytes=64, batch_window_s=0)
+            )
+            await scheduler.start()
+            scheduler.hold()
+            big = "int main() { return 1; }" + " " * 100
+            with pytest.raises(AdmissionError) as info:
+                scheduler.submit(self._request(0, source=big))
+            assert "byte budget" in str(info.value)
+            scheduler.release()
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_draining_rejects_new_work(self):
+        async def scenario():
+            scheduler = BatchScheduler(ServeConfig(jobs=1, batch_window_s=0))
+            await scheduler.start()
+            await scheduler.drain()
+            with pytest.raises(AdmissionError, match="draining"):
+                scheduler.submit(self._request(0))
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_rejections_are_counted(self):
+        async def scenario():
+            scheduler = BatchScheduler(
+                ServeConfig(jobs=1, queue_depth=1, batch_window_s=0)
+            )
+            await scheduler.start()
+            scheduler.hold()
+            before = _rejected_total()
+            future = scheduler.submit(self._request(0))
+            for i in range(3):
+                with pytest.raises(AdmissionError):
+                    scheduler.submit(self._request(i + 1))
+            assert _rejected_total() - before == 3
+            scheduler.release()
+            await future
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_coalescing_executes_duplicates_once(self):
+        async def scenario():
+            scheduler = BatchScheduler(
+                ServeConfig(jobs=1, batch_window_s=0.05, batch_max=8)
+            )
+            await scheduler.start()
+            before = _counter_total("serve.coalesced")
+            # Same work_key four times: distinct ids, identical work.
+            futures = [
+                scheduler.submit(self._request(i)) for i in range(4)
+            ]
+            outcomes = await asyncio.gather(*futures)
+            texts = {payload["text"] for status, payload in outcomes}
+            assert len(texts) == 1
+            assert _counter_total("serve.coalesced") - before == 3
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+
+def _counter_total(name):
+    snapshot = get_observer().metrics.snapshot()
+    entry = snapshot.get(name)
+    if not entry:
+        return 0
+    return sum(row["value"] for row in entry["values"])
+
+
+def _rejected_total():
+    return _counter_total("serve.rejected")
+
+
+class TestExecuteUnit:
+    def test_unknown_op_is_a_bug_not_a_response(self):
+        with pytest.raises(ValueError, match="work op"):
+            execute_unit({"op": "ping", "source": "", "flavour": "idempotent",
+                          "config": {}})
