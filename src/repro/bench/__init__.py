@@ -19,6 +19,14 @@ See ``docs/performance.md`` for the workflow and the JSON schema.
 """
 
 from repro.bench.compare import BenchRegression, compare_bench, format_comparison
+from repro.bench.recovery import (
+    RECOVERY_BENCH_SCHEMA,
+    load_recovery_bench_file,
+    recovery_bench_payload,
+    summarize_recovery_bench,
+    validate_recovery_bench_file,
+    write_recovery_bench_json,
+)
 from repro.bench.serve import (
     SERVE_BENCH_SCHEMA,
     load_serve_bench_file,
@@ -44,18 +52,23 @@ __all__ = [
     "BenchError",
     "BenchRegression",
     "FAST_SUBSET",
+    "RECOVERY_BENCH_SCHEMA",
     "SERVE_BENCH_SCHEMA",
     "compare_bench",
     "default_workloads",
     "format_comparison",
     "load_bench_file",
+    "load_recovery_bench_file",
     "load_serve_bench_file",
+    "recovery_bench_payload",
     "run_bench",
     "serve_bench_payload",
     "summarize_bench",
+    "summarize_recovery_bench",
     "summarize_serve_bench",
     "validate_bench_file",
+    "validate_recovery_bench_file",
     "validate_serve_bench_file",
     "write_bench_json",
-    "write_serve_bench_json",
+    "write_recovery_bench_json",
 ]

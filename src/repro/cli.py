@@ -10,7 +10,15 @@ Commands:
   fig9, fig10, fig12, table2, or ``all``), with ``--jobs N`` sharding
   and the persistent artifact cache (``--no-cache`` to bypass)
 - ``campaign``        — suite-wide fault-injection campaign: sharded,
-  resumable via a JSON-lines manifest, deterministic under any sharding
+  resumable via a JSON-lines manifest, deterministic under any sharding;
+  ``--flavours``/``--backends`` select which binaries and recovery
+  backends to campaign
+- ``recovery``        — recovery-strategy zoo: idempotence vs TMR vs
+  checkpoint-and-log under one interface — per-backend dynamic overhead
+  and fault-campaign buckets, per-region predicted-vs-measured recovery
+  from the static outcome predictor, schema-tagged
+  ``BENCH_recovery.json`` dumps, and ``--hunt`` for minimized
+  predictor-divergence reproducers (``docs/recovery.md``)
 - ``fuzz``            — differential fuzzing: seeded program generation,
   interpreter/simulator differential + exhaustive re-execution +
   multi-fault oracles, delta-debugged reproducers (``docs/fuzzing.md``)
@@ -77,6 +85,14 @@ def _config_from_args(args) -> ConstructionConfig:
         max_region_size=args.max_region_size,
         trust_argument_noalias=args.trust_noalias,
     )
+
+
+def _split_names(value: Optional[str]) -> Optional[List[str]]:
+    """Comma-separated CLI list → name list (None when empty/absent)."""
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    return names or None
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -321,29 +337,43 @@ def cmd_campaign(args) -> int:
     retry, unit_timeout, chaos = _resilience_from_args(args)
     configure(jobs=args.jobs, use_cache=not args.no_cache,
               retry=retry, unit_timeout=unit_timeout, chaos=chaos)
+    flavours = _split_names(args.flavours)
+    backends = _split_names(args.backends)
     manifest_path = args.manifest
     if manifest_path is None and not args.no_manifest:
         tag = (
             f"{args.kind}-seed{args.seed}-t{args.trials}-lat{args.latency}"
         )
+        # Selection flags extend the tag so different subsets never share
+        # a manifest; the no-flag tag stays byte-identical to before.
+        if flavours:
+            tag += "-fl" + "+".join(flavours)
+        if backends:
+            tag += "-be" + "+".join(backends)
         manifest_path = os.path.join(".repro-cache", "campaigns", f"{tag}.jsonl")
     if args.fresh and manifest_path and os.path.exists(manifest_path):
         os.unlink(manifest_path)
     telemetry = Telemetry(label="fault campaign")
-    summary = run_fault_campaign(
-        names=args.workloads or None,
-        trials=args.trials,
-        seed=args.seed,
-        kind=args.kind,
-        detection_latency=args.latency,
-        jobs=args.jobs,
-        manifest_path=manifest_path,
-        shard_trials=args.shard_trials,
-        telemetry=telemetry,
-        retry=retry,
-        unit_timeout=unit_timeout,
-        chaos=chaos,
-    )
+    try:
+        summary = run_fault_campaign(
+            names=args.workloads or None,
+            trials=args.trials,
+            seed=args.seed,
+            kind=args.kind,
+            detection_latency=args.latency,
+            jobs=args.jobs,
+            manifest_path=manifest_path,
+            shard_trials=args.shard_trials,
+            telemetry=telemetry,
+            retry=retry,
+            unit_timeout=unit_timeout,
+            chaos=chaos,
+            flavours=flavours,
+            backends=backends,
+        )
+    except ValueError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
     print(format_campaign_report(summary))
     telemetry.finish()
     telemetry.attach_cache(default_cache())
@@ -352,6 +382,59 @@ def cmd_campaign(args) -> int:
     print(telemetry.format_summary(), file=sys.stderr)
     _finalize_obs(args)
     return 1 if summary.failed_units or summary.quarantined_units else 0
+
+
+def cmd_recovery(args) -> int:
+    from repro.bench import validate_recovery_bench_file, write_recovery_bench_json
+    from repro.recovery import format_compare_report, run_compare
+    from repro.recovery.compare import bench_payload, hunt_divergence
+
+    _setup_obs(args)
+    backends = _split_names(args.backends)
+    try:
+        report = run_compare(
+            names=args.workloads or None,
+            backends=backends,
+            trials=args.trials,
+            seed=args.seed,
+            kind=args.kind,
+            latency=args.latency,
+            threshold=args.threshold,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"recovery error: {exc}", file=sys.stderr)
+        return 2
+    print(format_compare_report(report))
+    if args.out:
+        write_recovery_bench_json(
+            args.out,
+            bench_payload(report, label=args.label, version=repro_version()),
+        )
+        count = validate_recovery_bench_file(args.out)
+        print(f"[recovery] bench: {args.out} ({count} backends)",
+              file=sys.stderr)
+    if args.hunt:
+        hunt = hunt_divergence(
+            args.hunt,
+            hunt_seed=args.hunt_seed,
+            backend_name=report.backends[0],
+            trials=args.trials,
+            kind=args.kind,
+            latency=args.latency,
+            threshold=args.threshold,
+            out_dir=args.hunt_out,
+        )
+        print()
+        print(f"hunt: worst divergence {hunt.worst_divergence:.3f} "
+              f"(gen seed {hunt.worst_seed}) over {hunt.programs} programs")
+        if hunt.reduced_path:
+            print(f"hunt: minimized reproducer {hunt.reduced_path} "
+                  f"({hunt.reduce_steps} reduction steps)")
+        else:
+            print(f"hunt: below threshold {args.threshold:.2f}; "
+                  f"no reproducer written")
+    _finalize_obs(args)
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -581,6 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kind", choices=["value", "control"], default="value")
     p.add_argument("--latency", type=int, default=0,
                    help="detection latency in dynamic instructions")
+    p.add_argument("--flavours", default=None, metavar="NAMES",
+                   help="comma-separated flavour subset (original, "
+                        "idempotent; default: both)")
+    p.add_argument("--backends", default=None, metavar="NAMES",
+                   help="also campaign these recovery backends "
+                        "(idempotent, checkpoint_log, tmr; see "
+                        "docs/recovery.md)")
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="shard work units over N processes")
     p.add_argument("--shard-trials", type=int, default=None,
@@ -597,6 +687,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "recovery",
+        help="recovery-strategy zoo: overhead vs measured recovery, "
+             "with the static outcome predictor (docs/recovery.md)",
+    )
+    p.add_argument("mode", choices=["compare"],
+                   help="comparison driver (predicted vs measured outcomes)")
+    p.add_argument("workloads", nargs="*", help="workload subset (default: all)")
+    p.add_argument("--backends", default=None, metavar="NAMES",
+                   help="comma-separated backend subset (idempotent, "
+                        "checkpoint_log, tmr; default: all three)")
+    p.add_argument("--trials", type=int, default=24,
+                   help="fault trials per workload and backend")
+    p.add_argument("--seed", type=int, default=12345,
+                   help="campaign seed; per-backend seeds derive from it "
+                        "spawn-key style (idempotent rows are bit-identical "
+                        "to repro campaign at the same parameters)")
+    p.add_argument("--kind", choices=["value", "control"], default="value")
+    p.add_argument("--latency", type=int, default=0,
+                   help="detection latency in dynamic instructions")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="flag regions where |predicted - measured| recovery "
+                        "exceeds this")
+    p.add_argument("--label", default="recovery",
+                   help="label stamped into the bench dump")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write a BENCH_recovery.json dump (repro stats "
+                        "validates it)")
+    p.add_argument("--hunt", type=int, default=None, metavar="N",
+                   help="scan N fuzz-generated programs for the worst "
+                        "predictor divergence; at/above --threshold the "
+                        "reducer minimizes it")
+    p.add_argument("--hunt-seed", type=int, default=0,
+                   help="seed for the hunt's generated-program stream")
+    p.add_argument("--hunt-out", default=os.path.join("examples", "regressions"),
+                   help="directory for minimized divergence reproducers")
+    _add_obs_flags(p)
+    p.set_defaults(func=cmd_recovery)
 
     p = sub.add_parser(
         "fuzz",

@@ -120,3 +120,34 @@ class RegionDecomposition:
 
     def __iter__(self) -> Iterator[Region]:
         return iter(self.regions)
+
+
+def boundary_live_sets(
+    func: Function, manager=None
+) -> List[Tuple[Tuple[BasicBlock, int], Set[object]]]:
+    """Live value set at each region header of a boundary-marked function.
+
+    The live-ins at a region header are exactly what a checkpointing
+    scheme must snapshot there: every value the downstream execution may
+    still read. Returned as ``(header, values)`` pairs in
+    :meth:`RegionDecomposition.headers` order, computed from the same
+    :class:`~repro.analysis.liveness.Liveness` the construction passes
+    use (pass a shared :class:`~repro.analysis.manager.AnalysisManager`
+    to reuse its cache).
+    """
+    if manager is None:
+        from repro.analysis.manager import NullAnalysisManager
+
+        manager = NullAnalysisManager()
+    liveness = manager.liveness(func)
+    sets: List[Tuple[Tuple[BasicBlock, int], Set[object]]] = []
+    for block, index in RegionDecomposition(func).headers():
+        instructions = block.instructions
+        if index < len(instructions):
+            live = liveness.live_before(instructions[index])
+        else:
+            # A boundary as the last instruction of a block: the header
+            # point is the block's exit edge.
+            live = liveness.live_out_at(block)
+        sets.append(((block, index), live))
+    return sets

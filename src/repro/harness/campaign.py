@@ -44,6 +44,28 @@ from repro.sim.simulator import Simulator
 
 FLAVOURS = ("original", "idempotent")
 
+
+def parse_label_subset(
+    names: Optional[Sequence[str]],
+    valid: Sequence[str],
+    what: str,
+) -> Tuple[str, ...]:
+    """Validate a ``--flavours``/``--backends`` subset.
+
+    Unknown names are a hard error listing the valid choices; ``None``
+    (flag not passed) returns the empty tuple so callers can apply their
+    own default.
+    """
+    if names is None:
+        return ()
+    unknown = [name for name in names if name not in valid]
+    if unknown:
+        raise ValueError(
+            f"unknown {what}(s) {', '.join(sorted(unknown))} "
+            f"(valid: {', '.join(valid)})"
+        )
+    return tuple(names)
+
 #: Manifest row statuses.  ``done`` resumes as complete, ``failed`` is
 #: retried on resume, ``quarantined`` (retry budget exhausted under a
 #: resilience policy) is *skipped* on resume with a visible warning.
@@ -256,13 +278,22 @@ class CampaignRunner:
 # ----------------------------------------------------------------------
 @dataclass
 class FaultCampaignSummary:
-    """Merged per-(workload, flavour) results plus run accounting."""
+    """Merged per-(workload, label) results plus run accounting.
 
-    #: (workload, flavour) -> merged CampaignResult across shards
+    A *label* is a binary flavour (``original``/``idempotent``) or a
+    recovery backend name (``tmr``/``checkpoint_log``/...) — whatever
+    scheme subset the campaign was asked to run. Legacy campaigns (no
+    subset flags) keep the two flavour labels, in :data:`FLAVOURS`
+    order, so their reports are byte-identical.
+    """
+
+    #: (workload, label) -> merged CampaignResult across shards
     results: Dict[Tuple[str, str], CampaignResult] = field(default_factory=dict)
     trials: int = 0
     seed: int = 0
     kind: str = FAULT_VALUE
+    #: report/footer order: requested flavours then requested backends
+    labels: Tuple[str, ...] = FLAVOURS
     executed_units: int = 0
     skipped_units: int = 0
     failed_units: int = 0
@@ -270,22 +301,22 @@ class FaultCampaignSummary:
     errors: List[str] = field(default_factory=list)
     telemetry: Optional[Telemetry] = None
 
-    def flavour_totals(self, flavour: str) -> CampaignResult:
+    def flavour_totals(self, label: str) -> CampaignResult:
         total = CampaignResult()
-        for (_, unit_flavour), result in self.results.items():
-            if unit_flavour == flavour:
+        for (_, unit_label), result in self.results.items():
+            if unit_label == label:
                 total.merge(result)
         return total
 
 
 def _fault_unit(payload: dict) -> dict:
-    """Worker: one trial-shard of one workload × flavour."""
+    """Worker: one trial-shard of one workload × flavour (or backend)."""
     name = payload["workload"]
     flavour = payload["flavour"]
+    backend_name = payload.get("backend")
     original, idempotent = build_pair(name)
-    program = idempotent.program if flavour == "idempotent" else original.program
     # The recovery target is the idempotent build's fault-free run (the
-    # same convention as ``python -m repro faults``); both flavours must
+    # same convention as ``python -m repro faults``); every scheme must
     # reproduce it to count as recovered.  A crashing reference means
     # the *build* is broken — deterministic for every retry — so it is
     # reported as a structured, permanently-classified unit error
@@ -300,21 +331,60 @@ def _fault_unit(payload: dict) -> dict:
             f"(flavour {flavour}, entry {payload['entry']!r}): "
             f"{type(exc).__name__}: {exc}"
         ) from exc
-    campaign = fault_campaign(
-        program,
-        reference,
-        reference_output,
-        trials=payload["trials"],
-        func=payload["entry"],
-        kind=payload["kind"],
-        seed=payload["unit_seed"],
-        detection_latency=payload["detection_latency"],
-        start_trial=payload["start_trial"],
-    )
+    if backend_name is not None:
+        from repro.recovery.backends import get_backend
+
+        campaign = get_backend(backend_name).campaign(
+            original.program,
+            idempotent.program,
+            reference,
+            reference_output,
+            trials=payload["trials"],
+            func=payload["entry"],
+            kind=payload["kind"],
+            seed=payload["unit_seed"],
+            detection_latency=payload["detection_latency"],
+            start_trial=payload["start_trial"],
+        )
+    else:
+        program = idempotent.program if flavour == "idempotent" else original.program
+        campaign = fault_campaign(
+            program,
+            reference,
+            reference_output,
+            trials=payload["trials"],
+            func=payload["entry"],
+            kind=payload["kind"],
+            seed=payload["unit_seed"],
+            detection_latency=payload["detection_latency"],
+            start_trial=payload["start_trial"],
+        )
     row = asdict(campaign)
     row["workload"] = name
     row["flavour"] = flavour
+    if backend_name is not None:
+        row["backend"] = backend_name
     return row
+
+
+def campaign_labels(
+    flavours: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Resolve ``--flavours``/``--backends`` into validated work lists.
+
+    Defaults preserve legacy behaviour: with neither flag the campaign
+    runs both :data:`FLAVOURS` and no backends; with only ``--backends``
+    the flavour units are dropped (the backend rows subsume them).
+    Unknown names raise :class:`ValueError` listing the valid choices.
+    """
+    from repro.recovery.backends import BACKEND_NAMES
+
+    flavour_list = parse_label_subset(flavours, FLAVOURS, "flavour")
+    backend_list = parse_label_subset(backends, BACKEND_NAMES, "backend")
+    if flavours is None and backends is None:
+        flavour_list = FLAVOURS
+    return flavour_list, backend_list
 
 
 def fault_campaign_units(
@@ -324,6 +394,8 @@ def fault_campaign_units(
     kind: str = FAULT_VALUE,
     detection_latency: int = 0,
     shard_trials: Optional[int] = None,
+    flavours: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> List[Tuple[str, dict]]:
     """The (unit_id, payload) work list of a suite-wide fault campaign.
 
@@ -331,11 +403,21 @@ def fault_campaign_units(
     one unit per workload × flavour).  Unit ids encode every parameter
     that affects the unit's result, so a manifest written with one
     configuration never satisfies another.
+
+    ``flavours``/``backends`` select scheme subsets (see
+    :func:`campaign_labels`). Backend units derive their seeds from the
+    backend's ``seed_key`` — for the ``idempotent`` backend that is the
+    legacy ``"idempotent"`` flavour key, so its units (and therefore
+    their results) are bit-identical to flavour campaigns at the same
+    parameters.
     """
+    from repro.recovery.backends import get_backend
+
+    flavour_list, backend_list = campaign_labels(flavours, backends)
     shard = trials if not shard_trials else max(1, int(shard_trials))
     units: List[Tuple[str, dict]] = []
     for workload in resolve_workloads(names):
-        for flavour in FLAVOURS:
+        for flavour in flavour_list:
             unit_seed = derive_seed(seed, workload.name, flavour)
             for start in range(0, trials, shard):
                 count = min(shard, trials - start)
@@ -348,6 +430,29 @@ def fault_campaign_units(
                     {
                         "workload": workload.name,
                         "flavour": flavour,
+                        "entry": workload.entry,
+                        "trials": count,
+                        "start_trial": start,
+                        "unit_seed": unit_seed,
+                        "kind": kind,
+                        "detection_latency": detection_latency,
+                    },
+                ))
+        for backend_name in backend_list:
+            backend = get_backend(backend_name)
+            unit_seed = derive_seed(seed, workload.name, backend.seed_key)
+            for start in range(0, trials, shard):
+                count = min(shard, trials - start)
+                unit_id = (
+                    f"{workload.name}:backend-{backend_name}:{kind}:seed{seed}"
+                    f":lat{detection_latency}:t{start}+{count}"
+                )
+                units.append((
+                    unit_id,
+                    {
+                        "workload": workload.name,
+                        "flavour": backend.flavour,
+                        "backend": backend_name,
                         "entry": workload.entry,
                         "trials": count,
                         "start_trial": start,
@@ -372,14 +477,18 @@ def run_fault_campaign(
     retry: Optional[RetryPolicy] = None,
     unit_timeout: Optional[float] = None,
     chaos: Optional[ChaosPolicy] = None,
+    flavours: Optional[Sequence[str]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> FaultCampaignSummary:
     """Suite-wide fault-injection campaign, sharded, cached, resumable."""
     telemetry = telemetry or Telemetry(label="fault campaign")
     if manifest_path:
         get_observer().log(f"campaign manifest: {manifest_path}")
+    flavour_list, backend_list = campaign_labels(flavours, backends)
     units = fault_campaign_units(
         names, trials, seed, kind=kind,
         detection_latency=detection_latency, shard_trials=shard_trials,
+        flavours=flavours, backends=backends,
     )
     # Builds happen in the parent first: workers inherit the memo via
     # fork and warm runs pull artifacts straight from the disk cache.
@@ -393,6 +502,7 @@ def run_fault_campaign(
 
     summary = FaultCampaignSummary(
         trials=trials, seed=seed, kind=kind,
+        labels=flavour_list + backend_list,
         executed_units=runner.executed,
         skipped_units=runner.skipped,
         failed_units=runner.failed,
@@ -414,7 +524,7 @@ def run_fault_campaign(
             summary.errors.append(f"{unit_id}: {record.data.get('error')}")
             continue
         data = record.data
-        key = (data["workload"], data["flavour"])
+        key = (data["workload"], data.get("backend") or data["flavour"])
         # ``.get`` keeps manifests written before the ``undetected``
         # bucket existed loadable (they recorded no such faults).
         shard_result = CampaignResult(**{
@@ -438,7 +548,7 @@ def format_campaign_report(summary: FaultCampaignSummary) -> str:
             format_rate(result),
         ])
     lines = [format_table(headers, rows), ""]
-    for flavour in FLAVOURS:
+    for flavour in summary.labels:
         total = summary.flavour_totals(flavour)
         undetected = (
             f" undetected={total.undetected}" if total.undetected else ""

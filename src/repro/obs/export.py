@@ -272,6 +272,21 @@ def summarize_file(path: str) -> str:
         )
         return header + "\n" + summarize_serve_bench(bench)
     if isinstance(payload, dict) and isinstance(payload.get("schema"), str) \
+            and payload["schema"].startswith("repro.recovery.bench/"):
+        # Lazy import: repro.bench itself builds on repro.obs.
+        from repro.bench import BenchError, load_recovery_bench_file
+        from repro.bench import summarize_recovery_bench
+
+        try:
+            bench = load_recovery_bench_file(path)
+        except BenchError as exc:
+            raise ObsExportError(str(exc)) from exc
+        header = (
+            f"{path}: valid recovery bench dump, "
+            f"{len(bench['backends'])} backends"
+        )
+        return header + "\n" + summarize_recovery_bench(bench)
+    if isinstance(payload, dict) and isinstance(payload.get("schema"), str) \
             and payload["schema"].startswith("repro.bench/"):
         # Lazy import: repro.bench itself builds on repro.obs.
         from repro.bench import BenchError, load_bench_file, summarize_bench

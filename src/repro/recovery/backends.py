@@ -1,0 +1,430 @@
+"""Pluggable recovery backends: the Fig. 12 schemes as fault-campaign drivers.
+
+:mod:`repro.recovery.schemes` prices the paper's recovery schemes (their
+*fault-free* dynamic cost); this module makes each of them a
+:class:`RecoveryBackend` that can actually *drive* a fault campaign, so
+overhead and recovery behaviour come from the same pluggable layer:
+
+- ``idempotent`` — the paper's scheme, exactly as
+  :class:`repro.sim.faults.FaultInjector` has always run it: discard the
+  store buffer and jump to the restart pointer. Campaign results are
+  bit-identical to the pre-zoo code path (same program, same seeds, same
+  injector).
+- ``tmr`` — instruction-level triple-modular redundancy. Three copies of
+  every operation vote at each check point; a single-fault model means
+  the corrupted lane is always outvoted, so architectural state is never
+  corrupted and "recovery" is a zero-cost in-place correction. Highest
+  dynamic overhead, best recovery.
+- ``checkpoint_log`` — checkpoint-and-log in the AutoCheck mould:
+  periodic register-file checkpoints plus an undo log of committed
+  stores; detection restores the last checkpoint and rolls the log back.
+  The statically derived checkpoint contents come from
+  :mod:`repro.recovery.checkpoint` (live sets at region boundaries).
+
+All three report the common :class:`RecoveryOutcome` (an alias of
+:class:`repro.sim.faults.FaultOutcome` — recovered / detected /
+undetected / crashed plus region attribution), reuse the campaign
+bucket arithmetic of :func:`repro.sim.faults.fault_campaign`, and price
+their fault-free overhead through :func:`repro.recovery.schemes.run_scheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.machine import MachineInstr, MachineProgram
+from repro.recovery.schemes import (
+    SCHEME_CHECKPOINT_LOG,
+    SCHEME_DMR,
+    SCHEME_IDEMPOTENCE,
+    SCHEME_TMR,
+    instrument_checkpoint_log,
+    run_scheme,
+)
+from repro.sim.faults import (
+    FAULT_CONTROL,
+    FAULT_VALUE,
+    CampaignResult,
+    FaultInjector,
+    FaultOutcome,
+    FaultPlan,
+    fault_campaign,
+    region_key,
+)
+from repro.sim.simulator import Simulator
+
+#: The common outcome record every backend reports per trial.
+RecoveryOutcome = FaultOutcome
+
+#: Sentinel for "address was unmapped before this store" in the undo log.
+_UNMAPPED = object()
+
+
+class TMRInjector:
+    """Instruction-level TMR under a single-fault model.
+
+    The fault corrupts one of three redundant lanes; the majority vote at
+    the next check point both detects it and supplies the correct value,
+    so architectural state is never corrupted and no re-execution is
+    charged (``recovery_instructions`` stays 0). The only way TMR loses
+    a fault is the same way DMR does: detection latency outlives the
+    program (``undetected`` bucket — result still correct, since the
+    voted value was).
+
+    Injection eligibility mirrors :class:`FaultInjector` exactly (same
+    target arithmetic, same eligible opcodes), so a TMR campaign faces
+    the identical fault set as an idempotence campaign over the same
+    program.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, recover: bool = True) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.recover = recover
+        self.outcome = FaultOutcome()
+        self._pending = False
+        self._armed = True
+        self._injected_at = 0
+        sim.pre_hook = self._pre
+        sim.post_hook = self._post
+
+    def _pre(self, sim: Simulator, instr: MachineInstr) -> None:
+        if (
+            self._pending
+            and instr.opcode in Simulator.CHECK_POINTS
+            and sim.instructions - self._injected_at >= self.plan.detection_latency
+        ):
+            self._pending = False
+            self.outcome.detected = True
+            if self.recover:
+                # Majority vote corrects in place: no rollback, no
+                # re-execution, nothing to restore.
+                self.outcome.recovered = True
+            return
+        if (
+            self._armed
+            and self.plan.kind == FAULT_CONTROL
+            and sim.instructions + 1 >= self.plan.target_instruction
+            and instr.opcode == "bnz"
+        ):
+            # One lane mispredicts the branch condition; the other two
+            # outvote it, so the branch resolves correctly — record the
+            # injection without perturbing state.
+            self._mark(sim)
+
+    def _post(self, sim: Simulator, instr: MachineInstr, loc) -> None:
+        if (
+            self._armed
+            and self.plan.kind == FAULT_VALUE
+            and sim.instructions >= self.plan.target_instruction
+            and instr.dst is not None
+            and not instr.is_memory
+        ):
+            self._mark(sim)
+
+    def _mark(self, sim: Simulator) -> None:
+        self._armed = False
+        self.outcome.injected = True
+        self.outcome.region = region_key(sim)
+        self._injected_at = sim.instructions
+        self._pending = True
+
+
+class CheckpointLogInjector:
+    """Checkpoint-and-log recovery over the store-instrumented binary.
+
+    State capture is the scheme's defining move: every ``interval``-th
+    check point (and at every call-depth change, where the frame stack
+    is in flux) the injector snapshots the register files and location;
+    between checkpoints it keeps an undo log of committed stores — the
+    dynamic realisation of the statically derived live-set checkpoints
+    of :mod:`repro.recovery.checkpoint`. Detection restores the snapshot
+    and unwinds the log in reverse.
+
+    A fresh checkpoint is also forced after every ``callb``: externally
+    visible effects (``print`` output, ``malloc``'s heap bump) cannot be
+    replayed, so the scheme never rolls back across them — exactly the
+    constraint that forces idempotent region boundaries at the same
+    points.
+
+    The failure mode under detection latency is structural, not tuned:
+    a checkpoint taken while a fault is still latent snapshots corrupt
+    registers, and restoring it re-executes from corrupt state — the
+    checkpoint-spacing analogue of idempotence's rp-slip hazard.
+    """
+
+    DEFAULT_INTERVAL = 8
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        recover: bool = True,
+        interval: int = DEFAULT_INTERVAL,
+    ) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.recover = recover
+        self.interval = interval
+        self.outcome = FaultOutcome()
+        self.checkpoints_taken = 0
+        self._pending = False
+        self._armed = True
+        self._injected_at = 0
+        self._ckpt: Optional[Tuple] = None
+        self._undo: List[Tuple[int, object]] = []
+        self._since = 0
+        sim.pre_hook = self._pre
+        sim.post_hook = self._post
+
+    # ------------------------------------------------------------------
+    # Checkpoint machinery
+    # ------------------------------------------------------------------
+    def _take(self, sim: Simulator) -> None:
+        self._ckpt = (
+            len(sim.frames),
+            list(sim.int_regs),
+            list(sim.float_regs),
+            sim.loc.copy(),
+        )
+        self._undo = []
+        self._since = 0
+        self.checkpoints_taken += 1
+
+    def _restore(self, sim: Simulator) -> None:
+        depth, int_regs, float_regs, loc = self._ckpt
+        # Depth equality is structural: every call-depth change takes a
+        # fresh checkpoint, so detection always happens in the frame the
+        # checkpoint was taken in. The loop is defensive only.
+        while len(sim.frames) > depth:
+            dead = sim.frames.pop()
+            sim.memory.free_stack(dead.base)
+        sim.discard_store_buffer()
+        for addr, old in reversed(self._undo):
+            if old is _UNMAPPED:
+                sim.memory.cells.pop(addr, None)
+            else:
+                sim.memory.cells[addr] = old
+        self._undo = []
+        sim.int_regs[:] = int_regs
+        sim.float_regs[:] = float_regs
+        sim.loc = loc.copy()
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _pre(self, sim: Simulator, instr: MachineInstr) -> None:
+        if sim.frames and (self._ckpt is None or len(sim.frames) != self._ckpt[0]):
+            self._take(sim)
+        if instr.opcode in Simulator.CHECK_POINTS:
+            if (
+                self._pending
+                and sim.instructions - self._injected_at >= self.plan.detection_latency
+            ):
+                self.outcome.detected = True
+                self._pending = False
+                if self.recover:
+                    mark = sim.instructions
+                    self._restore(sim)
+                    sim.redirect()
+                    self.outcome.recovered = True
+                    self.outcome.recovery_instructions = mark
+                return
+            self._since += 1
+            if self._since >= self.interval:
+                self._take(sim)
+            # The buffered stores commit when this check point executes;
+            # log their pre-images so a later restore can unwind them.
+            for addr, _value in sim.store_buffer:
+                try:
+                    old = sim.memory.peek(addr)
+                except KeyError:
+                    old = _UNMAPPED
+                self._undo.append((addr, old))
+        if (
+            self._armed
+            and self.plan.kind == FAULT_CONTROL
+            and sim.instructions + 1 >= self.plan.target_instruction
+            and instr.opcode == "bnz"
+        ):
+            cond = instr.srcs[0]
+            value = sim.get_reg(cond)
+            sim.set_reg(cond, 0 if value else 1)
+            self._armed = False
+            self.outcome.injected = True
+            self.outcome.region = region_key(sim)
+            self._injected_at = sim.instructions
+            self._pending = True
+
+    def _post(self, sim: Simulator, instr: MachineInstr, loc) -> None:
+        if (
+            self._armed
+            and self.plan.kind == FAULT_VALUE
+            and sim.instructions >= self.plan.target_instruction
+            and instr.dst is not None
+            and not instr.is_memory
+        ):
+            value = sim.get_reg(instr.dst)
+            if isinstance(value, float):
+                corrupted = -(value + 1.0)
+            else:
+                corrupted = value ^ self.plan.flip_mask
+            sim.set_reg(instr.dst, corrupted)
+            self._armed = False
+            self.outcome.injected = True
+            self.outcome.region = region_key(sim)
+            self._injected_at = sim.instructions
+            self._pending = True
+        if instr.opcode == "callb":
+            # I/O and allocation are not replayable; never allow a
+            # restore to cross them.
+            self._take(sim)
+
+
+class RecoveryBackend:
+    """One recovery strategy: a program to run, an injector, a price.
+
+    Subclasses define which binary executes under fault injection
+    (:meth:`campaign_program`) and which injector drives detection and
+    recovery (:meth:`make_injector`); the shared :meth:`campaign` /
+    :meth:`overhead` machinery then reports the common
+    :class:`RecoveryOutcome` buckets and the scheme's fault-free dynamic
+    overhead against the DMR baseline.
+    """
+
+    #: registry key (``--backends``, serve ``scheme``, bench rows)
+    name: str = ""
+    #: scheme constant used to price fault-free overhead
+    scheme: str = ""
+    #: which build the campaign executes (for reports/manifests)
+    flavour: str = "original"
+    #: spawn-key component for per-workload campaign seeds. The
+    #: idempotent backend reuses the legacy flavour key so zoo campaigns
+    #: are bit-identical to pre-zoo ``flavour="idempotent"`` units.
+    seed_key: str = ""
+
+    def campaign_program(
+        self,
+        original_program: MachineProgram,
+        idempotent_program: MachineProgram,
+    ) -> MachineProgram:
+        raise NotImplementedError
+
+    def make_injector(self, sim: Simulator, plan: FaultPlan, recover: bool = True):
+        raise NotImplementedError
+
+    def campaign(
+        self,
+        original_program: MachineProgram,
+        idempotent_program: MachineProgram,
+        reference_result: object,
+        reference_output: List[object],
+        trials: int = 50,
+        func: str = "main",
+        args: Tuple = (),
+        kind: str = FAULT_VALUE,
+        seed: int = 12345,
+        recover: bool = True,
+        detection_latency: int = 0,
+        start_trial: int = 0,
+        per_region: Optional[Dict[str, CampaignResult]] = None,
+    ) -> CampaignResult:
+        """Run a standard fault campaign under this backend's scheme."""
+        program = self.campaign_program(original_program, idempotent_program)
+        return fault_campaign(
+            program,
+            reference_result,
+            reference_output,
+            trials=trials,
+            func=func,
+            args=args,
+            kind=kind,
+            seed=seed,
+            recover=recover,
+            detection_latency=detection_latency,
+            start_trial=start_trial,
+            injector_factory=self.make_injector,
+            per_region=per_region,
+        )
+
+    def overhead(
+        self,
+        original_program: MachineProgram,
+        idempotent_program: MachineProgram,
+        func: str = "main",
+        args: Tuple = (),
+    ) -> float:
+        """Fault-free dynamic overhead vs the DMR baseline (Fig. 12)."""
+        baseline = run_scheme(
+            SCHEME_DMR, original_program, idempotent_program, func=func, args=args
+        )
+        run = run_scheme(
+            self.scheme, original_program, idempotent_program, func=func, args=args
+        )
+        return run.overhead_vs(baseline)
+
+
+class IdempotentBackend(RecoveryBackend):
+    """The paper's scheme, verbatim: rp recovery on the idempotent binary."""
+
+    name = "idempotent"
+    scheme = SCHEME_IDEMPOTENCE
+    flavour = "idempotent"
+    seed_key = "idempotent"
+
+    def campaign_program(self, original_program, idempotent_program):
+        return idempotent_program
+
+    def make_injector(self, sim, plan, recover=True):
+        return FaultInjector(sim, plan, recover=recover)
+
+
+class TMRBackend(RecoveryBackend):
+    """Instruction-level TMR on the original binary."""
+
+    name = "tmr"
+    scheme = SCHEME_TMR
+    flavour = "original"
+    seed_key = "tmr"
+
+    def campaign_program(self, original_program, idempotent_program):
+        return original_program
+
+    def make_injector(self, sim, plan, recover=True):
+        return TMRInjector(sim, plan, recover=recover)
+
+
+class CheckpointLogBackend(RecoveryBackend):
+    """Checkpoint-and-log on the store-instrumented original binary."""
+
+    name = "checkpoint_log"
+    scheme = SCHEME_CHECKPOINT_LOG
+    flavour = "original"
+    seed_key = "checkpoint_log"
+
+    def __init__(self, interval: int = CheckpointLogInjector.DEFAULT_INTERVAL) -> None:
+        self.interval = interval
+
+    def campaign_program(self, original_program, idempotent_program):
+        return instrument_checkpoint_log(original_program)
+
+    def make_injector(self, sim, plan, recover=True):
+        return CheckpointLogInjector(
+            sim, plan, recover=recover, interval=self.interval
+        )
+
+
+#: Registry order is report order: cheapest scheme first.
+BACKEND_TYPES = (IdempotentBackend, CheckpointLogBackend, TMRBackend)
+BACKEND_NAMES = tuple(cls.name for cls in BACKEND_TYPES)
+
+
+def get_backend(name: str) -> RecoveryBackend:
+    """Instantiate the named backend; unknown names list the valid set."""
+    for cls in BACKEND_TYPES:
+        if cls.name == name:
+            return cls()
+    raise ValueError(
+        f"unknown recovery backend {name!r} "
+        f"(valid: {', '.join(BACKEND_NAMES)})"
+    )

@@ -1,0 +1,81 @@
+"""Static checkpoint-set derivation for the checkpoint-and-log backend.
+
+AutoCheck-style: a checkpointing scheme does not need to snapshot the
+whole register file — only the variables that are *live* at the
+checkpoint location. The idempotent construction already computes
+liveness (it prices boundary placement with it), and region headers are
+exactly where checkpoint-and-log would place its checkpoints: the points
+an idempotent binary makes restartable for free. This module walks
+:func:`repro.core.regions.boundary_live_sets` over a compiled module and
+reports the minimal checkpoint contents per region boundary — the static
+cost the dynamic :class:`~repro.recovery.backends.CheckpointLogInjector`
+approximates with whole-register-file snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.regions import boundary_live_sets
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+@dataclass
+class CheckpointPlan:
+    """Minimal live-variable checkpoint sets for one function.
+
+    ``sizes[i]`` is the number of live values at region header ``i`` (in
+    :meth:`RegionDecomposition.headers` order) — the words a minimal
+    checkpoint must save there.
+    """
+
+    function: str
+    sizes: List[int] = field(default_factory=list)
+
+    @property
+    def boundaries(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def mean_words(self) -> float:
+        if not self.sizes:
+            return 0.0
+        return self.total_words / len(self.sizes)
+
+    @property
+    def max_words(self) -> int:
+        return max(self.sizes) if self.sizes else 0
+
+
+def checkpoint_plan(func: Function, manager=None) -> CheckpointPlan:
+    """The minimal checkpoint set sizes at every region header of ``func``."""
+    sets = boundary_live_sets(func, manager=manager)
+    return CheckpointPlan(
+        function=func.name,
+        sizes=[len(values) for _header, values in sets],
+    )
+
+
+def module_checkpoint_plans(
+    module: Module, manager=None
+) -> Dict[str, CheckpointPlan]:
+    """Per-function checkpoint plans for a whole compiled module."""
+    return {
+        name: checkpoint_plan(func, manager=manager)
+        for name, func in module.functions.items()
+    }
+
+
+def mean_checkpoint_words(plans: Dict[str, CheckpointPlan]) -> float:
+    """Mean live words per checkpoint across a module (0.0 if no boundaries)."""
+    total = sum(plan.total_words for plan in plans.values())
+    boundaries = sum(plan.boundaries for plan in plans.values())
+    if not boundaries:
+        return 0.0
+    return total / boundaries

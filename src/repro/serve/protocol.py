@@ -18,7 +18,8 @@ Every request is an object with an ``op`` and a client-chosen ``id``
     {"id": "r1", "op": "compile", "source": "...", "flavour": "idempotent",
      "emit": "asm", "config": {"heuristic": "loop", ...}}
     {"id": "r2", "op": "run", "source": "...", "entry": "main"}
-    {"id": "r3", "op": "faults", "source": "...", "trials": 30, "kind": "value"}
+    {"id": "r3", "op": "faults", "source": "...", "trials": 30, "kind": "value",
+     "scheme": "idempotent"}
     {"id": "r4", "op": "metrics"}
     {"id": "r5", "op": "ping"}
     {"id": "r6", "op": "shutdown"}
@@ -63,6 +64,11 @@ OPS = ("ping", "compile", "run", "faults", "metrics", "shutdown")
 #: Operations that enqueue compile work (subject to admission control);
 #: the rest are answered inline by the front-end.
 WORK_OPS = ("compile", "run", "faults")
+
+#: Recovery schemes a ``faults`` request may name.  Kept as a literal so
+#: the protocol module stays import-light; a test pins it to
+#: ``repro.recovery.backends.BACKEND_NAMES``.
+FAULT_SCHEMES = ("idempotent", "checkpoint_log", "tmr")
 
 #: Hard cap on one encoded request/response line.  Doubles as the
 #: ``asyncio.start_server`` read limit, so an oversized request fails
@@ -184,7 +190,13 @@ def validate_request(message: Dict[str, object]) -> Dict[str, object]:
         seed = message.get("seed", 12345)
         if not isinstance(seed, int):
             raise ProtocolError("'seed' must be an integer")
-        normalized.update({"trials": trials, "kind": kind, "seed": seed})
+        scheme = message.get("scheme", "idempotent")
+        if scheme not in FAULT_SCHEMES:
+            raise ProtocolError(
+                f"invalid scheme {scheme!r} (expected one of {FAULT_SCHEMES})"
+            )
+        normalized.update({"trials": trials, "kind": kind, "seed": seed,
+                           "scheme": scheme})
     return normalized
 
 

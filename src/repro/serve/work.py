@@ -97,25 +97,45 @@ def execute_unit(item: Dict[str, object]) -> Dict[str, object]:
         from repro.sim.faults import fault_campaign
 
         entry = item["entry"]
+        scheme = item.get("scheme", "idempotent")
         idem = _build(source, "idempotent", config)
         orig = _build(source, "original", config)
         reference_sim = Simulator(idem.program)
         reference = reference_sim.run(entry)
         reference_output = list(reference_sim.output)
-        campaigns = {}
-        for label, build in (("idempotent", idem), ("original", orig)):
-            campaign = fault_campaign(
-                build.program, reference, reference_output,
-                trials=item["trials"], func=entry, kind=item["kind"],
-                seed=item["seed"],
-            )
-            campaigns[label] = {
+
+        def _buckets(campaign) -> Dict[str, int]:
+            return {
                 "injected": campaign.injected,
                 "recovered": campaign.recovered_correctly,
                 "wrong": campaign.wrong_result,
                 "crashed": campaign.crashed,
+                "undetected": campaign.undetected,
             }
-        return {"reference": reference, "campaigns": campaigns}
+
+        campaigns = {}
+        if scheme == "idempotent":
+            # Legacy shape: the idempotence scheme campaigns both
+            # flavours so clients can see the recovery delta.
+            for label, build in (("idempotent", idem), ("original", orig)):
+                campaign = fault_campaign(
+                    build.program, reference, reference_output,
+                    trials=item["trials"], func=entry, kind=item["kind"],
+                    seed=item["seed"],
+                )
+                campaigns[label] = _buckets(campaign)
+        else:
+            from repro.recovery.backends import get_backend
+
+            backend = get_backend(scheme)
+            campaign = backend.campaign(
+                orig.program, idem.program, reference, reference_output,
+                trials=item["trials"], func=entry, kind=item["kind"],
+                seed=item["seed"],
+            )
+            campaigns[scheme] = _buckets(campaign)
+        return {"reference": reference, "scheme": scheme,
+                "campaigns": campaigns}
 
     raise ValueError(f"not a work op: {op!r}")  # guarded by the protocol
 

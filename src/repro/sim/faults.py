@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.codegen.machine import MachineInstr, MachineProgram
 from repro.harness.executor import derive_seed
@@ -61,6 +61,25 @@ class FaultOutcome:
     output: List[object] = field(default_factory=list)
     instructions: int = 0
     recovery_instructions: int = 0
+    #: Region key (``func@block.index`` of the restart pointer active at
+    #: injection time) — lets campaigns attribute outcomes to regions.
+    region: Optional[str] = None
+
+
+REGION_UNKNOWN = "?"
+
+
+def region_key(sim: Simulator) -> str:
+    """Stable key for the region executing now: the active restart pointer.
+
+    Dynamic regions are delimited by restart-pointer updates, so the rp
+    location identifies the region an injected fault lands in. ``"?"``
+    covers the window before the first rp is established.
+    """
+    if sim.rp is None:
+        return REGION_UNKNOWN
+    _depth, loc = sim.rp
+    return f"{loc.func}@{loc.block}.{loc.index}"
 
 
 class FaultInjector:
@@ -106,6 +125,7 @@ class FaultInjector:
             sim.set_reg(cond, 0 if value else 1)
             self._armed = False
             self.outcome.injected = True
+            self.outcome.region = region_key(sim)
             self._injected_at = sim.instructions
             self._pending = True  # detected at the next check point after this branch
 
@@ -125,6 +145,7 @@ class FaultInjector:
             sim.set_reg(instr.dst, corrupted)
             self._armed = False
             self.outcome.injected = True
+            self.outcome.region = region_key(sim)
             self._injected_at = sim.instructions
             self._pending = True
 
@@ -136,10 +157,19 @@ def run_with_fault(
     args: Tuple = (),
     recover: bool = True,
     max_instructions: int = 50_000_000,
+    injector_factory: Optional[Callable[..., object]] = None,
 ) -> FaultOutcome:
-    """Execute ``func`` with one injected fault; returns the outcome."""
+    """Execute ``func`` with one injected fault; returns the outcome.
+
+    ``injector_factory`` selects the recovery scheme driving the run —
+    any callable with :class:`FaultInjector`'s ``(sim, plan, recover)``
+    signature exposing an ``outcome`` attribute. The default is the
+    paper's idempotence scheme (``FaultInjector``); the alternatives
+    live in :mod:`repro.recovery.backends`.
+    """
     sim = Simulator(program, max_instructions=max_instructions)
-    injector = FaultInjector(sim, plan, recover=recover)
+    factory = injector_factory or FaultInjector
+    injector = factory(sim, plan, recover=recover)
     outcome = injector.outcome
     try:
         outcome.result = sim.run(func, args)
@@ -202,6 +232,35 @@ def format_rate(result: CampaignResult) -> str:
     return f"{result.recovery_rate:.0%}"
 
 
+def classify_outcome(
+    outcome: FaultOutcome,
+    reference_result: object,
+    reference_output: List[object],
+) -> Optional[str]:
+    """Bucket name for one trial outcome, ``None`` if nothing was injected.
+
+    The four disjoint buckets of :class:`CampaignResult`, in the same
+    precedence order every campaign has always used: ``crashed`` beats
+    ``wrong_result`` beats ``recovered_correctly`` beats ``undetected``.
+    """
+    if not outcome.injected:
+        return None
+    correct = (
+        outcome.result == reference_result
+        and outcome.output == reference_output
+    )
+    if outcome.crashed:
+        return "crashed"
+    if not correct:
+        return "wrong_result"
+    if outcome.detected:
+        return "recovered_correctly"
+    # Fault injected, never detected (latency outlived the program),
+    # result coincidentally correct: benign, but NOT a recovery —
+    # nothing recovered it.
+    return "undetected"
+
+
 def trial_plan(
     campaign_seed: int,
     index: int,
@@ -236,6 +295,8 @@ def fault_campaign(
     recover: bool = True,
     detection_latency: int = 0,
     start_trial: int = 0,
+    injector_factory: Optional[Callable[..., object]] = None,
+    per_region: Optional[Dict[str, CampaignResult]] = None,
 ) -> CampaignResult:
     """Inject ``trials`` faults at random points; compare against reference.
 
@@ -244,6 +305,13 @@ def fault_campaign(
     :func:`trial_plan` from ``(seed, start_trial + i)`` alone, so running
     ``trials=50`` serially and merging two ``trials=25`` shards (the
     second with ``start_trial=25``) measure the identical fault set.
+
+    ``injector_factory`` swaps the recovery scheme (see
+    :func:`run_with_fault`); the trial plans depend only on the baseline
+    instruction count, so two schemes running the same ``program`` face
+    the identical fault set.  Pass a dict as ``per_region`` to
+    additionally collect one :class:`CampaignResult` per region key
+    (keyed by :func:`region_key` at injection time).
     """
     baseline = Simulator(program)
     baseline.run(func, args)
@@ -254,28 +322,27 @@ def fault_campaign(
         plan = trial_plan(
             seed, index, span, kind=kind, detection_latency=detection_latency
         )
-        outcome = run_with_fault(program, plan, func=func, args=args, recover=recover)
+        outcome = run_with_fault(
+            program, plan, func=func, args=args, recover=recover,
+            injector_factory=injector_factory,
+        )
         result.trials += 1
-        if not outcome.injected:
+        bucket = classify_outcome(outcome, reference_result, reference_output)
+        if bucket is None:
             continue
         result.injected += 1
         if outcome.detected:
             result.detected += 1
-        correct = (
-            outcome.result == reference_result
-            and outcome.output == reference_output
-        )
-        if outcome.crashed:
-            result.crashed += 1
-        elif not correct:
-            result.wrong_result += 1
-        elif outcome.detected:
-            result.recovered_correctly += 1
-        else:
-            # Fault injected, never detected (latency outlived the
-            # program), result coincidentally correct: benign, but NOT
-            # a recovery — nothing recovered it.
-            result.undetected += 1
+        setattr(result, bucket, getattr(result, bucket) + 1)
+        if per_region is not None:
+            sub = per_region.setdefault(
+                outcome.region or REGION_UNKNOWN, CampaignResult()
+            )
+            sub.trials += 1
+            sub.injected += 1
+            if outcome.detected:
+                sub.detected += 1
+            setattr(sub, bucket, getattr(sub, bucket) + 1)
     _publish_campaign_metrics(result, kind)
     return result
 

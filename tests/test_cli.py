@@ -136,3 +136,59 @@ class TestCampaign:
         plain = capsys.readouterr().out
         assert main(base + ["--retries", "2", "--unit-timeout", "60"]) == 0
         assert capsys.readouterr().out == plain
+
+    def test_flavour_and_backend_selection(self, capsys):
+        argv = ["campaign", "bzip2", "--trials", "2", "--no-manifest",
+                "--flavours", "idempotent", "--backends", "tmr"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "tmr" in out and "idempotent" in out
+        assert "original" not in out.splitlines()[0]  # flavour filtered out
+
+    def test_unknown_backend_is_exit_2(self, capsys):
+        argv = ["campaign", "bzip2", "--trials", "2", "--no-manifest",
+                "--backends", "nope"]
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "campaign error" in captured.err
+        assert "idempotent, checkpoint_log, tmr" in captured.err
+
+    def test_unknown_flavour_is_exit_2(self, capsys):
+        argv = ["campaign", "bzip2", "--trials", "2", "--no-manifest",
+                "--flavours", "bogus"]
+        assert main(argv) == 2
+        assert "unknown flavour(s) bogus" in capsys.readouterr().err
+
+
+class TestRecovery:
+    def test_compare_reports_all_backends(self, capsys):
+        assert main(["recovery", "compare", "bzip2",
+                     "--trials", "4", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for name in ("idempotent", "checkpoint_log", "tmr"):
+            assert name in out
+        assert "predictor MAE" in out
+        assert "static checkpoint sets" in out
+
+    def test_compare_writes_validated_bench(self, tmp_path, capsys):
+        out_path = str(tmp_path / "BENCH_recovery.json")
+        assert main(["recovery", "compare", "bzip2",
+                     "--backends", "tmr", "--trials", "3",
+                     "--out", out_path]) == 0
+        captured = capsys.readouterr()
+        assert "(1 backends)" in captured.err
+
+        from repro.bench import load_recovery_bench_file
+
+        bench = load_recovery_bench_file(out_path)
+        assert [row["name"] for row in bench["backends"]] == ["tmr"]
+
+    def test_unknown_backend_is_exit_2(self, capsys):
+        assert main(["recovery", "compare", "bzip2",
+                     "--backends", "bogus", "--trials", "2"]) == 2
+        assert "recovery error" in capsys.readouterr().err
+
+    def test_unknown_workload_is_exit_2(self, capsys):
+        assert main(["recovery", "compare", "no-such-workload",
+                     "--trials", "2"]) == 2
+        assert "recovery error" in capsys.readouterr().err

@@ -142,7 +142,7 @@ class TestFig10:
 class TestFig12:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig12_recovery.run(FAST)
+        return fig12_recovery.run(FAST, trials=2)
 
     def test_idempotence_beats_tmr_everywhere(self, result):
         for name in FAST:
@@ -157,8 +157,27 @@ class TestFig12:
         log = summary[SCHEME_CHECKPOINT_LOG]["all"]
         assert idem < tmr and idem < log
 
+    def test_backend_campaigns_populated(self, result):
+        """The zoo column: every workload ran a fault campaign under
+        every backend, with coherent buckets."""
+        for name in FAST:
+            campaigns = result.campaigns[name]
+            assert set(campaigns) == {"idempotent", "checkpoint_log", "tmr"}
+            for campaign in campaigns.values():
+                assert campaign.trials == 2
+                assert (
+                    campaign.recovered_correctly + campaign.wrong_result
+                    + campaign.crashed + campaign.undetected
+                ) == campaign.injected
+
     def test_report_renders(self, result):
-        assert "idempotence" in fig12_recovery.format_report(result)
+        report = fig12_recovery.format_report(result)
+        assert "idempotence" in report
+        # Legacy pricing table first, then the zoo's recovery table.
+        assert "overhead vs DMR baseline" in report
+        assert "overhead vs recovery" in report
+        assert report.index("overhead vs DMR baseline") \
+            < report.index("overhead vs recovery")
 
 
 class TestTable2:

@@ -8,11 +8,14 @@ import pytest
 from repro.compiler import compile_minic
 from repro.harness.cache import ArtifactCache, set_default_cache
 from repro.harness.campaign import (
+    FLAVOURS,
     CampaignRunner,
     RunManifest,
     UnitRecord,
+    campaign_labels,
     fault_campaign_units,
     format_campaign_report,
+    parse_label_subset,
     run_fault_campaign,
 )
 from repro.sim import Simulator
@@ -298,3 +301,118 @@ class TestFaultCampaign:
         for row in rows:
             assert row["status"] == "done"
             assert row["data"]["workload"] == "bzip2"
+
+
+class TestLabelSelection:
+    def test_parse_label_subset(self):
+        assert parse_label_subset(None, FLAVOURS, "flavour") == ()
+        assert parse_label_subset(["original"], FLAVOURS, "flavour") \
+            == ("original",)
+        with pytest.raises(ValueError) as info:
+            parse_label_subset(["bogus", "idempotent"], FLAVOURS, "flavour")
+        assert "unknown flavour(s) bogus" in str(info.value)
+        assert "original, idempotent" in str(info.value)
+
+    def test_campaign_labels_defaults(self):
+        """No flags: both flavours, no backends (legacy behaviour)."""
+        assert campaign_labels() == (FLAVOURS, ())
+
+    def test_backends_only_drop_flavour_units(self):
+        flavour_list, backend_list = campaign_labels(backends=["tmr"])
+        assert flavour_list == () and backend_list == ("tmr",)
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError) as info:
+            campaign_labels(backends=["nope"])
+        assert "unknown backend(s) nope" in str(info.value)
+        assert "idempotent, checkpoint_log, tmr" in str(info.value)
+
+    def test_unit_ids_and_payloads_for_backend_units(self):
+        units = fault_campaign_units(
+            ["bzip2"], trials=4, seed=1,
+            flavours=["idempotent"], backends=["tmr", "checkpoint_log"],
+        )
+        ids = [uid for uid, _ in units]
+        assert ids == [
+            "bzip2:idempotent:value:seed1:lat0:t0+4",
+            "bzip2:backend-tmr:value:seed1:lat0:t0+4",
+            "bzip2:backend-checkpoint_log:value:seed1:lat0:t0+4",
+        ]
+        payloads = {uid: payload for uid, payload in units}
+        tmr = payloads["bzip2:backend-tmr:value:seed1:lat0:t0+4"]
+        assert tmr["backend"] == "tmr" and tmr["flavour"] == "original"
+        assert "backend" not in payloads[ids[0]]
+
+    def test_idempotent_backend_unit_seed_matches_flavour_unit(self):
+        """Bit-identity at the seed level: the backend unit draws the
+        same fault plans as the legacy flavour unit."""
+        flavour_units = fault_campaign_units(
+            ["bzip2"], trials=4, seed=9, flavours=["idempotent"],
+        )
+        backend_units = fault_campaign_units(
+            ["bzip2"], trials=4, seed=9, backends=["idempotent"],
+        )
+        assert flavour_units[0][1]["unit_seed"] \
+            == backend_units[0][1]["unit_seed"]
+
+
+class TestBackendCampaigns:
+    def test_backend_results_keyed_by_backend_name(self, isolated_cache):
+        summary = run_fault_campaign(
+            names=["bzip2"], trials=3, seed=7,
+            flavours=["idempotent"], backends=["tmr"],
+        )
+        assert summary.labels == ("idempotent", "tmr")
+        assert set(summary.results) == {
+            ("bzip2", "idempotent"), ("bzip2", "tmr"),
+        }
+        tmr = summary.results[("bzip2", "tmr")]
+        assert tmr.injected == 3 and tmr.recovered_correctly == 3
+        report = format_campaign_report(summary)
+        assert "tmr" in report
+
+    def test_idempotent_backend_bit_identical_to_flavour(self, isolated_cache):
+        """The tentpole acceptance criterion at the harness level."""
+        flavour = run_fault_campaign(
+            names=["bzip2"], trials=3, seed=7, flavours=["idempotent"],
+        )
+        backend = run_fault_campaign(
+            names=["bzip2"], trials=3, seed=7, backends=["idempotent"],
+        )
+        assert dataclasses.asdict(
+            flavour.results[("bzip2", "idempotent")]
+        ) == dataclasses.asdict(backend.results[("bzip2", "idempotent")])
+
+    def test_backend_units_shard_and_resume(self, tmp_path, isolated_cache):
+        """Backend units ride the same manifest machinery: sharded runs
+        merge to the serial result and resume skips completed units,
+        reconstructing the result with its backend column intact."""
+        manifest_path = str(tmp_path / "campaign.jsonl")
+        sharded = run_fault_campaign(
+            names=["bzip2"], trials=4, seed=5, backends=["checkpoint_log"],
+            shard_trials=2, manifest_path=manifest_path,
+        )
+        assert sharded.executed_units == 2
+        serial = run_fault_campaign(
+            names=["bzip2"], trials=4, seed=5, backends=["checkpoint_log"],
+        )
+        key = ("bzip2", "checkpoint_log")
+        assert dataclasses.asdict(sharded.results[key]) \
+            == dataclasses.asdict(serial.results[key])
+
+        resumed = run_fault_campaign(
+            names=["bzip2"], trials=4, seed=5, backends=["checkpoint_log"],
+            shard_trials=2, manifest_path=manifest_path,
+        )
+        assert resumed.executed_units == 0 and resumed.skipped_units == 2
+        assert dataclasses.asdict(resumed.results[key]) \
+            == dataclasses.asdict(serial.results[key])
+        with open(manifest_path) as handle:
+            rows = [json.loads(line) for line in handle if line.strip()]
+        assert all(row["data"]["backend"] == "checkpoint_log" for row in rows)
+
+    def test_unknown_names_raise_before_any_work(self, isolated_cache):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_fault_campaign(names=["bzip2"], trials=2, backends=["x"])
+        with pytest.raises(ValueError, match="unknown flavour"):
+            run_fault_campaign(names=["bzip2"], trials=2, flavours=["x"])

@@ -94,6 +94,26 @@ class TestValidateRequest:
         assert request["trials"] == 30
         assert request["kind"] == "value"
         assert request["seed"] == 12345
+        assert request["scheme"] == "idempotent"
+
+    def test_faults_scheme_accepted(self):
+        for scheme in ("idempotent", "checkpoint_log", "tmr"):
+            request = validate_request(self._compile(op="faults",
+                                                     scheme=scheme))
+            assert request["scheme"] == scheme
+
+    def test_faults_bad_scheme_refused(self):
+        with pytest.raises(ProtocolError, match="scheme") as info:
+            validate_request(self._compile(op="faults", scheme="raid5"))
+        assert "idempotent" in str(info.value)
+
+    def test_fault_schemes_pin_backend_registry(self):
+        """FAULT_SCHEMES is a literal (the protocol module stays
+        import-light); this pin keeps it honest against the zoo."""
+        from repro.recovery.backends import BACKEND_NAMES
+        from repro.serve.protocol import FAULT_SCHEMES
+
+        assert FAULT_SCHEMES == BACKEND_NAMES
 
     def test_run_entry_default(self):
         request = validate_request(self._compile(op="run"))
@@ -137,6 +157,12 @@ class TestWorkKey:
     def test_key_is_canonical_json(self):
         key = work_key(self._request())
         assert "id" not in json.loads(key)
+
+    def test_faults_scheme_enters_the_key(self):
+        """Same source, different scheme: never coalesced."""
+        base = self._request(op="faults")
+        tmr = self._request(op="faults", scheme="tmr")
+        assert work_key(base) != work_key(tmr)
 
 
 class TestHello:

@@ -112,14 +112,52 @@ class TestRunAndFaults:
             "faults", source=SOURCE, trials=5, kind="value", seed=7
         )
         assert response["status"] == "ok"
-        campaigns = response["payload"]["campaigns"]
+        payload = response["payload"]
+        assert payload["scheme"] == "idempotent"
+        campaigns = payload["campaigns"]
         assert set(campaigns) == {"idempotent", "original"}
         assert campaigns["idempotent"]["injected"] == 5
+        # Every bucket key travels, the zoo's undetected one included.
+        assert set(campaigns["idempotent"]) == {
+            "injected", "recovered", "wrong", "crashed", "undetected",
+        }
 
     def test_faults_deterministic_across_requests(self, client):
         a = client.request("faults", source=SOURCE, trials=5, seed=7)
         b = client.request("faults", source=SOURCE, trials=5, seed=7)
         assert a["payload"] == b["payload"]
+
+    def test_faults_scheme_dispatches_to_backend(self, client):
+        """Non-default schemes campaign one binary under the named
+        backend's own recovery machinery."""
+        for scheme in ("tmr", "checkpoint_log"):
+            response = client.request(
+                "faults", source=SOURCE, trials=4, seed=7, scheme=scheme
+            )
+            assert response["status"] == "ok", response
+            payload = response["payload"]
+            assert payload["scheme"] == scheme
+            buckets = payload["campaigns"][scheme]
+            assert set(payload["campaigns"]) == {scheme}
+            assert buckets["injected"] == 4
+            assert (
+                buckets["recovered"] + buckets["wrong"]
+                + buckets["crashed"] + buckets["undetected"]
+            ) == buckets["injected"]
+
+    def test_faults_schemes_not_coalesced(self, client):
+        idem = client.request("faults", source=SOURCE, trials=4, seed=7)
+        tmr = client.request("faults", source=SOURCE, trials=4, seed=7,
+                             scheme="tmr")
+        assert idem["payload"] != tmr["payload"]
+
+    def test_faults_invalid_scheme_refused(self, client):
+        response = client.request(
+            "faults", source=SOURCE, trials=4, scheme="raid5"
+        )
+        assert response["status"] == "error"
+        assert "scheme" in response["error"]
+        assert client.ping()["status"] == "ok"  # connection survives
 
 
 class TestMetricsEndpoint:
