@@ -1,6 +1,8 @@
 """repro.analysis — program analyses over the repro IR.
 
 - :class:`CFG` — control-flow-graph snapshot with traversal orders
+- :class:`BitCFG` / :mod:`repro.analysis.bitset` — packed big-int bitset
+  kernels shared by the dataflow analyses (see ``docs/kernels.md``)
 - :class:`DominatorTree` / :func:`compute_dominance_frontiers`
 - :class:`Liveness` — per-block live value sets
 - :class:`LoopInfo` — natural loops and nesting depth
@@ -11,6 +13,15 @@
 - :class:`AnalysisManager` — invalidation-aware per-function cache of the
   above; :class:`NullAnalysisManager` disables caching for bit-identity
   comparisons (see ``docs/performance.md``)
+- :mod:`repro.analysis.reference` — the pre-bitset implementations, kept
+  as oracles for the kernel equivalence suite (never imported by the
+  compiler)
+
+**Tier summary** (AnalysisManager invalidation contract): ``cfg``,
+``domtree``, ``frontiers``, ``loops``, ``reachability``, ``bitcfg`` are
+pure functions of the block graph (CFG tier); ``liveness`` also reads
+instructions (instruction tier).  Alias and antidependence analyses are
+uncached and rebuilt per construction run.
 """
 
 from repro.analysis.alias import (
@@ -32,6 +43,13 @@ from repro.analysis.antideps import (
     path_exists,
     summarize_antideps,
 )
+from repro.analysis.bitset import (
+    BitCFG,
+    closure_rows,
+    dominance_frontier_masks,
+    iter_bits,
+    pack_bits,
+)
 from repro.analysis.cfg import CFG, remove_unreachable_blocks
 from repro.analysis.dominators import DominatorTree, compute_dominance_frontiers
 from repro.analysis.liveness import Liveness
@@ -50,6 +68,7 @@ __all__ = [
     "AnalysisManager",
     "AntiDep",
     "AntiDepAnalysis",
+    "BitCFG",
     "BlockReachability",
     "CFG",
     "CFG_ANALYSES",
@@ -68,7 +87,11 @@ __all__ = [
     "StaleAnalysisError",
     "STORAGE_LOCAL_STACK",
     "STORAGE_MEMORY",
+    "closure_rows",
     "compute_dominance_frontiers",
+    "dominance_frontier_masks",
+    "iter_bits",
+    "pack_bits",
     "path_exists",
     "remove_unreachable_blocks",
     "summarize_antideps",

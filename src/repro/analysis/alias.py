@@ -16,6 +16,34 @@ Storage classification (paper Table 2): non-escaping stack objects are
 *pseudoregister-like* local stack memory (artificial clobber territory);
 everything else is "memory" — heap, globals, and non-local stack — the
 domain of semantic clobber antidependences.
+
+**Inputs:** a :class:`~repro.ir.function.Function`.  **Outputs:**
+``alias(p1, p2)`` / ``storage_class(ptr)`` / ``resolve(ptr)`` queries.
+**Tier:** not cached by the
+:class:`~repro.analysis.manager.AnalysisManager` — the antidependence
+pass constructs one per run; escape analysis is a single sweep over the
+instruction stream and ``resolve`` memoizes per pointer identity.
+
+Doctest — two fields of one alloca:
+
+>>> from repro.ir.parser import parse_module
+>>> mod = parse_module('''
+... func @f() -> int {
+... entry:
+...   %buf = alloca 4
+...   %p0 = gep %buf, 0
+...   %p1 = gep %buf, 1
+...   %v = load int, %p0
+...   ret %v
+... }
+... ''')
+>>> aa = AliasAnalysis(mod.function_by_name("f"))
+>>> blocks = mod.function_by_name("f").entry.instructions
+>>> p0, p1 = blocks[1], blocks[2]
+>>> aa.alias(p0, p1)
+'no'
+>>> aa.alias(p0, p0)
+'must'
 """
 
 from __future__ import annotations
@@ -30,6 +58,19 @@ from repro.ir.values import Argument, Constant, GlobalVariable, Undef, Value
 NO_ALIAS = "no"
 MAY_ALIAS = "may"
 MUST_ALIAS = "must"
+
+# Escape-sweep dispatch: exact instruction class → role in the escape
+# analysis (the IR has no instruction subclasses, so one dict probe
+# replaces an isinstance chain on the all-instructions hot sweep).
+_K_ALLOCA, _K_GEP, _K_CALL, _K_STORE, _K_MERGE = 0, 1, 2, 3, 4
+_ESCAPE_KIND = {
+    Alloca: _K_ALLOCA,
+    Gep: _K_GEP,
+    Call: _K_CALL,
+    Store: _K_STORE,
+    Phi: _K_MERGE,
+    Select: _K_MERGE,
+}
 
 # Storage classes (paper Table 2).
 STORAGE_LOCAL_STACK = "local-stack"  # compiler-controlled (artificial clobbers)
@@ -67,6 +108,7 @@ class AliasAnalysis:
         self.func = func
         self.trust_argument_noalias = trust_argument_noalias
         self._objects: Dict[int, MemoryObject] = {}
+        self._resolved: Dict[int, Tuple[MemoryObject, Optional[int]]] = {}
         self._escaped_allocas = self._compute_escapes()
 
     # ------------------------------------------------------------------
@@ -77,27 +119,42 @@ class AliasAnalysis:
         escaped = set()
         # Transitively: a pointer derived from an alloca escapes if passed to
         # a call, stored as a *value*, or merged through a φ/select (we keep
-        # it simple and treat φ/select merging as escaping too).
+        # it simple and treat φ/select merging as escaping too).  One sweep
+        # over the instruction stream partitions it; the fixpoint then only
+        # revisits the (few) geps, not every instruction.
         derived: Dict[Value, Alloca] = {}
-        for inst in self.func.instructions():
-            if isinstance(inst, Alloca):
-                derived[inst] = inst
+        geps: list = []
+        sinks: list = []
+        kind_of = _ESCAPE_KIND.get
+        for block in self.func.blocks:
+            for inst in block.instructions:
+                kind = kind_of(inst.__class__)
+                if kind is None:
+                    continue
+                if kind == _K_ALLOCA:
+                    derived[inst] = inst
+                elif kind == _K_GEP:
+                    geps.append(inst)
+                else:
+                    sinks.append((kind, inst))
+        if not derived:
+            return escaped  # nothing can escape a function with no allocas
         changed = True
         while changed:
             changed = False
-            for inst in self.func.instructions():
-                if isinstance(inst, Gep) and inst.base in derived and inst not in derived:
-                    derived[inst] = derived[inst.base]
+            for gep in geps:
+                if gep not in derived and gep.base in derived:
+                    derived[gep] = derived[gep.base]
                     changed = True
-        for inst in self.func.instructions():
-            if isinstance(inst, Call):
+        for kind, inst in sinks:
+            if kind == _K_CALL:
                 for arg in inst.args:
                     if arg in derived:
                         escaped.add(derived[arg])
-            elif isinstance(inst, Store):
+            elif kind == _K_STORE:
                 if inst.value in derived:  # address stored into memory
                     escaped.add(derived[inst.value])
-            elif isinstance(inst, (Phi, Select)):
+            else:  # Phi / Select
                 for op in inst.operands:
                     if op in derived:
                         escaped.add(derived[op])
@@ -127,7 +184,14 @@ class AliasAnalysis:
         return obj
 
     def resolve(self, ptr: Value) -> Tuple[MemoryObject, Optional[int]]:
-        """Resolve ``ptr`` to (object, word offset); offset None if unknown."""
+        """Resolve ``ptr`` to (object, word offset); offset None if unknown.
+
+        Memoized per pointer identity — antidependence analysis queries
+        each load/store pointer O(reads · writes) times.
+        """
+        cached = self._resolved.get(id(ptr))
+        if cached is not None:
+            return cached
         offset = 0
         known = True
         node = ptr
@@ -139,7 +203,9 @@ class AliasAnalysis:
                 known = False
             node = node.base
         obj = self._object_for(node)
-        return obj, (offset if known else None)
+        result = (obj, offset if known else None)
+        self._resolved[id(ptr)] = result
+        return result
 
     # ------------------------------------------------------------------
     # Alias queries

@@ -17,13 +17,45 @@ that the hitting-set region construction consumes (§4.2.1, Lemma 1). The
 ``∪ {b}`` extension guarantees a non-empty candidate set even for
 loop-carried antidependences where ``b`` dominates ``a`` (cutting
 immediately before the write trivially separates every read→write path).
+
+**Inputs:** a :class:`~repro.ir.function.Function` plus optional cached
+:class:`~repro.analysis.cfg.CFG` / dominator-tree / reachability
+snapshots.  **Outputs:** the classified :class:`AntiDep` list and
+per-antidependence candidate cut sets.  **Tier:** ``reachability`` is a
+CFG-tier analysis in the :class:`~repro.analysis.manager.AnalysisManager`;
+:class:`AntiDepAnalysis` itself reads instructions and is rebuilt by
+the construction pipeline each time it runs.  Block reachability and
+the cut-set algebra run on the packed-bitset kernels of
+:mod:`repro.analysis.bitset`: reach queries are one bit test against
+big-int closure rows, and ``S(a, b)`` is a single ``masks[b] & ~masks[a]``
+AND-NOT over dominator masks.
+
+Doctest — a store over a dominating load is an antidependence:
+
+>>> from repro.ir.parser import parse_module
+>>> mod = parse_module('''
+... func @f(%p: ptr) -> int {
+... entry:
+...   %v = load int, %p
+...   store 7, %p
+...   ret %v
+... }
+... ''')
+>>> ada = AntiDepAnalysis(mod.function_by_name("f"))
+>>> [(ad.read.name, ad.write.opcode, ad.is_clobber) for ad in ada.antideps]
+[('v', 'store', True)]
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.alias import AliasAnalysis, NO_ALIAS, MUST_ALIAS, STORAGE_LOCAL_STACK
+from repro.analysis.alias import (
+    AliasAnalysis,
+    MemoryObject,
+    STORAGE_LOCAL_STACK,
+)
+from repro.analysis.bitset import BitCFG
 from repro.analysis.cfg import CFG
 from repro.analysis.dominators import DominatorTree
 from repro.ir.block import BasicBlock
@@ -104,29 +136,25 @@ class DominanceOracle:
 class BlockReachability:
     """``reaches(a, b)``: a path of ≥1 CFG edge from ``a`` to ``b`` exists.
 
-    Reach sets are computed lazily, one DFS per *queried* source block:
-    antidependence analysis only ever asks about blocks containing memory
-    reads, so eagerly solving all-pairs reachability (one DFS per block
-    of the function) wasted most of its work.
+    All-pairs reachability as big-int closure rows
+    (:meth:`~repro.analysis.bitset.BitCFG.reach_rows`), built lazily on
+    the first query: one round-robin sweep of word-parallel ORs replaces
+    the old one-DFS-per-queried-source scheme, and each query is a
+    single bit test.  Unreachable source blocks are covered too — the
+    :class:`~repro.analysis.bitset.BitCFG` indexes every block of the
+    function, not just the RPO.
     """
 
-    def __init__(self, cfg: CFG) -> None:
+    def __init__(self, cfg: CFG, bitcfg: Optional[BitCFG] = None) -> None:
         self.cfg = cfg
-        self._reach: Dict[BasicBlock, Set[BasicBlock]] = {}
+        self._bitcfg = bitcfg
 
     def reaches(self, a: BasicBlock, b: BasicBlock) -> bool:
-        seen = self._reach.get(a)
-        if seen is None:
-            seen = set()
-            stack = list(self.cfg.succs(a))
-            while stack:
-                node = stack.pop()
-                if node in seen:
-                    continue
-                seen.add(node)
-                stack.extend(self.cfg.succs(node))
-            self._reach[a] = seen
-        return b in seen
+        bitcfg = self._bitcfg
+        if bitcfg is None:
+            bitcfg = self._bitcfg = BitCFG(self.cfg)
+        bit = bitcfg.bit
+        return (bitcfg.reach_rows()[bit[a]] >> bit[b]) & 1 == 1
 
 
 def path_exists(index: InstructionIndex, reach: BlockReachability, a: Instruction, b: Instruction) -> bool:
@@ -165,60 +193,143 @@ class AntiDepAnalysis:
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
-    def _memory_reads(self) -> List[Load]:
-        return [inst for inst in self.func.instructions() if isinstance(inst, Load)]
-
-    def _memory_writes(self) -> List[Store]:
-        return [inst for inst in self.func.instructions() if isinstance(inst, Store)]
-
     def _compute(self) -> List[AntiDep]:
-        reads = self._memory_reads()
-        writes = [w for w in self._memory_writes() if self.cfg.is_reachable(w.parent)]
+        # One sweep over the instruction stream collects both sides.
+        reads: List[Load] = []
+        writes: List[Store] = []
+        is_reachable = self.cfg.is_reachable
+        for block in self.func.blocks:
+            if not is_reachable(block):
+                continue
+            for inst in block.instructions:
+                cls = inst.__class__  # exact: the IR has no inst subclasses
+                if cls is Load:
+                    reads.append(inst)
+                elif cls is Store:
+                    writes.append(inst)
+        if not reads or not writes:
+            return []
+
+        # Group writes by resolved abstract object so each read only
+        # examines writes its alias class can actually overlap, instead
+        # of running the full pairwise O(reads × writes) alias query.
+        # The candidate filters below mirror AliasAnalysis.alias case
+        # for case; pairs excluded here are exactly its NO_ALIAS pairs.
+        aa = self.aa
+        resolve = aa.resolve
+        trust = aa.trust_argument_noalias
+        from repro.ir.values import Argument
+
+        w_info: List[Tuple[Store, MemoryObject, Optional[int]]] = []
+        # Per-object write group, split by offset up front so each read
+        # probes its own offset class instead of filtering the whole
+        # group: (all indices, unknown-offset indices, offset → indices).
+        by_obj: Dict[int, Tuple[List[int], List[int], Dict[int, List[int]]]] = {}
+        unknown_idx: List[int] = []  # writes through UNKNOWN-kind objects
+        open_idx: List[int] = []  # concrete writes an unknown read may hit
+        for j, write in enumerate(writes):
+            wobj, woff = resolve(write.ptr)
+            w_info.append((write, wobj, woff))
+            group = by_obj.get(id(wobj))
+            if group is None:
+                group = by_obj[id(wobj)] = ([], [], {})
+            group[0].append(j)
+            if woff is None:
+                group[1].append(j)
+            else:
+                group[2].setdefault(woff, []).append(j)
+            if wobj.kind == MemoryObject.KIND_UNKNOWN:
+                unknown_idx.append(j)
+            elif not (
+                wobj.kind == MemoryObject.KIND_STACK
+                and not aa.alloca_escapes(wobj.origin)
+            ):
+                open_idx.append(j)
+
         index = self.oracle.index
         antideps: List[AntiDep] = []
         for read in reads:
-            if not self.cfg.is_reachable(read.parent):
-                continue
-            # The clobber test (:meth:`_is_clobber`) only depends on the
-            # must-alias stores dominating this read; collect them once
-            # per read (lazily, on its first antidependence) instead of
-            # re-walking every write per (read, write) pair — this was
-            # the analysis' dominant cost.
+            robj, roff = resolve(read.ptr)
+            # Same-object writes: NO_ALIAS only when both offsets are
+            # known and differ — i.e. the matching-offset and
+            # unknown-offset classes of the read's own object group
+            # (merged ascending, matching the one-sweep filter order).
+            group = by_obj.get(id(robj))
+            if group is None:
+                same: List[int] = []
+            elif roff is None:
+                same = group[0]
+            else:
+                offs = group[2].get(roff)
+                if offs is None:
+                    same = group[1]
+                elif not group[1]:
+                    same = offs
+                else:
+                    same = sorted(offs + group[1])
+            # Cross-object writes: concrete never overlaps concrete; an
+            # unknown pointer cannot reach a non-escaping alloca; with
+            # the restrict-style promise, two distinct argument objects
+            # are disjoint.
+            if robj.kind == MemoryObject.KIND_UNKNOWN:
+                cross = open_idx + [
+                    j
+                    for j in unknown_idx
+                    if w_info[j][1] is not robj
+                    and not (
+                        trust
+                        and isinstance(robj.origin, Argument)
+                        and isinstance(w_info[j][1].origin, Argument)
+                    )
+                ]
+                cross.sort()
+            elif robj.kind == MemoryObject.KIND_STACK and not aa.alloca_escapes(
+                robj.origin
+            ):
+                cross = []
+            else:
+                cross = unknown_idx
+            candidates = sorted(same + cross) if cross else same
+
+            # The clobber test only depends on the must-alias stores
+            # dominating this read; collect them once per read (lazily,
+            # on its first antidependence) instead of re-walking every
+            # write per (read, write) pair — this was the analysis'
+            # dominant cost.
             dominating: Optional[List[Store]] = None
-            for write in writes:
-                if self.aa.alias(read.ptr, write.ptr) == NO_ALIAS:
-                    continue
+            read_ptr = read.ptr
+            for j in candidates:
+                write, wobj, woff = w_info[j]
                 if not path_exists(index, self.reach, read, write):
                     continue
                 if dominating is None:
+                    # Must-alias candidates all resolve to the read's own
+                    # object (``other.ptr is read_ptr`` implies it), so
+                    # only the same-object write group needs scanning.
                     dominating = [
-                        other
-                        for other in writes
-                        if self.aa.alias(other.ptr, read.ptr) == MUST_ALIAS
-                        and self.oracle.dominates(other, read)
+                        w_info[j2][0]
+                        for j2 in (group[0] if group is not None else ())
+                        if (
+                            w_info[j2][0].ptr is read_ptr
+                            or (
+                                w_info[j2][2] is not None
+                                and roff is not None
+                                and w_info[j2][2] == roff
+                            )
+                        )
+                        and self.oracle.dominates(w_info[j2][0], read)
                     ]
-                storage = self.aa.storage_class(write.ptr)
+                storage = aa.storage_class(write.ptr)
                 clobber = not any(other is not write for other in dominating)
                 antideps.append(AntiDep(read, write, storage, clobber))
         return antideps
 
-    def _is_clobber(self, read: Load, write: Store) -> bool:
-        """A WAR is not a clobber if a must-alias store dominates the read.
-
-        This is the static (sound, conservative) version of "antidependence
-        preceded by a flow dependence" from §2.1: when such a store exists,
-        the location read is not a live-in of any region containing the pair.
-        """
-        for other in self._memory_writes():
-            if other is write:
-                continue
-            if not self.cfg.is_reachable(other.parent):
-                continue
-            if self.aa.alias(other.ptr, read.ptr) != MUST_ALIAS:
-                continue
-            if self.oracle.dominates(other, read):
-                return False
-        return True
+    # A WAR is not a clobber if a must-alias store dominates the read:
+    # the static (sound, conservative) version of "antidependence
+    # preceded by a flow dependence" from §2.1 — when such a store
+    # exists, the location read is not a live-in of any region
+    # containing the pair.  The ``dominating`` list above implements
+    # exactly this test, shared across all writes of one read.
 
     # ------------------------------------------------------------------
     # Views

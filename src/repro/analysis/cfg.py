@@ -3,6 +3,36 @@
 :class:`BasicBlock.predecessors` is O(blocks) per query; analyses take a
 :class:`CFG` snapshot once and then enjoy O(1) edge queries and cached
 traversal orders. A snapshot is invalidated by CFG surgery — recompute it.
+
+**Inputs:** a :class:`~repro.ir.function.Function`.  **Outputs:**
+successor/predecessor edge maps, reverse post-order, reachability.
+**Tier:** ``cfg`` is the base of the CFG tier in the
+:class:`~repro.analysis.manager.AnalysisManager` — every other CFG-tier
+analysis (domtree, frontiers, loops, reachability, bitcfg) is derived
+from this snapshot, and preserving any of them requires preserving
+``cfg`` itself.
+
+Doctest — RPO of a diamond starts at entry and ends at the join:
+
+>>> from repro.ir.parser import parse_module
+>>> mod = parse_module('''
+... func @d(%c: int) -> int {
+... entry:
+...   %t = icmp gt %c, 0
+...   br %t, l, r
+... l:
+...   jmp j
+... r:
+...   jmp j
+... j:
+...   ret %c
+... }
+... ''')
+>>> cfg = CFG(mod.function_by_name("d"))
+>>> [b.name for b in cfg.reverse_post_order][0]
+'entry'
+>>> [b.name for b in cfg.reverse_post_order][-1]
+'j'
 """
 
 from __future__ import annotations
@@ -40,22 +70,30 @@ class CFG:
         if not self.blocks:
             return []
         order: List[BasicBlock] = []
-        visited: Set[BasicBlock] = set()
+        successors = self.successors
 
-        # Iterative post-order DFS; recursion would overflow on long chains.
-        stack = [(self.func.entry, iter(self.successors[self.func.entry]))]
-        visited.add(self.func.entry)
+        # Iterative post-order DFS; recursion would overflow on long
+        # chains.  Each frame is [block, next-successor-index] — the same
+        # first-unvisited-successor traversal as the iterator-based
+        # formulation (so the order is identical), without allocating an
+        # iterator per block.
+        entry = self.func.entry
+        visited: Set[BasicBlock] = {entry}
+        stack: List[list] = [[entry, 0]]
         while stack:
-            block, succ_iter = stack[-1]
-            advanced = False
-            for succ in succ_iter:
-                if succ not in visited:
-                    visited.add(succ)
-                    stack.append((succ, iter(self.successors[succ])))
-                    advanced = True
-                    break
-            if not advanced:
-                order.append(block)
+            top = stack[-1]
+            succs = successors[top[0]]
+            i = top[1]
+            n = len(succs)
+            while i < n and succs[i] in visited:
+                i += 1
+            if i < n:
+                child = succs[i]
+                top[1] = i + 1
+                visited.add(child)
+                stack.append([child, 0])
+            else:
+                order.append(top[0])
                 stack.pop()
         order.reverse()
         return order
@@ -92,6 +130,21 @@ class CFG:
         for block in self.blocks:
             for succ in self.successors[block]:
                 yield (block, succ)
+
+    def structural_checksum(self) -> int:
+        """Checksum of the snapshot's block graph.
+
+        Equal to :func:`repro.ir.verifier.cfg_checksum` of the function
+        *at snapshot time* (asserted in ``tests/test_analysis_manager``),
+        computed from the already-built adjacency instead of re-walking
+        every terminator.
+        """
+        return hash(
+            tuple(
+                (block.name, tuple(s.name for s in self.successors[block]))
+                for block in self.blocks
+            )
+        )
 
 
 def remove_unreachable_blocks(func: Function, am=None) -> int:

@@ -1,12 +1,52 @@
-"""Dominator tree and dominance frontiers.
+"""Dominator tree, dominator bitmasks, and dominance frontiers.
 
-Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
-Dominance Algorithm"), which is near-linear in practice and straightforward
-to verify. Dominance frontiers follow the same paper's two-finger method.
+**Inputs:** a :class:`~repro.analysis.cfg.CFG` snapshot (or a bare
+function).  **Outputs:** the immediate-dominator tree, per-block
+dominator sets as RPO-indexed bitmasks, and dominance frontiers.
+**Tier:** ``domtree`` and ``frontiers`` live in the CFG tier of the
+:class:`~repro.analysis.manager.AnalysisManager` — pure functions of
+the block graph, invalidated only by block/terminator surgery.
 
-The region-construction algorithm (paper §4.2.1, Lemma 1) relies on the set
-``S(a, b) = {x : x dom b and not (x dom a)}`` for each antidependence edge
-``(a, b)``; :meth:`DominatorTree.dominators_of` supports computing it.
+Tree construction is a packed-bitset maximal fixpoint — ``dom(b) =
+{b} ∪ ⋂ dom(preds)`` with every dominator set one Python big int, the
+meet a single AND per edge — followed by immediate-dominator extraction
+as the highest set bit of each strict-dominator mask (the strict
+dominators of a block form a chain of increasing RPO index).  It
+replaces the Cooper–Harvey–Kennedy intersect walk with whole-set
+integer ops and yields the dominator masks as a by-product.  Dominance
+queries and frontiers run on the same kernels: ``dominates`` is one bit
+test against the masks, and :func:`compute_dominance_frontiers` is the
+single bottom-up ``DF_local ∪ DF_up`` pass (see ``docs/kernels.md``)
+instead of the per-edge two-finger walk.
+
+The region-construction algorithm (paper §4.2.1, Lemma 1) relies on the
+set ``S(a, b) = {x : x dom b and not (x dom a)}`` for each antidependence
+edge ``(a, b)``; :meth:`DominatorTree.dominator_masks` turns it into a
+single big-int AND-NOT.
+
+Doctest — dominance in a diamond (entry → l/r → join):
+
+>>> from repro.ir.parser import parse_module
+>>> mod = parse_module('''
+... func @d(%c: int) -> int {
+... entry:
+...   %t = icmp gt %c, 0
+...   br %t, l, r
+... l:
+...   jmp j
+... r:
+...   jmp j
+... j:
+...   ret %c
+... }
+... ''')
+>>> func = mod.function_by_name("d")
+>>> blocks = {b.name: b for b in func.blocks}
+>>> dt = DominatorTree.compute(func)
+>>> dt.dominates(blocks["entry"], blocks["j"])
+True
+>>> dt.dominates(blocks["l"], blocks["j"])
+False
 """
 
 from __future__ import annotations
@@ -31,16 +71,27 @@ class DominatorTree:
         for block, parent in idom.items():
             if parent is not None:
                 self.children[parent].append(block)
-        # Depth in the dominator tree, for O(depth) dominance queries.
-        self.depth: Dict[BasicBlock, int] = {}
-        entry = cfg.func.entry
-        self.depth[entry] = 0
-        stack = [entry]
-        while stack:
-            node = stack.pop()
-            for child in self.children[node]:
-                self.depth[child] = self.depth[node] + 1
-                stack.append(child)
+        self._depth: Optional[Dict[BasicBlock, int]] = None
+
+    @property
+    def depth(self) -> Dict[BasicBlock, int]:
+        """Depth of each reachable block in the dominator tree (entry = 0).
+
+        Built lazily — the mask-based :meth:`dominates` no longer needs
+        it, so most trees never pay for the walk.
+        """
+        if self._depth is None:
+            depth: Dict[BasicBlock, int] = {}
+            entry = self.cfg.func.entry
+            depth[entry] = 0
+            stack = [entry]
+            while stack:
+                node = stack.pop()
+                for child in self.children[node]:
+                    depth[child] = depth[node] + 1
+                    stack.append(child)
+            self._depth = depth
+        return self._depth
 
     # ------------------------------------------------------------------
     # Construction
@@ -56,34 +107,44 @@ class DominatorTree:
             return cls(cfg, {})
         entry = rpo[0]
         index = {block: i for i, block in enumerate(rpo)}
-        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+        n = len(rpo)
 
-        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
-            while a is not b:
-                while index[a] > index[b]:
-                    a = idom[a]
-                while index[b] > index[a]:
-                    b = idom[b]
-            return a
-
+        # Packed-bitset dominator fixpoint: dom(b) = {b} ∪ ⋂ dom(preds),
+        # each set one big int over RPO indices, the meet one AND per
+        # edge.  Initialization to the full set gives the maximal
+        # fixpoint (= the dominator sets); RPO order converges in two
+        # passes for reducible graphs.
+        preds_of = [
+            [index[p] for p in cfg.predecessors[block] if p in index]
+            for block in rpo
+        ]
+        full = (1 << n) - 1
+        dom = [full] * n
+        dom[0] = 1
         changed = True
         while changed:
             changed = False
-            for block in rpo[1:]:
-                new_idom: Optional[BasicBlock] = None
-                for pred in cfg.preds(block):
-                    if pred not in index:
-                        continue  # unreachable predecessor
-                    if pred in idom:
-                        new_idom = pred if new_idom is None else intersect(pred, new_idom)
-                if new_idom is None:
-                    continue
-                if idom.get(block) is not new_idom:
-                    idom[block] = new_idom
+            for i in range(1, n):
+                acc = full
+                for p in preds_of[i]:
+                    acc &= dom[p]
+                acc |= 1 << i
+                if acc != dom[i]:
+                    dom[i] = acc
                     changed = True
 
-        idom[entry] = None  # by convention the entry has no idom
-        return cls(cfg, idom)
+        # The strict dominators of a block form a chain along which the
+        # RPO index strictly increases, so the immediate dominator is
+        # simply the highest set bit of the strict-dominator mask.
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: None}
+        for i in range(1, n):
+            strict = dom[i] & ~(1 << i)
+            idom[rpo[i]] = rpo[strict.bit_length() - 1]
+        tree = cls(cfg, idom)
+        # The fixpoint already produced the dominator masks the query
+        # side would otherwise derive lazily from the idom chains.
+        tree._dom_masks = {rpo[i]: dom[i] for i in range(n)}
+        return tree
 
     # ------------------------------------------------------------------
     # Queries
@@ -97,16 +158,16 @@ class DominatorTree:
     def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
         """True if every path from entry to ``b`` passes through ``a``.
 
-        Reflexive: ``dominates(x, x)`` is True.
+        Reflexive: ``dominates(x, x)`` is True.  One bit test against
+        the packed dominator masks (unreachable blocks dominate nothing
+        and are dominated by nothing, as before).
         """
         if a is b:
             return True
-        if a not in self.depth or b not in self.depth:
+        if not (self.cfg.is_reachable(a) and self.cfg.is_reachable(b)):
             return False
-        node: Optional[BasicBlock] = b
-        while node is not None and self.depth.get(node, 0) > self.depth[a]:
-            node = self.idom.get(node)
-        return node is a
+        masks = self.dominator_masks()
+        return (masks[b] >> self.cfg.rpo_index(a)) & 1 == 1
 
     def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
         return a is not b and self.dominates(a, b)
@@ -150,16 +211,19 @@ class DominatorTree:
 
 
 def compute_dominance_frontiers(domtree: DominatorTree) -> Dict[BasicBlock, set]:
-    """Dominance frontier of every reachable block (Cooper et al. §4)."""
+    """Dominance frontier of every reachable block.
+
+    Computed by the packed-bitset ``DF_local ∪ DF_up`` kernel
+    (:func:`repro.analysis.bitset.dominance_frontier_masks`) and
+    materialized into the classic ``{block: set(blocks)}`` shape;
+    bit-identical to the Cooper et al. two-finger walk it replaced
+    (asserted in ``tests/test_bitset_kernels.py``).
+    """
+    from repro.analysis.bitset import dominance_frontier_masks, iter_bits
+
     cfg = domtree.cfg
-    frontiers: Dict[BasicBlock, set] = {block: set() for block in cfg.reachable_blocks}
-    for block in cfg.reachable_blocks:
-        preds = [p for p in cfg.preds(block) if domtree.is_reachable(p)]
-        if len(preds) < 2:
-            continue
-        for pred in preds:
-            runner = pred
-            while runner is not domtree.idom.get(block) and runner is not None:
-                frontiers[runner].add(block)
-                runner = domtree.idom.get(runner)
-    return frontiers
+    rpo = cfg.reverse_post_order
+    masks = dominance_frontier_masks(domtree)
+    return {
+        block: {rpo[i] for i in iter_bits(masks[block])} for block in rpo
+    }

@@ -35,6 +35,32 @@ same assertion on demand.
 
 Cache traffic is observable: ``analysis.cache.{hits,misses}`` counters,
 labeled by analysis kind, feed ``repro stats``.
+
+**Inputs:** :class:`~repro.ir.function.Function` objects (cache key is
+function identity).  **Outputs:** cached analysis snapshots, one method
+per kind.  **Tier:** the manager *defines* the tiers — ``cfg``,
+``domtree``, ``frontiers``, ``loops``, ``reachability``, and ``bitcfg``
+(the packed-bitset CFG view of :mod:`repro.analysis.bitset`) form the
+CFG tier; ``liveness`` is in the instruction tier.
+
+Doctest — a second request hits the cache (same object back):
+
+>>> from repro.ir.parser import parse_module
+>>> mod = parse_module('''
+... func @f(%a: int) -> int {
+... entry:
+...   ret %a
+... }
+... ''')
+>>> func = mod.function_by_name("f")
+>>> am = AnalysisManager()
+>>> am.cfg(func) is am.cfg(func)
+True
+>>> am.bitcfg(func).cfg is am.cfg(func)
+True
+>>> am.invalidate(func)
+>>> sorted(CFG_ANALYSES)
+['bitcfg', 'cfg', 'domtree', 'frontiers', 'loops', 'reachability']
 """
 
 from __future__ import annotations
@@ -52,7 +78,7 @@ from repro.ir.function import Function
 #: long as no block or terminator changes, whatever happens to other
 #: instructions.
 CFG_ANALYSES: FrozenSet[str] = frozenset(
-    {"cfg", "domtree", "frontiers", "loops", "reachability"}
+    {"cfg", "domtree", "frontiers", "loops", "reachability", "bitcfg"}
 )
 
 #: Every analysis kind the manager caches.
@@ -75,25 +101,40 @@ class AnalysisManager:
         self.debug = debug
         self._cache: Dict[Function, Dict[str, object]] = {}
         self._checksums: Dict[Function, int] = {}
+        # (observer, hits, misses) — the counter objects are re-resolved
+        # whenever the active observer changes, so the per-lookup cost is
+        # one identity check instead of a registry walk per _get call.
+        self._counters: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Cache core
     # ------------------------------------------------------------------
+    def _hit_miss_counters(self):
+        observer = obs.get_observer()
+        cached = self._counters
+        if cached is None or cached[0] is not observer:
+            cached = self._counters = (
+                observer,
+                observer.counter("analysis.cache.hits"),
+                observer.counter("analysis.cache.misses"),
+            )
+        return cached
+
     def _get(self, func: Function, kind: str, build: Callable[[], object]) -> object:
         entry = self._cache.setdefault(func, {})
         cached = entry.get(kind)
         if cached is not None:
             if self.debug and kind in CFG_ANALYSES:
                 self.check(func)
-            obs.counter("analysis.cache.hits").inc(kind=kind)
+            self._hit_miss_counters()[1].inc(kind=kind)
             return cached
-        obs.counter("analysis.cache.misses").inc(kind=kind)
+        self._hit_miss_counters()[2].inc(kind=kind)
         value = build()
         entry[kind] = value
         if kind == "cfg":
-            from repro.ir.verifier import cfg_checksum
-
-            self._checksums[func] = cfg_checksum(func)
+            # Identical to verifier.cfg_checksum(func) right now, but read
+            # off the snapshot the build just produced.
+            self._checksums[func] = value.structural_checksum()
         return value
 
     def check(self, func: Function) -> None:
@@ -176,11 +217,17 @@ class AnalysisManager:
             func, "loops", lambda: LoopInfo(func, self.domtree(func))
         )
 
+    def bitcfg(self, func: Function):
+        from repro.analysis.bitset import BitCFG
+
+        return self._get(func, "bitcfg", lambda: BitCFG(self.cfg(func)))
+
     def reachability(self, func: Function):
         from repro.analysis.antideps import BlockReachability
 
         return self._get(
-            func, "reachability", lambda: BlockReachability(self.cfg(func))
+            func, "reachability",
+            lambda: BlockReachability(self.cfg(func), self.bitcfg(func)),
         )
 
     def liveness(self, func: Function) -> Liveness:
@@ -196,7 +243,7 @@ class NullAnalysisManager(AnalysisManager):
     """
 
     def _get(self, func: Function, kind: str, build: Callable[[], object]) -> object:
-        obs.counter("analysis.cache.misses").inc(kind=kind)
+        self._hit_miss_counters()[2].inc(kind=kind)
         return build()
 
     def invalidate(self, func: Function, preserve: Iterable[str] = ()) -> None:

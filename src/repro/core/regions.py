@@ -31,8 +31,13 @@ class Region:
 
     @property
     def size(self) -> int:
-        """Members excluding boundary markers."""
-        return sum(1 for inst in self.instructions if not isinstance(inst, Boundary))
+        """Members excluding boundary markers.
+
+        :meth:`RegionDecomposition._collect` — the only writer — stops
+        *before* each boundary, so the member list never contains one and
+        the count is simply its length.
+        """
+        return len(self.instructions)
 
     def __repr__(self) -> str:
         block, idx = self.header
@@ -42,10 +47,13 @@ class Region:
 class RegionDecomposition:
     """All regions of a function with boundary markers in place."""
 
-    def __init__(self, func: Function) -> None:
+    def __init__(self, func: Function, cfg=None) -> None:
         self.func = func
+        # An up-to-date CFG snapshot (repro.analysis.cfg.CFG) makes the
+        # successor walks O(1) dict reads instead of terminator re-scans.
+        self._cfg = cfg
         self.regions: List[Region] = []
-        self.membership: Dict[Instruction, Set[int]] = {}
+        self._membership: Optional[Dict[Instruction, Set[int]]] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -63,17 +71,54 @@ class RegionDecomposition:
         return points
 
     def _build(self) -> None:
-        for index, header in enumerate(self.headers()):
+        # One sweep finds every boundary; the per-region walks then slice
+        # whole segments between boundary positions instead of re-testing
+        # each instruction.
+        bounds: Dict[BasicBlock, List[int]] = {}
+        points: List[Tuple[BasicBlock, int]] = []
+        func = self.func
+        if func.blocks:
+            points.append((func.entry, 0))
+        for block in func.blocks:
+            positions = [
+                i
+                for i, inst in enumerate(block.instructions)
+                if inst.__class__ is Boundary
+            ]
+            if positions:
+                bounds[block] = positions
+                points.extend((block, i + 1) for i in positions)
+        for index, header in enumerate(points):
             region = Region(header, index)
-            self._collect(region)
+            self._collect(region, bounds)
             self.regions.append(region)
-            for inst in region.instructions:
-                self.membership.setdefault(inst, set()).add(index)
 
-    def _collect(self, region: Region) -> None:
+    def _collect(self, region: Region, bounds: Dict[BasicBlock, List[int]]) -> None:
         """Instructions reachable from the header without crossing a cut."""
+        if self._cfg is not None:
+            successors_of = self._cfg.successors.__getitem__
+        else:
+            successors_of = lambda b: b.successors  # noqa: E731
+        members = region.instructions
+        if not bounds:
+            # Boundary-free function: the single region is the whole
+            # reachable instruction stream, each block visited once (the
+            # same DFS order, without per-segment dedup bookkeeping).
+            seen_blocks: Set[Tuple[int, int]] = set()
+            block_stack: List[BasicBlock] = [region.header[0]]
+            while block_stack:
+                block = block_stack.pop()
+                key = (id(block), 0)
+                if key in seen_blocks:
+                    continue
+                seen_blocks.add(key)
+                members.extend(block.instructions)
+                if block.instructions:
+                    for succ in successors_of(block):
+                        block_stack.append(succ)
+            return
         seen: Set[Tuple[int, int]] = set()
-        added: Set[int] = set()
+        added: Set[Instruction] = set()
         stack: List[Tuple[BasicBlock, int]] = [region.header]
         while stack:
             block, start = stack.pop()
@@ -81,25 +126,40 @@ class RegionDecomposition:
             if key in seen:
                 continue
             seen.add(key)
-            i = start
             instructions = block.instructions
-            stopped = False
-            while i < len(instructions):
-                inst = instructions[i]
-                if isinstance(inst, Boundary):
-                    stopped = True
+            stop = None
+            for position in bounds.get(block, ()):
+                if position >= start:
+                    stop = position
                     break
-                if id(inst) not in added:
-                    added.add(id(inst))
-                    region.instructions.append(inst)
-                i += 1
-            if not stopped and instructions:
-                for succ in block.successors:
+            for inst in instructions[start:stop]:
+                if inst not in added:
+                    added.add(inst)
+                    members.append(inst)
+            if stop is None and instructions:
+                for succ in successors_of(block):
                     stack.append((succ, 0))
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def membership(self) -> Dict[Instruction, Set[int]]:
+        """Instruction → indices of the regions containing it.
+
+        Inverted from the per-region member lists on first access: the
+        construction pipeline builds a decomposition per function for its
+        counts/sizes only, and paying for the inverse map there would
+        dwarf the queries that never come.
+        """
+        if self._membership is None:
+            membership: Dict[Instruction, Set[int]] = {}
+            for region in self.regions:
+                for inst in region.instructions:
+                    membership.setdefault(inst, set()).add(region.index)
+            self._membership = membership
+        return self._membership
+
     def regions_containing(self, inst: Instruction) -> List[Region]:
         return [self.regions[i] for i in sorted(self.membership.get(inst, ()))]
 

@@ -72,7 +72,7 @@ def _depends_on(value: Value, target: Phi, loop: Loop) -> bool:
             continue
         seen.add(id(node))
         if isinstance(node, Instruction) and node.parent in loop.blocks:
-            stack.extend(node.operands)
+            stack.extend(use.value for use in node._operands)
     return False
 
 
@@ -80,12 +80,22 @@ def count_boundaries(block: BasicBlock) -> int:
     return sum(1 for inst in block.instructions if isinstance(inst, Boundary))
 
 
-def min_cuts_on_body_paths(loop: Loop) -> int:
+def min_cuts_on_body_paths(loop: Loop, cfg=None) -> int:
     """Minimum number of boundaries crossed by any header→latch path.
 
     Dynamic programming over the loop body with back edges removed (the
-    body of a natural loop minus its back edges is a DAG).
+    body of a natural loop minus its back edges is a DAG).  ``cfg`` (a
+    :class:`~repro.analysis.cfg.CFG` snapshot, e.g. ``loop_info.cfg``)
+    provides O(1) edge queries; without it every predecessor lookup is an
+    O(blocks) scan through :attr:`BasicBlock.predecessors`.
     """
+    if cfg is not None:
+        succs_of = cfg.successors.__getitem__
+        preds_of = cfg.predecessors.__getitem__
+    else:
+        succs_of = lambda b: b.successors  # noqa: E731
+        preds_of = lambda b: b.predecessors  # noqa: E731
+
     # Topological order of loop blocks ignoring edges into the header.
     order: List[BasicBlock] = []
     visiting: Set[BasicBlock] = set()
@@ -94,7 +104,7 @@ def min_cuts_on_body_paths(loop: Loop) -> int:
     def visit(block: BasicBlock) -> None:
         if block in done:
             return
-        stack = [(block, iter(block.successors))]
+        stack = [(block, iter(succs_of(block)))]
         visiting.add(block)
         while stack:
             node, succ_iter = stack[-1]
@@ -105,7 +115,7 @@ def min_cuts_on_body_paths(loop: Loop) -> int:
                 if succ in done or succ in visiting:
                     continue
                 visiting.add(succ)
-                stack.append((succ, iter(succ.successors)))
+                stack.append((succ, iter(succs_of(succ))))
                 advanced = True
                 break
             if not advanced:
@@ -123,7 +133,7 @@ def min_cuts_on_body_paths(loop: Loop) -> int:
             incoming = 0
         else:
             preds = [
-                p for p in block.predecessors
+                p for p in preds_of(block)
                 if p in loop.blocks and p in best
             ]
             if not preds:
@@ -188,16 +198,35 @@ def enforce_loop_cut_invariant(
         loop_info = am.loops(func) if am is not None else LoopInfo(func)
         # Innermost-first so outer loops observe cuts added to inner ones.
         loops = sorted(loop_info.loops, key=lambda lp: -lp.depth)
+        # φ self-dependence is a function of the (unchanging within one
+        # pass) instruction operands, and both the stats accounting and
+        # the unroll predicate query it — share one result per header.
+        selfdep_memo: Dict[str, List[Phi]] = {}
+
+        def memoized_self_dependent_phis(lp: Loop) -> List[Phi]:
+            cached = selfdep_memo.get(lp.header.name)
+            if cached is None:
+                cached = selfdep_memo[lp.header.name] = self_dependent_phis(lp)
+            return cached
+
         for loop in loops:
             header_name = loop.header.name
             if header_name not in counted_headers:
                 counted_headers.add(header_name)
                 report.loops_seen += 1
-                if self_dependent_phis(loop):
+                if memoized_self_dependent_phis(loop):
                     report.loops_with_self_dependent_phis += 1
 
-            total_cuts = sum(count_boundaries(b) for b in loop.blocks)
-            if total_cuts == 0:
+            # Only zero-vs-nonzero matters: stop at the first boundary.
+            has_cut = False
+            for block in loop.blocks:
+                for inst in block.instructions:
+                    if inst.__class__ is Boundary:
+                        has_cut = True
+                        break
+                if has_cut:
+                    break
+            if not has_cut:
                 report.case1_untouched += 1
                 continue
 
@@ -217,8 +246,8 @@ def enforce_loop_cut_invariant(
                 and header_name not in report.unrolled_headers
                 and can_unroll_once(loop)
                 and len(loop.blocks) <= max_unroll_blocks
-                and min_cuts_on_body_paths(loop) >= 1
-                and self_dependent_phis(loop)
+                and min_cuts_on_body_paths(loop, loop_info.cfg) >= 1
+                and memoized_self_dependent_phis(loop)
             ):
                 try:
                     unroll_once(func, loop)

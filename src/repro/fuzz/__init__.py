@@ -24,6 +24,7 @@ from repro.fuzz.generator import (
     ProgramSpec,
     generate,
     render,
+    sources,
     trial_seed,
 )
 from repro.fuzz.oracle import (
@@ -57,6 +58,7 @@ __all__ = [
     "ProgramSpec",
     "generate",
     "render",
+    "sources",
     "trial_seed",
     "ORACLE_DIFF_IDEMPOTENT",
     "ORACLE_DIFF_ORIGINAL",

@@ -323,6 +323,20 @@ def generate(seed: int, config: Optional[GenConfig] = None) -> GeneratedProgram:
     return _Gen(seed, config or GenConfig()).program(seed)
 
 
+def sources(count: int = 32, start_seed: int = 0,
+            config: Optional[GenConfig] = None) -> List[str]:
+    """MiniC sources of the first ``count`` seeds from ``start_seed``.
+
+    The deterministic corpus the kernel equivalence suite draws from
+    (``tests/test_bitset_kernels.py``): same seeds, same programs, so a
+    kernel/legacy divergence reported by CI reproduces locally verbatim.
+    """
+    return [
+        generate(seed, config).source
+        for seed in range(start_seed, start_seed + count)
+    ]
+
+
 def trial_seed(campaign_seed: int, index: int) -> int:
     """Trial ``index``'s generator seed, derived spawn-key style so any
     sharding of a fuzz campaign draws the exact trial set a serial run

@@ -66,10 +66,12 @@ class BasicBlock:
 
     @property
     def successors(self) -> List["BasicBlock"]:
-        term = self.terminator
-        if term is None:
-            return []
-        return list(term.targets)
+        # Inlined terminator check: this is the hottest structure query
+        # (every CFG snapshot and fallback walk reads it per block).
+        instructions = self.instructions
+        if instructions and instructions[-1].is_terminator:
+            return list(instructions[-1].targets)
+        return []
 
     @property
     def predecessors(self) -> List["BasicBlock"]:

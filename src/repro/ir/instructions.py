@@ -57,9 +57,15 @@ class Instruction(Value):
     def __init__(self, type_: Type, operands: Sequence[Value], name: str = "") -> None:
         super().__init__(type_, name)
         self.parent: Optional["BasicBlock"] = None
-        self._operands: List[Use] = []
+        # Inlined _append_operand / Value.add_use: instruction creation
+        # dominates the cloning-heavy transforms, so skip the two call
+        # frames per operand.
+        ops: List[Use] = []
+        self._operands = ops
         for value in operands:
-            self._append_operand(value)
+            use = Use(self, len(ops), value)
+            ops.append(use)
+            value._uses.append(use)
 
     # ------------------------------------------------------------------
     # Operand management
@@ -94,43 +100,17 @@ class Instruction(Value):
         self._operands = []
 
     # ------------------------------------------------------------------
-    # Classification
+    # Classification — class-level constants (overridden where a subclass
+    # differs; :class:`Call` computes its memory behaviour per callee).
+    # These are read on nearly every instruction visit of every analysis
+    # sweep, so they are plain attributes rather than properties.
     # ------------------------------------------------------------------
-    @property
-    def is_terminator(self) -> bool:
-        return isinstance(self, (Br, Jump, Ret))
-
-    @property
-    def is_phi(self) -> bool:
-        return isinstance(self, Phi)
-
-    @property
-    def reads_memory(self) -> bool:
-        return isinstance(self, Load) or (isinstance(self, Call) and not self.is_pure_builtin)
-
-    @property
-    def writes_memory(self) -> bool:
-        return isinstance(self, Store) or (isinstance(self, Call) and not self.is_pure_builtin)
-
-    @property
-    def has_side_effects(self) -> bool:
-        if isinstance(self, (Store, Ret, Br, Jump, Boundary)):
-            return True
-        if isinstance(self, Call):
-            return not self.is_pure_builtin
-        return False
-
-    @property
-    def is_pure_builtin(self) -> bool:
-        """True for calls to math builtins with no memory behaviour."""
-        if not isinstance(self, Call):
-            return False
-        return self.callee in BUILTIN_FUNCTIONS and self.callee not in (
-            "malloc",
-            "free",
-            "print_int",
-            "print_float",
-        )
+    is_terminator = False
+    is_phi = False
+    reads_memory = False
+    writes_memory = False
+    has_side_effects = False
+    is_pure_builtin = False
 
     # ------------------------------------------------------------------
     # Block surgery
@@ -157,26 +137,28 @@ class Instruction(Value):
 # ----------------------------------------------------------------------
 # Arithmetic and logic
 # ----------------------------------------------------------------------
+#: Result type per binary opcode (one dict probe on the hot clone path).
+_BINOP_RESULT = {op: INT for op in INT_BINOPS}
+_BINOP_RESULT.update((op, FLOAT) for op in FLOAT_BINOPS)
+
+
 class BinaryOp(Instruction):
     """Two-operand arithmetic/logic: int and float variants share the class."""
 
     def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
-        if opcode in INT_BINOPS:
-            result = INT
-        elif opcode in FLOAT_BINOPS:
-            result = FLOAT
-        else:
+        result = _BINOP_RESULT.get(opcode)
+        if result is None:
             raise ValueError(f"unknown binary opcode {opcode!r}")
         super().__init__(result, [lhs, rhs], name)
         self.opcode = opcode
 
     @property
     def lhs(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def rhs(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
 
 class Icmp(Instruction):
@@ -192,11 +174,11 @@ class Icmp(Instruction):
 
     @property
     def lhs(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def rhs(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
 
 class Fcmp(Instruction):
@@ -212,11 +194,11 @@ class Fcmp(Instruction):
 
     @property
     def lhs(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def rhs(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
 
 class Select(Instruction):
@@ -229,15 +211,15 @@ class Select(Instruction):
 
     @property
     def cond(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def true_value(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
     @property
     def false_value(self) -> Value:
-        return self.operand(2)
+        return self._operands[2].value
 
 
 class Itof(Instruction):
@@ -281,6 +263,7 @@ class Load(Instruction):
     """Read one word from memory: ``%x = load <type>, %ptr``."""
 
     opcode = "load"
+    reads_memory = True
 
     def __init__(self, type_: Type, ptr: Value, name: str = "") -> None:
         if not type_.is_value_type:
@@ -289,24 +272,26 @@ class Load(Instruction):
 
     @property
     def ptr(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
 
 class Store(Instruction):
     """Write one word to memory: ``store %value, %ptr``."""
 
     opcode = "store"
+    writes_memory = True
+    has_side_effects = True
 
     def __init__(self, value: Value, ptr: Value) -> None:
         super().__init__(VOID, [value, ptr])
 
     @property
     def value(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def ptr(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
 
 class Gep(Instruction):
@@ -319,11 +304,11 @@ class Gep(Instruction):
 
     @property
     def base(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def index(self) -> Value:
-        return self.operand(1)
+        return self._operands[1].value
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +318,8 @@ class Br(Instruction):
     """Conditional branch: ``br %cond, then_block, else_block``."""
 
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, cond: Value, then_block: "BasicBlock", else_block: "BasicBlock") -> None:
         super().__init__(VOID, [cond])
@@ -341,7 +328,7 @@ class Br(Instruction):
 
     @property
     def cond(self) -> Value:
-        return self.operand(0)
+        return self._operands[0].value
 
     @property
     def targets(self) -> List["BasicBlock"]:
@@ -358,6 +345,8 @@ class Jump(Instruction):
     """Unconditional branch."""
 
     opcode = "jmp"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, target: "BasicBlock") -> None:
         super().__init__(VOID, [])
@@ -376,13 +365,15 @@ class Ret(Instruction):
     """Function return, with an optional value."""
 
     opcode = "ret"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, value: Optional[Value] = None) -> None:
         super().__init__(VOID, [value] if value is not None else [])
 
     @property
     def value(self) -> Optional[Value]:
-        return self.operand(0) if self.num_operands else None
+        return self._operands[0].value if self._operands else None
 
     @property
     def targets(self) -> List["BasicBlock"]:
@@ -393,6 +384,7 @@ class Phi(Instruction):
     """SSA φ-node. Incoming blocks are kept parallel to the operand list."""
 
     opcode = "phi"
+    is_phi = True
 
     def __init__(
         self,
@@ -459,6 +451,28 @@ class Call(Instruction):
         self.callee = callee
 
     @property
+    def is_pure_builtin(self) -> bool:
+        """True for calls to math builtins with no memory behaviour."""
+        return self.callee in BUILTIN_FUNCTIONS and self.callee not in (
+            "malloc",
+            "free",
+            "print_int",
+            "print_float",
+        )
+
+    @property
+    def reads_memory(self) -> bool:
+        return not self.is_pure_builtin
+
+    @property
+    def writes_memory(self) -> bool:
+        return not self.is_pure_builtin
+
+    @property
+    def has_side_effects(self) -> bool:
+        return not self.is_pure_builtin
+
+    @property
     def args(self) -> List[Value]:
         return self.operands
 
@@ -471,6 +485,7 @@ class Boundary(Instruction):
     """
 
     opcode = "boundary"
+    has_side_effects = True
 
     def __init__(self) -> None:
         super().__init__(VOID, [])

@@ -36,6 +36,8 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
 
 
 def _key(labels: Dict[str, object]) -> LabelKey:
+    if len(labels) < 2:  # the common case needs no sort
+        return tuple(labels.items())
     return tuple(sorted(labels.items()))
 
 

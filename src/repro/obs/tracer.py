@@ -26,6 +26,7 @@ normalizes per pid.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
@@ -117,7 +118,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._buffer: List[Span] = []
         self._local = threading.local()
-        self._id_counter = 0
+        # itertools.count.__next__ is a single C call — atomic under the
+        # GIL, so span-id allocation needs no lock on the hot path.
+        self._ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Recording
@@ -152,9 +155,7 @@ class Tracer:
         return stack
 
     def _next_id(self) -> int:
-        with self._lock:
-            self._id_counter += 1
-            return self._id_counter
+        return next(self._ids)
 
     def _record(self, span: Span) -> None:
         with self._lock:

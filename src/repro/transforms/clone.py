@@ -40,44 +40,57 @@ def clone_instruction(
     defined outside the cloned region). φ incoming values are copied as-is
     and must be patched by the caller once the whole region is cloned.
     """
+    m = vmap.get
+    mb = bmap.get
 
-    def m(value: Value) -> Value:
-        return vmap.get(value, value)
-
-    def mb(block: BasicBlock) -> BasicBlock:
-        return bmap.get(block, block)
-
-    if isinstance(inst, BinaryOp):
-        copy: Instruction = BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), name_hint)
-    elif isinstance(inst, Icmp):
-        copy = Icmp(inst.pred, m(inst.lhs), m(inst.rhs), name_hint)
-    elif isinstance(inst, Fcmp):
-        copy = Fcmp(inst.pred, m(inst.lhs), m(inst.rhs), name_hint)
-    elif isinstance(inst, Select):
-        copy = Select(m(inst.cond), m(inst.true_value), m(inst.false_value), name_hint)
-    elif isinstance(inst, Itof):
-        copy = Itof(m(inst.operand(0)), name_hint)
-    elif isinstance(inst, Ftoi):
-        copy = Ftoi(m(inst.operand(0)), name_hint)
-    elif isinstance(inst, Alloca):
+    # Exact-type dispatch (the IR has no instruction subclasses; the
+    # parser/builder only ever construct these leaf classes).
+    cls = inst.__class__
+    if cls is BinaryOp:
+        lhs, rhs = inst.lhs, inst.rhs
+        copy: Instruction = BinaryOp(inst.opcode, m(lhs, lhs), m(rhs, rhs), name_hint)
+    elif cls is Icmp:
+        lhs, rhs = inst.lhs, inst.rhs
+        copy = Icmp(inst.pred, m(lhs, lhs), m(rhs, rhs), name_hint)
+    elif cls is Fcmp:
+        lhs, rhs = inst.lhs, inst.rhs
+        copy = Fcmp(inst.pred, m(lhs, lhs), m(rhs, rhs), name_hint)
+    elif cls is Select:
+        c, t, f = inst.cond, inst.true_value, inst.false_value
+        copy = Select(m(c, c), m(t, t), m(f, f), name_hint)
+    elif cls is Itof:
+        v = inst.operand(0)
+        copy = Itof(m(v, v), name_hint)
+    elif cls is Ftoi:
+        v = inst.operand(0)
+        copy = Ftoi(m(v, v), name_hint)
+    elif cls is Alloca:
         copy = Alloca(inst.size, name_hint)
-    elif isinstance(inst, Load):
-        copy = Load(inst.type, m(inst.ptr), name_hint)
-    elif isinstance(inst, Store):
-        copy = Store(m(inst.value), m(inst.ptr))
-    elif isinstance(inst, Gep):
-        copy = Gep(m(inst.base), m(inst.index), name_hint)
-    elif isinstance(inst, Br):
-        copy = Br(m(inst.cond), mb(inst.then_block), mb(inst.else_block))
-    elif isinstance(inst, Jump):
-        copy = Jump(mb(inst.target))
-    elif isinstance(inst, Ret):
-        copy = Ret(m(inst.value) if inst.value is not None else None)
-    elif isinstance(inst, Phi):
-        copy = Phi(inst.type, [(m(v), mb(b)) for v, b in inst.incoming], name_hint)
-    elif isinstance(inst, Call):
-        copy = Call(inst.type, inst.callee, [m(a) for a in inst.args], name_hint)
-    elif isinstance(inst, Boundary):
+    elif cls is Load:
+        p = inst.ptr
+        copy = Load(inst.type, m(p, p), name_hint)
+    elif cls is Store:
+        v, p = inst.value, inst.ptr
+        copy = Store(m(v, v), m(p, p))
+    elif cls is Gep:
+        b, i = inst.base, inst.index
+        copy = Gep(m(b, b), m(i, i), name_hint)
+    elif cls is Br:
+        c, t, e = inst.cond, inst.then_block, inst.else_block
+        copy = Br(m(c, c), mb(t, t), mb(e, e))
+    elif cls is Jump:
+        t = inst.target
+        copy = Jump(mb(t, t))
+    elif cls is Ret:
+        v = inst.value
+        copy = Ret(m(v, v) if v is not None else None)
+    elif cls is Phi:
+        copy = Phi(
+            inst.type, [(m(v, v), mb(b, b)) for v, b in inst.incoming], name_hint
+        )
+    elif cls is Call:
+        copy = Call(inst.type, inst.callee, [m(a, a) for a in inst.args], name_hint)
+    elif cls is Boundary:
         copy = Boundary()
     else:
         raise TypeError(f"cannot clone instruction {inst!r}")
@@ -97,12 +110,18 @@ def clone_blocks(
     instructions exist (two-pass), so forward references work.
     """
     blocks = list(blocks)
+    block_set = set(blocks)
     bmap: Dict[BasicBlock, BasicBlock] = {}
     vmap: Dict[Value, Value] = {}
     for block in blocks:
         bmap[block] = func.add_block(f"{block.name}.{suffix}")
 
     cloned_phis: List[Tuple[Phi, Phi]] = []
+    # Forward references: operands defined later in the region (always
+    # possible for φs, possible for others across blocks when the region
+    # has internal cycles) are not in ``vmap`` yet at clone time; record
+    # them and patch once every clone exists.
+    deferred: List[Tuple[Instruction, int, Value]] = []
     for block in blocks:
         new_block = bmap[block]
         for inst in block.instructions:
@@ -113,27 +132,28 @@ def clone_blocks(
             new_block.append(copy)
             if inst.type.is_value_type:
                 vmap[inst] = copy
-            if isinstance(inst, Phi):
+            if inst.__class__ is Phi:
                 cloned_phis.append((inst, copy))
+            else:
+                for i, use in enumerate(inst._operands):
+                    value = use.value
+                    if (
+                        isinstance(value, Instruction)
+                        and value not in vmap
+                        and value.parent in block_set
+                    ):
+                        deferred.append((copy, i, value))
 
-    # Second pass: φ operands may reference values that were cloned after
-    # the φ itself; remap them now.
+    # Second pass: resolve the recorded forward references.
     for original, copy in cloned_phis:
         for i, value in enumerate(original.operands):
             mapped = vmap.get(value, value)
             if copy.operand(i) is not mapped:
                 copy.set_operand(i, mapped)
-    # Same for non-φ instructions whose operands were defined later in the
-    # region (possible across blocks when the region has internal cycles).
-    for block in blocks:
-        new_block = bmap[block]
-        for original, copy in zip(block.instructions, new_block.instructions):
-            if isinstance(original, Phi):
-                continue
-            for i, value in enumerate(original.operands):
-                mapped = vmap.get(value, value)
-                if copy.operand(i) is not mapped:
-                    copy.set_operand(i, mapped)
+    for copy, i, value in deferred:
+        mapped = vmap.get(value, value)
+        if copy.operand(i) is not mapped:
+            copy.set_operand(i, mapped)
     return bmap, vmap
 
 

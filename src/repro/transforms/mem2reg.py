@@ -82,9 +82,18 @@ def promote_to_ssa(func: Function, am=None) -> int:
     structure or terminators, so it always preserves the CFG tier; the
     caller owns the invalidation call.
     """
-    allocas = promotable_allocas(func)
-    if not allocas:
+    # Inline the promotability scan so the value type is computed once per
+    # alloca (``promotable_allocas`` + a second ``_promotion_type`` call
+    # would walk every use list twice).
+    promotable: List[tuple] = []
+    for inst in func.entry.instructions if func.blocks else []:
+        if inst.__class__ is Alloca and inst.size == 1:
+            value_type = _promotion_type(inst)
+            if value_type is not None:
+                promotable.append((inst, value_type))
+    if not promotable:
         return 0
+    allocas = [alloca for alloca, _ in promotable]
 
     if am is not None:
         cfg = am.cfg(func)
@@ -98,9 +107,7 @@ def promote_to_ssa(func: Function, am=None) -> int:
     promotions: Dict[Alloca, _AllocaPromotion] = {}
     phi_owner: Dict[Phi, _AllocaPromotion] = {}
 
-    for alloca in allocas:
-        value_type = _promotion_type(alloca)
-        assert value_type is not None
+    for alloca, value_type in promotable:
         promo = _AllocaPromotion(alloca, value_type)
         promotions[alloca] = promo
 
@@ -139,26 +146,40 @@ def promote_to_ssa(func: Function, am=None) -> int:
 
     def rename(block: BasicBlock) -> None:
         pushed: List[Alloca] = []
-        for inst in list(block.instructions):
-            if isinstance(inst, Phi) and inst in phi_owner:
-                promo = phi_owner[inst]
-                stacks[promo.alloca].append(inst)
-                pushed.append(promo.alloca)
+        # Exact-type tests: the IR has no instruction subclasses, and the
+        # common case (an unrelated instruction) exits on three pointer
+        # comparisons instead of three isinstance calls.  Dead loads and
+        # stores are only recorded here and removed after the walk, so
+        # iterating the live list is safe.
+        for inst in block.instructions:
+            cls = inst.__class__
+            if cls is Phi:
+                promo = phi_owner.get(inst)
+                if promo is not None:
+                    stacks[promo.alloca].append(inst)
+                    pushed.append(promo.alloca)
                 continue
-            if isinstance(inst, Load) and isinstance(inst.ptr, Alloca):
+            if cls is Load:
                 promo = promotions.get(inst.ptr)
                 if promo is not None:
                     inst.replace_all_uses_with(current_value(stacks[promo.alloca], promo))
                     dead.append(inst)
                 continue
-            if isinstance(inst, Store) and isinstance(inst.ptr, Alloca):
+            if cls is Store:
                 promo = promotions.get(inst.ptr)
                 if promo is not None:
                     stacks[promo.alloca].append(inst.value)
                     pushed.append(promo.alloca)
                     dead.append(inst)
                 continue
-        for succ in block.successors:
+        # The pass never edits terminators, so the snapshot adjacency is
+        # the live one — skip the per-block terminator re-scan.  Most
+        # successors have no φs at all; testing the first instruction
+        # avoids spinning up the phis() generator for them.
+        for succ in cfg.successors[block]:
+            succ_instructions = succ.instructions
+            if not succ_instructions or succ_instructions[0].__class__ is not Phi:
+                continue
             for phi in succ.phis():
                 promo = phi_owner.get(phi)
                 if promo is not None:
@@ -211,10 +232,13 @@ def _rename_iterative(func: Function, domtree: DominatorTree, rename_block) -> N
 
 def _prune_dead_phis(func: Function, inserted: Set[Phi]) -> None:
     """Remove inserted φs that are unused (semi-pruned leftovers)."""
+    hosts = {phi.parent for phi in inserted}
     changed = True
     while changed:
         changed = False
         for block in func.blocks:
+            if block not in hosts:
+                continue
             for phi in list(block.phis()):
                 if phi in inserted and not phi.is_used:
                     phi.remove_from_parent()

@@ -106,20 +106,26 @@ def _kill_for_call(avail: _AvailableValues, aa: AliasAnalysis, call: Call) -> No
         del avail.entries[loc]
 
 
-def _transfer(
+# Memory-event kinds: the pre-resolved per-block instruction summaries
+# the dataflow sweeps instead of the raw instruction stream.
+_EV_STORE, _EV_LOAD, _EV_CALL = 0, 1, 2
+
+
+def _apply_event(
     avail: _AvailableValues,
     aa: AliasAnalysis,
+    kind: int,
     inst: Instruction,
+    obj: Optional[MemoryObject],
+    off: Optional[int],
     forward: Optional[Dict[Load, Value]] = None,
 ) -> None:
-    """Apply one instruction's effect; optionally record forwardable loads."""
-    if isinstance(inst, Store):
-        obj, off = aa.resolve(inst.ptr)
+    """Apply one memory event; optionally record forwardable loads."""
+    if kind == _EV_STORE:
         _kill_for_store(avail, aa, obj, off)
         if off is not None:
             avail.entries[(obj, off)] = inst.value
-    elif isinstance(inst, Load):
-        obj, off = aa.resolve(inst.ptr)
+    elif kind == _EV_LOAD:
         if off is not None:
             known = avail.entries.get((obj, off))
             if known is not None and type(known.type) is type(inst.type):
@@ -127,7 +133,7 @@ def _transfer(
                     forward[inst] = known
             else:
                 avail.entries[(obj, off)] = inst
-    elif isinstance(inst, Call):
+    else:  # _EV_CALL
         _kill_for_call(avail, aa, inst)
 
 
@@ -137,6 +143,10 @@ def forward_stores_to_loads(func: Function, am=None) -> int:
     ``am`` (an :class:`repro.analysis.manager.AnalysisManager`) supplies a
     cached CFG snapshot when available.  The pass rewrites loads only —
     it always preserves the CFG tier; the caller owns the invalidation.
+
+    Each block's memory events (stores, loads, clobbering calls) are
+    resolved through the alias analysis once, up front; the fixpoint then
+    sweeps only those events, never the full instruction stream.
     """
     if func.is_declaration:
         return 0
@@ -144,23 +154,45 @@ def forward_stores_to_loads(func: Function, am=None) -> int:
     cfg = am.cfg(func) if am is not None else CFG(func)
     blocks = cfg.reverse_post_order
 
+    events: Dict[object, list] = {}
+    n_loads = 0
+    for block in blocks:
+        block_events = []
+        for inst in block.instructions:
+            cls = inst.__class__  # exact: the IR has no inst subclasses
+            if cls is Store:
+                obj, off = aa.resolve(inst.ptr)
+                block_events.append((_EV_STORE, inst, obj, off))
+            elif cls is Load:
+                obj, off = aa.resolve(inst.ptr)
+                block_events.append((_EV_LOAD, inst, obj, off))
+                n_loads += 1
+            elif cls is Call and inst.callee not in _NON_CLOBBERING_CALLS:
+                block_events.append((_EV_CALL, inst, None, None))
+        events[block] = block_events
+    if n_loads == 0:
+        return 0  # nothing to forward; skip the fixpoint entirely
+
     block_out: Dict[object, Optional[_AvailableValues]] = {b: None for b in blocks}
+
+    def block_in_state(block) -> _AvailableValues:
+        state: Optional[_AvailableValues] = None
+        for pred in cfg.predecessors[block]:
+            if pred not in block_out:
+                continue
+            pred_out = block_out[pred]
+            if pred_out is None:
+                continue  # optimistic: unprocessed predecessor
+            state = pred_out.copy() if state is None else state.meet(pred_out)
+        return state if state is not None else _AvailableValues()
 
     changed = True
     while changed:
         changed = False
         for block in blocks:
-            preds = [p for p in cfg.preds(block) if p in block_out]
-            state: Optional[_AvailableValues] = None
-            for pred in preds:
-                pred_out = block_out[pred]
-                if pred_out is None:
-                    continue  # optimistic: unprocessed predecessor
-                state = pred_out.copy() if state is None else state.meet(pred_out)
-            if state is None:
-                state = _AvailableValues()
-            for inst in block.instructions:
-                _transfer(state, aa, inst)
+            state = block_in_state(block)
+            for kind, inst, obj, off in events[block]:
+                _apply_event(state, aa, kind, inst, obj, off)
             if block_out[block] is None or block_out[block] != state:
                 block_out[block] = state
                 changed = True
@@ -168,18 +200,10 @@ def forward_stores_to_loads(func: Function, am=None) -> int:
     # Final pass: compute block-in states and rewrite forwardable loads.
     removed = 0
     for block in blocks:
-        preds = [p for p in cfg.preds(block) if p in block_out]
-        state = None
-        for pred in preds:
-            pred_out = block_out[pred]
-            if pred_out is None:
-                continue
-            state = pred_out.copy() if state is None else state.meet(pred_out)
-        if state is None:
-            state = _AvailableValues()
+        state = block_in_state(block)
         forward: Dict[Load, Value] = {}
-        for inst in list(block.instructions):
-            _transfer(state, aa, inst, forward)
+        for kind, inst, obj, off in events[block]:
+            _apply_event(state, aa, kind, inst, obj, off, forward)
             replacement = forward.get(inst)
             if replacement is not None:
                 inst.replace_all_uses_with(replacement)

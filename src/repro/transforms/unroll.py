@@ -15,7 +15,7 @@ so SSA dominance survives having two copies of each definition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.loops import Loop
 from repro.ir.block import BasicBlock
@@ -64,7 +64,8 @@ def unroll_once(func: Function, loop: Loop) -> Dict[BasicBlock, BasicBlock]:
     _rewrite_escaping_values(func, loop, dedicated)
 
     # 2. Clone the body.
-    body = sorted(loop.blocks, key=lambda b: func.blocks.index(b))
+    layout_index = {block: i for i, block in enumerate(func.blocks)}
+    body = sorted(loop.blocks, key=layout_index.__getitem__)
     bmap, vmap = clone_blocks(func, body, suffix="u")
     header_clone = bmap[header]
     latch_clone = bmap[latch]
@@ -122,10 +123,43 @@ def _rewrite_escaping_values(
     instead — handled naturally because φ uses are classified by their
     incoming block.
     """
-    from repro.analysis.dominators import DominatorTree
-
     exit_blocks = [exit_block for _, exit_block in dedicated]
     exit_set = set(exit_blocks)
+    # A dedicated exit block has exactly one predecessor: the in-loop
+    # block it was split from (no O(blocks) predecessor scan needed).
+    exit_pred = {exit_block: inside for inside, exit_block in dedicated}
+
+    # Dominance via removal-reachability: an exit block E dominates a
+    # reachable block P iff P cannot be reached from the entry once E is
+    # deleted (and no block dominates an unreachable P).  The handful of
+    # single-source DFS sweeps this needs is much cheaper than building a
+    # full dominator tree of the post-split graph, and the block graph is
+    # stable for the whole rewrite (only φs are inserted), so each sweep
+    # is computed at most once.
+    reach_without: Dict[Optional[BasicBlock], Set[BasicBlock]] = {}
+
+    def _reachable_avoiding(banned: Optional[BasicBlock]) -> Set[BasicBlock]:
+        reach = reach_without.get(banned)
+        if reach is None:
+            reach = set()
+            entry = func.entry
+            if entry is not banned:
+                reach.add(entry)
+                stack = [entry]
+                while stack:
+                    for succ in stack.pop().successors:
+                        if succ is not banned and succ not in reach:
+                            reach.add(succ)
+                            stack.append(succ)
+            reach_without[banned] = reach
+        return reach
+
+    def _exit_dominates(exit_block: BasicBlock, position: BasicBlock) -> bool:
+        if position not in _reachable_avoiding(None):
+            return False
+        if position is exit_block:
+            return True
+        return position not in _reachable_avoiding(exit_block)
 
     for block in list(loop.blocks):
         for inst in list(block.instructions):
@@ -144,11 +178,10 @@ def _rewrite_escaping_values(
                 continue
             phis: Dict[BasicBlock, Phi] = {}
             for exit_block in exit_blocks:
-                phi = Phi(inst.type, [(inst, exit_block.predecessors[0])],
+                phi = Phi(inst.type, [(inst, exit_pred[exit_block])],
                           name=func.unique_value_name(f"{inst.name}.lcssa"))
                 exit_block.insert(0, phi)
                 phis[exit_block] = phi
-            domtree = DominatorTree.compute(func)
             for use in outside_uses:
                 user = use.user
                 if isinstance(user, Phi):
@@ -157,7 +190,7 @@ def _rewrite_escaping_values(
                     position = user.parent
                 chosen = None
                 for exit_block in exit_blocks:
-                    if domtree.dominates(exit_block, position):
+                    if _exit_dominates(exit_block, position):
                         chosen = phis[exit_block]
                         break
                 if chosen is None:

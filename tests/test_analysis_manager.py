@@ -135,6 +135,12 @@ class TestStaleDetection:
         func.entry.insert(0, Boundary())
         assert cfg_checksum(func) == before
 
+    def test_snapshot_checksum_matches_verifier(self):
+        # The manager records CFG.structural_checksum() at build time and
+        # compares it against cfg_checksum(func) later; they must agree.
+        func = _main_func()
+        assert CFG(func).structural_checksum() == cfg_checksum(func)
+
     def test_cfg_checksum_sees_graph_edits(self):
         func = _main_func()
         before = cfg_checksum(func)

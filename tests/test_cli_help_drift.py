@@ -1,10 +1,13 @@
-"""CLI ↔ docs drift: the flag tables must match ``--help`` exactly.
+"""CLI/docs drift: flag tables and the module map must match reality.
 
 The README's per-subcommand flags table (and the serve/loadgen table in
 ``docs/serving.md``) promise exact flag spellings.  These tests diff the
 tables against :func:`repro.cli.build_parser` in **both** directions, so
 adding a flag without documenting it fails just like documenting a flag
-that does not exist.
+that does not exist.  The same bidirectional discipline applies to
+``docs/architecture.md``: every top-level ``repro.*`` package must
+appear on the map, and every ``repro.*`` name the map mentions must
+exist under ``src/repro/``.
 """
 
 import argparse
@@ -21,6 +24,8 @@ from repro.cli import build_parser
 REPO = Path(__file__).resolve().parent.parent
 README = REPO / "README.md"
 SERVING = REPO / "docs" / "serving.md"
+ARCHITECTURE = REPO / "docs" / "architecture.md"
+SRC_REPRO = REPO / "src" / "repro"
 
 HEADER = re.compile(r"^\|\s*Command\s*\|\s*Flags\s*\|\s*$")
 ROW = re.compile(r"^\|\s*`(?P<command>[a-z-]+)`\s*\|\s*(?P<flags>.*?)\s*\|\s*$")
@@ -106,6 +111,48 @@ class TestServingDocTable:
                 f"docs/serving.md `{command}` row drifted from --help: "
                 f"{documented} vs {actual[command]}"
             )
+
+
+def repro_packages():
+    """Top-level packages and modules under ``src/repro/`` (no dunders)."""
+    names = set()
+    for entry in SRC_REPRO.iterdir():
+        if entry.name.startswith("_"):
+            continue
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            names.add(entry.name)
+        elif entry.suffix == ".py":
+            names.add(entry.stem)
+    return names
+
+
+def architecture_modules():
+    """Top-level ``repro.<name>`` tokens mentioned by the module map."""
+    return set(
+        re.findall(r"\brepro\.([a-z_]+)", ARCHITECTURE.read_text())
+    )
+
+
+class TestArchitectureModuleMap:
+    """``docs/architecture.md`` is the map of the repository — it must
+    cover every package and name nothing that does not exist."""
+
+    def test_every_package_is_on_the_map(self):
+        missing = repro_packages() - architecture_modules()
+        assert not missing, (
+            f"packages absent from docs/architecture.md: {sorted(missing)}"
+        )
+
+    def test_no_phantom_packages(self):
+        phantom = architecture_modules() - repro_packages()
+        assert not phantom, (
+            "docs/architecture.md mentions repro modules that do not "
+            f"exist under src/repro/: {sorted(phantom)}"
+        )
+
+    def test_both_sides_are_nonempty(self):
+        assert len(repro_packages()) >= 10
+        assert len(architecture_modules()) >= 10
 
 
 class TestVersionFlag:
