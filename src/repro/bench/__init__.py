@@ -18,6 +18,14 @@ Two consumption modes:
 See ``docs/performance.md`` for the workflow and the JSON schema.
 """
 
+from repro.bench.campaign_cache import (
+    CAMPAIGN_CACHE_SCHEMA,
+    load_campaign_cache_file,
+    run_campaign_cache_bench,
+    summarize_campaign_cache,
+    validate_campaign_cache_file,
+    write_campaign_cache_json,
+)
 from repro.bench.compare import BenchRegression, compare_bench, format_comparison
 from repro.bench.recovery import (
     RECOVERY_BENCH_SCHEMA,
@@ -51,6 +59,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchError",
     "BenchRegression",
+    "CAMPAIGN_CACHE_SCHEMA",
     "FAST_SUBSET",
     "RECOVERY_BENCH_SCHEMA",
     "SERVE_BENCH_SCHEMA",
@@ -58,17 +67,22 @@ __all__ = [
     "default_workloads",
     "format_comparison",
     "load_bench_file",
+    "load_campaign_cache_file",
     "load_recovery_bench_file",
     "load_serve_bench_file",
     "recovery_bench_payload",
     "run_bench",
+    "run_campaign_cache_bench",
     "serve_bench_payload",
     "summarize_bench",
+    "summarize_campaign_cache",
     "summarize_recovery_bench",
     "summarize_serve_bench",
     "validate_bench_file",
+    "validate_campaign_cache_file",
     "validate_recovery_bench_file",
     "validate_serve_bench_file",
     "write_bench_json",
+    "write_campaign_cache_json",
     "write_recovery_bench_json",
 ]

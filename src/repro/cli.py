@@ -333,6 +333,15 @@ def cmd_campaign(args) -> int:
     from repro.harness.campaign import format_campaign_report, run_fault_campaign
     from repro.harness.report import Telemetry
 
+    if args.explain_stale and not args.incremental:
+        print("campaign error: --explain-stale requires --incremental",
+              file=sys.stderr)
+        return 2
+    if args.incremental and args.shard_trials is not None:
+        print("campaign error: --incremental sections replace --shard-trials "
+              "sharding (sections are the resume granularity)",
+              file=sys.stderr)
+        return 2
     _setup_obs(args)
     retry, unit_timeout, chaos = _resilience_from_args(args)
     configure(jobs=args.jobs, use_cache=not args.no_cache,
@@ -350,31 +359,66 @@ def cmd_campaign(args) -> int:
             tag += "-fl" + "+".join(flavours)
         if backends:
             tag += "-be" + "+".join(backends)
+        if args.incremental:
+            tag += "-incr"
         manifest_path = os.path.join(".repro-cache", "campaigns", f"{tag}.jsonl")
     if args.fresh and manifest_path and os.path.exists(manifest_path):
         os.unlink(manifest_path)
     telemetry = Telemetry(label="fault campaign")
     try:
-        summary = run_fault_campaign(
-            names=args.workloads or None,
-            trials=args.trials,
-            seed=args.seed,
-            kind=args.kind,
-            detection_latency=args.latency,
-            jobs=args.jobs,
-            manifest_path=manifest_path,
-            shard_trials=args.shard_trials,
-            telemetry=telemetry,
-            retry=retry,
-            unit_timeout=unit_timeout,
-            chaos=chaos,
-            flavours=flavours,
-            backends=backends,
-        )
+        if args.incremental:
+            from repro.harness.incremental import (
+                format_incremental_report,
+                format_section_accounting,
+                format_stale_report,
+                run_incremental_fault_campaign,
+            )
+
+            summary = run_incremental_fault_campaign(
+                names=args.workloads or None,
+                trials=args.trials,
+                seed=args.seed,
+                kind=args.kind,
+                detection_latency=args.latency,
+                jobs=args.jobs,
+                manifest_path=manifest_path,
+                telemetry=telemetry,
+                retry=retry,
+                unit_timeout=unit_timeout,
+                chaos=chaos,
+                flavours=flavours,
+                backends=backends,
+            )
+        else:
+            summary = run_fault_campaign(
+                names=args.workloads or None,
+                trials=args.trials,
+                seed=args.seed,
+                kind=args.kind,
+                detection_latency=args.latency,
+                jobs=args.jobs,
+                manifest_path=manifest_path,
+                shard_trials=args.shard_trials,
+                telemetry=telemetry,
+                retry=retry,
+                unit_timeout=unit_timeout,
+                chaos=chaos,
+                flavours=flavours,
+                backends=backends,
+            )
     except ValueError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
-    print(format_campaign_report(summary))
+    if args.incremental:
+        # Section/unit accounting goes to stderr so a warm re-run's
+        # stdout is byte-identical to the cold run that filled the store.
+        print(format_incremental_report(summary))
+        if args.explain_stale:
+            print(format_stale_report(summary), file=sys.stderr)
+        else:
+            print(format_section_accounting(summary), file=sys.stderr)
+    else:
+        print(format_campaign_report(summary))
     telemetry.finish()
     telemetry.attach_cache(default_cache())
     if manifest_path:
@@ -400,6 +444,7 @@ def cmd_recovery(args) -> int:
             kind=args.kind,
             latency=args.latency,
             threshold=args.threshold,
+            use_store=args.use_store,
         )
     except (KeyError, ValueError) as exc:
         print(f"recovery error: {exc}", file=sys.stderr)
@@ -450,6 +495,27 @@ def cmd_bench(args) -> int:
         validate_bench_file,
         write_bench_json,
     )
+
+    if args.campaign_cache:
+        from repro.bench import (
+            run_campaign_cache_bench,
+            summarize_campaign_cache,
+            validate_campaign_cache_file,
+            write_campaign_cache_json,
+        )
+
+        try:
+            payload = run_campaign_cache_bench(label=args.label)
+        except BenchError as exc:
+            print(f"bench error: {exc}", file=sys.stderr)
+            return 2
+        if args.out:
+            write_campaign_cache_json(args.out, payload)
+            count = validate_campaign_cache_file(args.out)
+            print(f"[bench] wrote {args.out} ({count} scenarios)",
+                  file=sys.stderr)
+        print(summarize_campaign_cache(payload))
+        return 0
 
     if args.workloads:
         names = args.workloads
@@ -682,6 +748,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="do not record or resume from a manifest")
     p.add_argument("--fresh", action="store_true",
                    help="discard any existing manifest before running")
+    p.add_argument("--incremental", action="store_true",
+                   help="compositional campaign: split each workload into "
+                        "per-region sections, compose previously stored "
+                        "section outcomes from the content-addressed store "
+                        "under .repro-cache/outcomes/, and re-inject only "
+                        "sections whose code changed (docs/campaigns.md); "
+                        "results are bit-identical to the monolithic "
+                        "campaign at equal budgets")
+    p.add_argument("--explain-stale", action="store_true",
+                   help="with --incremental: report on stderr which "
+                        "sections re-injected and why (new-section, "
+                        "code-changed, pipeline-changed, evicted, top-up)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent artifact cache")
     _add_resilience_flags(p)
@@ -711,6 +789,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.25,
                    help="flag regions where |predicted - measured| recovery "
                         "exceeds this")
+    p.add_argument("--use-store", action="store_true",
+                   help="run campaigns through the incremental harness: "
+                        "compose cached per-region sections from the "
+                        "content-addressed outcome store and inject only "
+                        "missing ones (bit-identical results; "
+                        "docs/campaigns.md)")
     p.add_argument("--label", default="recovery",
                    help="label stamped into the bench dump")
     p.add_argument("--out", metavar="FILE", default=None,
@@ -792,6 +876,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the AnalysisManager cache (measures the "
                         "recompute-everything pipeline; output IR is "
                         "bit-identical either way)")
+    p.add_argument("--campaign-cache", action="store_true",
+                   help="benchmark the incremental fault-campaign store "
+                        "instead: monolithic vs cold/warm/one-function-"
+                        "edited wall-times with self-verified bit-identity "
+                        "(writes a BENCH_campaign_cache.json with --out; "
+                        "docs/campaigns.md)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -88,6 +88,13 @@ class UnitRecord:
     #: Executions this unit took (retries included); old manifests
     #: without the field load as 1.
     attempts: int = 1
+    #: Compiler/scheme provenance stamped when the unit ran (pipeline
+    #: version, flavour/backend, cfg checksum of the campaigned code).
+    #: Old manifests load as ``{}`` and resume unconditionally; rows
+    #: with provenance are re-run when it no longer matches, so a
+    #: resumed campaign never silently mixes outcomes across compiler
+    #: versions.
+    provenance: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -129,6 +136,7 @@ class RunManifest:
                         seconds=float(row.get("seconds", 0.0)),
                         data=row.get("data", {}),
                         attempts=int(row.get("attempts", 1)),
+                        provenance=row.get("provenance", {}),
                     )
                 except (ValueError, KeyError, TypeError):
                     continue  # torn or foreign line: unit will re-run
@@ -193,21 +201,47 @@ class CampaignRunner:
         worker: Callable[[dict], dict],
         units: Sequence[Tuple[str, dict]],
         phase: str = "campaign",
+        provenance: Optional[Dict[str, dict]] = None,
     ) -> Dict[str, UnitRecord]:
         """Run every unit not already recorded as done; returns all records.
 
         ``worker`` must be a module-level function ``payload -> dict``
         with a JSON-serializable result (it becomes the manifest row).
+
+        ``provenance`` maps unit id -> expected provenance dict (see
+        :class:`UnitRecord`).  A done manifest row whose *recorded*
+        provenance is non-empty and differs from the expected one is
+        stale — written by a different compiler pipeline or against
+        different code — and re-runs instead of resuming, with a
+        visible warning.  Rows without provenance (old manifests)
+        resume unconditionally.
         """
+        provenance = provenance or {}
         records = self.manifest.load() if self.manifest else {}
-        done = {uid for uid, record in records.items() if record.ok}
+        observer = get_observer()
+        stale: set = set()
+        for uid, record in records.items():
+            if not record.ok or not record.provenance:
+                continue
+            expected = provenance.get(uid)
+            if expected and record.provenance != expected:
+                stale.add(uid)
+                observer.log(
+                    f"stale manifest row re-run: {uid} "
+                    f"(recorded provenance {record.provenance} != "
+                    f"expected {expected})"
+                )
+                observer.counter("campaign.stale_units").inc()
+        done = {
+            uid for uid, record in records.items()
+            if record.ok and uid not in stale
+        }
         poisoned = {uid for uid, record in records.items() if record.quarantined}
         todo = [
             (uid, payload) for uid, payload in units
             if uid not in done and uid not in poisoned
         ]
         self.skipped = sum(1 for uid, _ in units if uid in done)
-        observer = get_observer()
         for uid, _ in units:
             if uid not in poisoned:
                 continue
@@ -241,6 +275,7 @@ class CampaignRunner:
                         unit_id=str(result.key), status=STATUS_DONE,
                         seconds=result.seconds, data=result.value,
                         attempts=result.attempts,
+                        provenance=provenance.get(str(result.key), {}),
                     )
                     self.executed += 1
                     observer.counter("campaign.units").inc(status="executed")
@@ -299,6 +334,9 @@ class FaultCampaignSummary:
     failed_units: int = 0
     quarantined_units: int = 0
     errors: List[str] = field(default_factory=list)
+    #: (unit_id, error category) for every quarantined unit, so reports
+    #: can list *which* units are poisoned, not just how many.
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
     telemetry: Optional[Telemetry] = None
 
     def flavour_totals(self, label: str) -> CampaignResult:
@@ -493,12 +531,35 @@ def run_fault_campaign(
     # Builds happen in the parent first: workers inherit the memo via
     # fork and warm runs pull artifacts straight from the disk cache.
     prebuild_pairs(names, jobs=jobs, telemetry=telemetry)
+    # Stamp every unit with the pipeline version and the checksum of the
+    # code it campaigns over: resuming a manifest written by a different
+    # compiler (or against edited source) re-runs those units instead of
+    # silently mixing outcomes.
+    from repro.harness.cache import PIPELINE_VERSION
+    from repro.harness.incremental import program_fingerprint
+
+    fingerprints: Dict[Tuple[str, str], str] = {}
+    provenance: Dict[str, dict] = {}
+    for unit_id, payload in units:
+        fp_key = (payload["workload"], payload["flavour"])
+        if fp_key not in fingerprints:
+            original, idempotent = build_pair(payload["workload"])
+            program = (
+                idempotent.program if payload["flavour"] == "idempotent"
+                else original.program
+            )
+            fingerprints[fp_key] = program_fingerprint(program)
+        provenance[unit_id] = {
+            "pipeline": PIPELINE_VERSION,
+            "label": payload.get("backend") or payload["flavour"],
+            "cfg": fingerprints[fp_key],
+        }
     manifest = RunManifest(manifest_path) if manifest_path else None
     runner = CampaignRunner(
         manifest=manifest, jobs=jobs, telemetry=telemetry,
         retry=retry, unit_timeout=unit_timeout, chaos=chaos,
     )
-    records = runner.run(_fault_unit, units, phase="inject")
+    records = runner.run(_fault_unit, units, phase="inject", provenance=provenance)
 
     summary = FaultCampaignSummary(
         trials=trials, seed=seed, kind=kind,
@@ -514,9 +575,11 @@ def run_fault_campaign(
         if record is None:
             continue
         if record.quarantined:
+            category = record.data.get("category", UNIT_ERROR)
+            summary.quarantined.append((unit_id, category))
             summary.errors.append(
                 f"{unit_id}: quarantined after {record.attempts} attempts "
-                f"[{record.data.get('category', UNIT_ERROR)}]: "
+                f"[{category}]: "
                 f"{record.data.get('error')}"
             )
             continue
@@ -568,6 +631,10 @@ def format_campaign_report(summary: FaultCampaignSummary) -> str:
     if summary.quarantined_units:
         units_line += f", {summary.quarantined_units} quarantined"
     lines.append(units_line)
+    if summary.quarantined:
+        lines.append("quarantined units (pass --fresh to retry):")
+        for unit_id, category in summary.quarantined:
+            lines.append(f"  - {unit_id} [{category}]")
     for error in summary.errors:
         lines.append(f"  ! {error}")
     return "\n".join(lines)

@@ -287,6 +287,21 @@ def summarize_file(path: str) -> str:
         )
         return header + "\n" + summarize_recovery_bench(bench)
     if isinstance(payload, dict) and isinstance(payload.get("schema"), str) \
+            and payload["schema"].startswith("repro.campaign.cache/"):
+        # Lazy import: repro.bench itself builds on repro.obs.
+        from repro.bench import BenchError, load_campaign_cache_file
+        from repro.bench import summarize_campaign_cache
+
+        try:
+            bench = load_campaign_cache_file(path)
+        except BenchError as exc:
+            raise ObsExportError(str(exc)) from exc
+        header = (
+            f"{path}: valid campaign-cache bench dump, "
+            f"{len(bench['scenarios'])} scenarios"
+        )
+        return header + "\n" + summarize_campaign_cache(bench)
+    if isinstance(payload, dict) and isinstance(payload.get("schema"), str) \
             and payload["schema"].startswith("repro.bench/"):
         # Lazy import: repro.bench itself builds on repro.obs.
         from repro.bench import BenchError, load_bench_file, summarize_bench

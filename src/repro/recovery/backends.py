@@ -96,6 +96,7 @@ class TMRInjector:
         ):
             self._pending = False
             self.outcome.detected = True
+            self.outcome.detect_gap = sim.instructions - self._injected_at
             if self.recover:
                 # Majority vote corrects in place: no rollback, no
                 # re-execution, nothing to restore.
@@ -222,6 +223,7 @@ class CheckpointLogInjector:
                 and sim.instructions - self._injected_at >= self.plan.detection_latency
             ):
                 self.outcome.detected = True
+                self.outcome.detect_gap = sim.instructions - self._injected_at
                 self._pending = False
                 if self.recover:
                     mark = sim.instructions
@@ -345,6 +347,36 @@ class RecoveryBackend:
             start_trial=start_trial,
             injector_factory=self.make_injector,
             per_region=per_region,
+        )
+
+    def run_trial(
+        self,
+        program: MachineProgram,
+        seed: int,
+        index: int,
+        span: int,
+        func: str = "main",
+        args: Tuple = (),
+        kind: str = FAULT_VALUE,
+        detection_latency: int = 0,
+        recover: bool = True,
+    ) -> FaultOutcome:
+        """One campaign trial under this backend's injector.
+
+        ``program`` must be this backend's :meth:`campaign_program` —
+        computed once per campaign so per-section drivers do not
+        re-instrument it per trial.  Outcomes are bit-identical to the
+        corresponding trial of :meth:`campaign` at the same
+        ``(seed, index, span)``, which is what lets the incremental
+        harness (:mod:`repro.harness.incremental`) campaign all backends
+        per-section through one interface.
+        """
+        from repro.sim.faults import run_planned_trial
+
+        return run_planned_trial(
+            program, seed, index, span, func=func, args=args, kind=kind,
+            detection_latency=detection_latency, recover=recover,
+            injector_factory=self.make_injector,
         )
 
     def overhead(

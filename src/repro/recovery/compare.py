@@ -121,8 +121,16 @@ def compare_workload(
     seed: int = 12345,
     kind: str = FAULT_VALUE,
     latency: int = 0,
+    use_store: bool = False,
 ) -> WorkloadReport:
-    """Run every backend's campaign + prediction for one workload."""
+    """Run every backend's campaign + prediction for one workload.
+
+    With ``use_store`` the per-backend campaigns go through the
+    incremental harness (:mod:`repro.harness.incremental`): previously
+    stored section outcomes compose from the content-addressed outcome
+    store and only missing sections inject.  Results and the per-region
+    join are bit-identical to the monolithic path at equal budgets.
+    """
     from repro.experiments.common import build_pair
     from repro.workloads import get_workload
 
@@ -147,18 +155,36 @@ def compare_workload(
             interval=getattr(backend, "interval", 8),
         )
         per_region: Dict[str, CampaignResult] = {}
-        campaign = backend.campaign(
-            original.program,
-            idempotent.program,
-            reference,
-            reference_output,
-            trials=trials,
-            func=workload.entry,
-            kind=kind,
-            seed=derive_seed(seed, name, backend.seed_key),
-            detection_latency=latency,
-            per_region=per_region,
-        )
+        if use_store:
+            from repro.harness.incremental import incremental_campaign
+
+            campaign = incremental_campaign(
+                original.program,
+                idempotent.program,
+                reference,
+                reference_output,
+                trials=trials,
+                func=workload.entry,
+                kind=kind,
+                seed=derive_seed(seed, name, backend.seed_key),
+                detection_latency=latency,
+                backend=backend,
+                name=name,
+                per_region=per_region,
+            ).result
+        else:
+            campaign = backend.campaign(
+                original.program,
+                idempotent.program,
+                reference,
+                reference_output,
+                trials=trials,
+                func=workload.entry,
+                kind=kind,
+                seed=derive_seed(seed, name, backend.seed_key),
+                detection_latency=latency,
+                per_region=per_region,
+            )
         report.backends.append(
             BackendReport(
                 backend=backend_name,
@@ -180,6 +206,7 @@ def run_compare(
     kind: str = FAULT_VALUE,
     latency: int = 0,
     threshold: float = DEFAULT_THRESHOLD,
+    use_store: bool = False,
 ) -> CompareReport:
     """The full predicted-vs-measured sweep (default: every workload)."""
     from repro.experiments.common import resolve_workloads
@@ -190,7 +217,7 @@ def run_compare(
         workloads=[
             compare_workload(
                 workload.name, backend_names, trials=trials, seed=seed,
-                kind=kind, latency=latency,
+                kind=kind, latency=latency, use_store=use_store,
             )
             for workload in workloads
         ],

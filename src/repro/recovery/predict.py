@@ -30,7 +30,7 @@ minimized reproducer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.codegen.machine import MachineInstr, MachineProgram
 from repro.sim.faults import CampaignResult, region_key
@@ -184,6 +184,40 @@ def predict_outcomes(
         0.0, 1.0 - prediction.p_wrong - prediction.p_undetected
     )
     return prediction
+
+
+def measured_region_results(
+    records: Sequence[dict],
+    indices_by_region: Optional[Dict[str, Set[int]]] = None,
+) -> Dict[str, CampaignResult]:
+    """Fold outcome-store section records into per-region measured buckets.
+
+    ``records`` are :data:`repro.harness.incremental.STORE_SCHEMA` section
+    records; each trial row is ``[index, bucket, detected, detect_gap]``.
+    ``indices_by_region`` (region key -> allowed trial indices) restricts
+    the fold to the trials a specific campaign budget needs — a record
+    accumulated at a larger budget composes down to exactly the requested
+    one, which is what keeps composed campaigns bit-identical to
+    monolithic ones.  The result joins directly against
+    :func:`compare_predictions`.
+    """
+    regions: Dict[str, CampaignResult] = {}
+    for record in records:
+        region = str(record.get("region", "?"))
+        allowed: Optional[Set[int]] = None
+        if indices_by_region is not None:
+            allowed = indices_by_region.get(region, set())
+        sub = regions.setdefault(region, CampaignResult())
+        for row in record.get("trials", []):
+            index, bucket, detected = int(row[0]), str(row[1]), row[2]
+            if allowed is not None and index not in allowed:
+                continue
+            sub.trials += 1
+            sub.injected += 1
+            if detected:
+                sub.detected += 1
+            setattr(sub, bucket, getattr(sub, bucket) + 1)
+    return regions
 
 
 @dataclass

@@ -93,8 +93,11 @@ def execute_unit(item: Dict[str, object]) -> Dict[str, object]:
         }
 
     if op == "faults":
+        from repro.harness.incremental import (
+            incremental_campaign,
+            program_fingerprint,
+        )
         from repro.sim import Simulator
-        from repro.sim.faults import fault_campaign
 
         entry = item["entry"]
         scheme = item.get("scheme", "idempotent")
@@ -103,6 +106,19 @@ def execute_unit(item: Dict[str, object]) -> Dict[str, object]:
         reference_sim = Simulator(idem.program)
         reference = reference_sim.run(entry)
         reference_output = list(reference_sim.output)
+        # Campaigns run through the incremental harness: a repeated
+        # faults request composes its per-region sections from the
+        # content-addressed outcome store instead of re-injecting
+        # (hit/miss counters land on the shared metrics registry as
+        # ``campaign.store.*`` / ``campaign.trials``).  The store
+        # namespace is scoped by the *whole program's* fingerprint so
+        # two different sources can never share sections — the payload
+        # stays byte-identical to a monolithic campaign of the same
+        # request, warm or cold.
+        namespace = (
+            f"serve:{program_fingerprint(idem.program)[:16]}"
+            f":{program_fingerprint(orig.program)[:16]}"
+        )
 
         def _buckets(campaign) -> Dict[str, int]:
             return {
@@ -117,22 +133,22 @@ def execute_unit(item: Dict[str, object]) -> Dict[str, object]:
         if scheme == "idempotent":
             # Legacy shape: the idempotence scheme campaigns both
             # flavours so clients can see the recovery delta.
-            for label, build in (("idempotent", idem), ("original", orig)):
-                campaign = fault_campaign(
-                    build.program, reference, reference_output,
+            for label in ("idempotent", "original"):
+                campaign = incremental_campaign(
+                    orig.program, idem.program, reference, reference_output,
                     trials=item["trials"], func=entry, kind=item["kind"],
-                    seed=item["seed"],
-                )
+                    seed=item["seed"], flavour=label, name=namespace,
+                ).result
                 campaigns[label] = _buckets(campaign)
         else:
             from repro.recovery.backends import get_backend
 
             backend = get_backend(scheme)
-            campaign = backend.campaign(
+            campaign = incremental_campaign(
                 orig.program, idem.program, reference, reference_output,
                 trials=item["trials"], func=entry, kind=item["kind"],
-                seed=item["seed"],
-            )
+                seed=item["seed"], backend=backend, name=namespace,
+            ).result
             campaigns[scheme] = _buckets(campaign)
         return {"reference": reference, "scheme": scheme,
                 "campaigns": campaigns}

@@ -64,6 +64,10 @@ class FaultOutcome:
     #: Region key (``func@block.index`` of the restart pointer active at
     #: injection time) — lets campaigns attribute outcomes to regions.
     region: Optional[str] = None
+    #: Dynamic instructions between injection and detection (0 when the
+    #: fault was never detected) — the detect-latency histograms of the
+    #: incremental outcome store are built from this.
+    detect_gap: int = 0
 
 
 REGION_UNKNOWN = "?"
@@ -106,6 +110,7 @@ class FaultInjector:
             and sim.instructions - self._injected_at >= self.plan.detection_latency
         ):
             self.outcome.detected = True
+            self.outcome.detect_gap = sim.instructions - self._injected_at
             self._pending = False
             if self.recover:
                 mark = sim.instructions
@@ -283,6 +288,51 @@ def trial_plan(
     )
 
 
+def campaign_span(
+    program: MachineProgram,
+    func: str = "main",
+    args: Tuple = (),
+) -> int:
+    """The fault-target range of a campaign over ``program``.
+
+    One fault-free run measures the dynamic instruction count; targets
+    are drawn uniformly from ``[1, span)`` so every campaign (monolithic,
+    sharded, or per-section incremental) over the same program faces the
+    identical target distribution.
+    """
+    baseline = Simulator(program)
+    baseline.run(func, args)
+    return max(baseline.instructions - 2, 1)
+
+
+def run_planned_trial(
+    program: MachineProgram,
+    seed: int,
+    index: int,
+    span: int,
+    func: str = "main",
+    args: Tuple = (),
+    kind: str = FAULT_VALUE,
+    detection_latency: int = 0,
+    recover: bool = True,
+    injector_factory: Optional[Callable[..., object]] = None,
+) -> FaultOutcome:
+    """Execute campaign trial ``index`` exactly as :func:`fault_campaign` would.
+
+    Trial identity is ``(seed, index, span)`` alone, so any partition of
+    a campaign's index range — serial, sharded, or the per-region
+    sections of :mod:`repro.harness.incremental` — reproduces the
+    monolithic run's outcomes bit for bit.
+    """
+    plan = trial_plan(
+        seed, index, span, kind=kind, detection_latency=detection_latency
+    )
+    return run_with_fault(
+        program, plan, func=func, args=args, recover=recover,
+        injector_factory=injector_factory,
+    )
+
+
 def fault_campaign(
     program: MachineProgram,
     reference_result: object,
@@ -313,17 +363,13 @@ def fault_campaign(
     additionally collect one :class:`CampaignResult` per region key
     (keyed by :func:`region_key` at injection time).
     """
-    baseline = Simulator(program)
-    baseline.run(func, args)
-    span = max(baseline.instructions - 2, 1)
+    span = campaign_span(program, func=func, args=args)
 
     result = CampaignResult()
     for index in range(start_trial, start_trial + trials):
-        plan = trial_plan(
-            seed, index, span, kind=kind, detection_latency=detection_latency
-        )
-        outcome = run_with_fault(
-            program, plan, func=func, args=args, recover=recover,
+        outcome = run_planned_trial(
+            program, seed, index, span, func=func, args=args, kind=kind,
+            detection_latency=detection_latency, recover=recover,
             injector_factory=injector_factory,
         )
         result.trials += 1

@@ -226,3 +226,83 @@ class TestCli:
         # Simulating blackscholes takes far longer than 10ms + 10%.
         assert main(["bench", "blackscholes", "--repeats", "1",
                      "--baseline", base_path]) == 1
+
+
+class TestCampaignCacheBench:
+    """The ``--campaign-cache`` bench: hermetic store, hard-asserted
+    bit-identity, and the committed ``BENCH_campaign_cache.json``."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        from repro.bench import run_campaign_cache_bench
+
+        # Small trial budget: the invariants (bit-identity, selective
+        # re-injection) are hard-asserted inside the bench itself.
+        return run_campaign_cache_bench(trials=12, label="unit")
+
+    def test_bench_asserts_its_invariants(self, payload):
+        assert payload["label"] == "unit"
+        bits = payload["bit_identical"]
+        assert bits["cold"] and bits["warm"]
+        assert payload["scenarios"]["warm"]["trials_injected"] == 0
+        assert payload["edited_regions"], "edit must re-inject something"
+        assert payload["edited_function"] == "mix_b"
+        for region in payload["edited_regions"]:
+            assert region.split("@", 1)[0] == "mix_b"
+
+    def test_write_validate_roundtrip(self, payload, tmp_path):
+        from repro.bench import (
+            validate_campaign_cache_file,
+            write_campaign_cache_json,
+        )
+
+        path = str(tmp_path / "BENCH_cc.json")
+        write_campaign_cache_json(path, payload)
+        assert validate_campaign_cache_file(path) == 4
+
+    def test_summarize_lists_every_scenario(self, payload):
+        from repro.bench import summarize_campaign_cache
+
+        text = summarize_campaign_cache(payload)
+        for name in ("monolithic", "cold", "warm", "edited"):
+            assert name in text
+        assert "bit-identical:" in text
+
+    def test_validator_rejects_wrong_schema(self, tmp_path):
+        from repro.bench import load_campaign_cache_file
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.bench/1"}))
+        with pytest.raises(BenchError, match="not a repro.campaign.cache/1"):
+            load_campaign_cache_file(str(path))
+
+    def test_validator_rejects_missing_scenario(self, payload, tmp_path):
+        from repro.bench import load_campaign_cache_file, write_campaign_cache_json
+
+        broken = json.loads(json.dumps(payload))
+        del broken["scenarios"]["warm"]
+        path = str(tmp_path / "broken.json")
+        write_campaign_cache_json(path, broken)
+        with pytest.raises(BenchError, match="missing scenario 'warm'"):
+            load_campaign_cache_file(path)
+
+    def test_validator_rejects_missing_section_counts(self, payload, tmp_path):
+        from repro.bench import load_campaign_cache_file, write_campaign_cache_json
+
+        broken = json.loads(json.dumps(payload))
+        del broken["scenarios"]["cold"]["trials_injected"]
+        path = str(tmp_path / "broken.json")
+        write_campaign_cache_json(path, broken)
+        with pytest.raises(BenchError, match="lacks integer 'trials_injected'"):
+            load_campaign_cache_file(path)
+
+    def test_committed_dump_is_valid_and_bit_identical(self):
+        from repro.bench import load_campaign_cache_file
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_campaign_cache.json"
+        )
+        committed = load_campaign_cache_file(path)
+        bits = committed["bit_identical"]
+        assert bits["cold"] and bits["warm"] and bits["edited"]
+        assert committed["scenarios"]["warm"]["trials_injected"] == 0

@@ -192,3 +192,88 @@ class TestRecovery:
         assert main(["recovery", "compare", "no-such-workload",
                      "--trials", "2"]) == 2
         assert "recovery error" in capsys.readouterr().err
+
+
+class TestCampaignIncremental:
+    @pytest.fixture(autouse=True)
+    def restore_harness_options(self):
+        """main() threads --jobs/--chaos/--retries into the process-global
+        HarnessOptions; restore every field so the chaos policy (and the
+        jobs>1 pool path it needs) never leaks into later test files."""
+        import dataclasses
+
+        from repro.experiments.common import current_options
+
+        options = current_options()
+        snapshot = dataclasses.replace(options)
+        yield
+        for field in dataclasses.fields(options):
+            setattr(options, field.name, getattr(snapshot, field.name))
+
+    @pytest.fixture
+    def isolated_store(self, tmp_path):
+        """Private outcome store per test.  Only the parent process
+        touches the store (workers just return trial rows), so swapping
+        the in-process default is sufficient — and the build cache stays
+        shared, like every other CLI test."""
+        from repro.harness.incremental import OutcomeStore, set_default_store
+
+        previous = set_default_store(OutcomeStore(root=str(tmp_path / "cache")))
+        yield
+        set_default_store(previous)
+
+    def test_warm_rerun_stdout_is_byte_identical(self, isolated_store, capsys):
+        argv = ["campaign", "bzip2", "--trials", "4", "--no-manifest",
+                "--incremental"]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "sections:" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert ", 0 re-injected" in warm.err
+
+    def test_explain_stale_reports_warm_store(self, isolated_store, capsys):
+        argv = ["campaign", "bzip2", "--trials", "4", "--no-manifest",
+                "--incremental", "--explain-stale"]
+        assert main(argv) == 0
+        assert "stale sections:" in capsys.readouterr().err
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "stale sections: none" in err
+
+    def test_explain_stale_requires_incremental(self, capsys):
+        argv = ["campaign", "bzip2", "--trials", "2", "--no-manifest",
+                "--explain-stale"]
+        assert main(argv) == 2
+        assert "--explain-stale requires --incremental" in capsys.readouterr().err
+
+    def test_incremental_rejects_shard_trials(self, capsys):
+        argv = ["campaign", "bzip2", "--trials", "2", "--no-manifest",
+                "--incremental", "--shard-trials", "1"]
+        assert main(argv) == 2
+        assert "sections are the resume granularity" in capsys.readouterr().err
+
+    def test_chaos_quarantine_is_exit_1(self, isolated_store, capsys):
+        # Warm the build pair inline first so the chaos below only ever
+        # fires inside section units, not the prebuild compiles.
+        assert main(["campaign", "bzip2", "--trials", "2", "--no-manifest"]) == 0
+        capsys.readouterr()
+        argv = ["campaign", "bzip2", "--trials", "2", "--seed", "99",
+                "--no-manifest", "--incremental", "-j", "2",
+                "--chaos", "seed=1,raise=1.0"]
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "quarantined after" in captured.out
+
+    def test_monolithic_chaos_lists_quarantined_units(
+        self, isolated_store, capsys
+    ):
+        assert main(["campaign", "bzip2", "--trials", "2", "--no-manifest"]) == 0
+        capsys.readouterr()
+        argv = ["campaign", "bzip2", "--trials", "2", "--seed", "99",
+                "--no-manifest", "-j", "2", "--chaos", "seed=1,raise=1.0"]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "quarantined units (pass --fresh to retry):" in out
+        assert "bzip2:" in out.split("quarantined units", 1)[1]
